@@ -1,0 +1,144 @@
+package aire_test
+
+import (
+	"strings"
+	"testing"
+
+	"aire"
+)
+
+// guestbookApp exercises the public facade exactly as README documents it.
+type guestbookApp struct{ peer string }
+
+func (a *guestbookApp) Name() string { return "guestbook" }
+
+func (a *guestbookApp) Authorize(ac aire.AuthzRequest) bool {
+	// Peer services may repair requests they themselves issued; everything
+	// else needs the owner's key.
+	if ac.From != "" && ac.From == ac.OriginalFrom {
+		return true
+	}
+	return ac.Carrier.Header["X-Owner"] == "owner-key"
+}
+
+func (a *guestbookApp) Register(svc *aire.Service) {
+	svc.Schema.Register("entry")
+	svc.Router.Handle("POST", "/sign", func(c *aire.Ctx) aire.Response {
+		id := c.NewID()
+		if err := c.DB.Put("entry", id, aire.Fields("who", c.Form("who"), "msg", c.Form("msg"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		if a.peer != "" {
+			c.Call(a.peer, aire.NewRequest("POST", "/sign").WithForm("who", c.Form("who"), "msg", c.Form("msg")))
+		}
+		return c.OK(id)
+	})
+	svc.Router.Handle("GET", "/book", func(c *aire.Ctx) aire.Response {
+		var b strings.Builder
+		for _, e := range c.DB.List("entry") {
+			b.WriteString(e.Get("who") + ": " + e.Get("msg") + "\n")
+		}
+		return c.OK(b.String())
+	})
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	bus := aire.NewBus()
+	front := aire.NewService(&guestbookApp{peer: "archive"}, bus)
+	archive := aire.NewService(&guestbookApp{}, bus)
+	bus.Register("guestbook", front)
+	bus.Register("archive", archive)
+
+	call := func(svc string, req aire.Request) aire.Response {
+		resp, err := bus.Call("", svc, req)
+		if err != nil {
+			t.Fatalf("%s: %v", svc, err)
+		}
+		return resp
+	}
+
+	call("guestbook", aire.NewRequest("POST", "/sign").WithForm("who", "ann", "msg", "hello"))
+	spam := call("guestbook", aire.NewRequest("POST", "/sign").WithForm("who", "bot", "msg", "BUY NOW"))
+	if !strings.Contains(string(call("archive", aire.NewRequest("GET", "/book")).Body), "BUY NOW") {
+		t.Fatal("spam should have propagated to the archive")
+	}
+
+	// Repair via the public helpers.
+	res, err := front.ApplyLocal(aire.Cancel(spam.Header[aire.HdrRequestID]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairedRequests == 0 {
+		t.Fatal("no repair performed")
+	}
+	if rounds := aire.Settle(10, front, archive); rounds == 0 {
+		t.Fatal("settle made no progress delivering repair")
+	}
+
+	for _, svc := range []string{"guestbook", "archive"} {
+		book := string(call(svc, aire.NewRequest("GET", "/book")).Body)
+		if strings.Contains(book, "BUY NOW") {
+			t.Fatalf("%s still contains spam: %q", svc, book)
+		}
+		if !strings.Contains(book, "ann: hello") {
+			t.Fatalf("%s lost the legitimate entry: %q", svc, book)
+		}
+	}
+}
+
+func TestPublicAPIReplaceAndCreate(t *testing.T) {
+	bus := aire.NewBus()
+	gb := aire.NewService(&guestbookApp{}, bus)
+	bus.Register("guestbook", gb)
+
+	call := func(req aire.Request) aire.Response {
+		resp, err := bus.Call("", "guestbook", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	first := call(aire.NewRequest("POST", "/sign").WithForm("who", "ann", "msg", "helo"))
+	last := call(aire.NewRequest("POST", "/sign").WithForm("who", "cat", "msg", "meow"))
+
+	// Replace fixes the typo.
+	if _, err := gb.ApplyLocal(aire.Replace(first.Header[aire.HdrRequestID],
+		aire.NewRequest("POST", "/sign").WithForm("who", "ann", "msg", "hello"))); err != nil {
+		t.Fatal(err)
+	}
+	// CreateInPast adds a missing entry between the two.
+	if _, err := gb.ApplyLocal(aire.CreateInPast(
+		aire.NewRequest("POST", "/sign").WithForm("who", "bob", "msg", "late"),
+		first.Header[aire.HdrRequestID], last.Header[aire.HdrRequestID])); err != nil {
+		t.Fatal(err)
+	}
+	book := string(call(aire.NewRequest("GET", "/book")).Body)
+	for _, want := range []string{"ann: hello", "bob: late", "cat: meow"} {
+		if !strings.Contains(book, want) {
+			t.Fatalf("book missing %q: %q", want, book)
+		}
+	}
+	if strings.Contains(book, "helo\n") {
+		t.Fatalf("typo survived replace: %q", book)
+	}
+}
+
+func TestPublicAPIRepairRespectsAuthorize(t *testing.T) {
+	bus := aire.NewBus()
+	gb := aire.NewService(&guestbookApp{}, bus)
+	bus.Register("guestbook", gb)
+
+	resp, err := bus.Call("", "guestbook", aire.NewRequest("POST", "/sign").WithForm("who", "x", "msg", "m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := aire.NewRequest("POST", "/aire/repair").WithHeader(
+		aire.HdrRepair, "delete", aire.HdrRequestID, resp.Header[aire.HdrRequestID])
+	if denied, _ := bus.Call("", "guestbook", del); denied.Status != 403 {
+		t.Fatalf("repair without owner key accepted: %d", denied.Status)
+	}
+	if ok, _ := bus.Call("", "guestbook", del.WithHeader("X-Owner", "owner-key")); !ok.OK() {
+		t.Fatalf("repair with owner key rejected: %+v", ok)
+	}
+}

@@ -1,0 +1,225 @@
+// Benchmarks regenerating the paper's evaluation (§8) plus ablations of
+// Aire's design choices. One benchmark (or benchmark pair) per table:
+//
+//	Table 4 (normal-operation overhead):
+//	    BenchmarkTable4ReadNoAire / BenchmarkTable4ReadAire
+//	    BenchmarkTable4WriteNoAire / BenchmarkTable4WriteAire
+//	  The Aire variants additionally report log-KB/req and db-KB/req,
+//	  Table 4's storage columns.
+//
+//	Table 5 (repair performance):
+//	    BenchmarkTable5Repair — one full attack + multi-service recovery
+//	    per iteration; reports repaired/total requests and repair time as
+//	    custom metrics.
+//
+//	Ablations (DESIGN.md E14):
+//	    BenchmarkAblationPreciseReadCheck / BenchmarkAblationConservative
+//	    BenchmarkAblationQueueCollapsing
+//
+// Run with: go test -bench . -benchmem
+package aire_test
+
+import (
+	"fmt"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/harness"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+// table4Questions is the data-set size for the Table 4 workloads: the
+// read-heavy page renders this many questions.
+const table4Questions = 300
+
+func newBench(b *testing.B, withAire bool) *harness.AskbotBench {
+	b.Helper()
+	ab, err := harness.NewAskbotBench(withAire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < table4Questions; i++ {
+		if err := ab.Write(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ab
+}
+
+func benchTable4(b *testing.B, withAire bool, op func(*harness.AskbotBench) error) {
+	ab := newBench(b, withAire)
+	var logBytes, dbBytes, reqs int64
+	if withAire {
+		logBytes = ab.Ctrl.Svc.Log.AppBytes()
+		dbBytes = ab.Ctrl.Svc.Store.VersionBytes()
+		reqs = ab.Ctrl.Svc.Log.Samples()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op(ab); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if withAire {
+		n := ab.Ctrl.Svc.Log.Samples() - reqs
+		if n > 0 {
+			b.ReportMetric(float64(ab.Ctrl.Svc.Log.AppBytes()-logBytes)/float64(n)/1024, "log-KB/req")
+			b.ReportMetric(float64(ab.Ctrl.Svc.Store.VersionBytes()-dbBytes)/float64(n)/1024, "db-KB/req")
+		}
+	}
+}
+
+func BenchmarkTable4ReadNoAire(b *testing.B) {
+	benchTable4(b, false, (*harness.AskbotBench).Read)
+}
+
+func BenchmarkTable4ReadAire(b *testing.B) {
+	benchTable4(b, true, (*harness.AskbotBench).Read)
+}
+
+func BenchmarkTable4WriteNoAire(b *testing.B) {
+	benchTable4(b, false, (*harness.AskbotBench).Write)
+}
+
+func BenchmarkTable4WriteAire(b *testing.B) {
+	benchTable4(b, true, (*harness.AskbotBench).Write)
+}
+
+// benchRepairScenario runs one full Table 5 cycle per iteration: stand up
+// the three services, run the attack plus legitimate traffic, repair, and
+// verify convergence.
+func benchRepairScenario(b *testing.B, users, posts int, cfg core.Config) {
+	var repairedReqs, totalReqs float64
+	var repairNanos float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := harness.NewAskbotScenario(users, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.PreRegister(users); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunAttack(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunLegitTraffic(users, posts); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Repair(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if problems := s.Verify(); len(problems) > 0 {
+			b.Fatalf("repair incomplete: %v", problems)
+		}
+		rr, tr, _, _ := s.Askbot.RepairCounts()
+		repairedReqs += float64(rr)
+		totalReqs += float64(tr)
+		repairNanos += float64(s.Askbot.RepairDuration().Nanoseconds())
+		b.StartTimer()
+	}
+	b.ReportMetric(repairedReqs/float64(b.N), "repaired-reqs")
+	b.ReportMetric(totalReqs/float64(b.N), "total-reqs")
+	b.ReportMetric(repairNanos/float64(b.N)/1e6, "askbot-repair-ms")
+}
+
+// BenchmarkTable5Repair reproduces Table 5's repair run (scaled-down user
+// count per iteration; use -users style sweeps via cmd/airebench for the
+// full 100-user figure).
+func BenchmarkTable5Repair(b *testing.B) {
+	benchRepairScenario(b, 25, 5, core.DefaultConfig())
+}
+
+// BenchmarkAblationPreciseReadCheck and BenchmarkAblationConservative
+// compare the value-based dependency check (default) against conservative
+// key-level tracking on the workload where they differ: a request is
+// replaced by a semantically identical one while many later requests read
+// the touched key. The precise engine proves the readers saw the same
+// value and skips them; the conservative engine re-executes every reader
+// (see the repaired-reqs metric).
+func BenchmarkAblationPreciseReadCheck(b *testing.B) {
+	benchIdempotentReplace(b, core.DefaultConfig())
+}
+
+func BenchmarkAblationConservative(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Engine.PreciseReadCheck = false
+	benchIdempotentReplace(b, cfg)
+}
+
+func benchIdempotentReplace(b *testing.B, cfg core.Config) {
+	const readers = 200
+	var repaired float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tb := harness.NewTestbed()
+		a := tb.Add(&harness.KVApp{ServiceName: "a"}, cfg)
+		target := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "hot", "val", "same"))
+		for j := 0; j < readers; j++ {
+			tb.MustCall("a", wire.NewRequest("GET", "/get").WithForm("key", "hot"))
+		}
+		b.StartTimer()
+		res, err := a.ApplyLocal(warp.Action{
+			Kind: warp.ReplaceReq, ReqID: target.Header[wire.HdrRequestID],
+			NewReq: wire.NewRequest("POST", "/put").WithForm("key", "hot", "val", "same"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		repaired += float64(res.RepairedRequests)
+	}
+	b.ReportMetric(repaired/float64(b.N), "repaired-reqs")
+}
+
+// BenchmarkAblationQueueCollapsing measures §3.2's queue collapsing: many
+// successive repairs of the same request while the peer is offline collapse
+// to one message (vs. none without collapsing — approximated by counting
+// messages queued).
+func BenchmarkAblationQueueCollapsing(b *testing.B) {
+	tb := harness.NewTestbed()
+	a := tb.Add(&harness.KVApp{ServiceName: "a", Mirror: "b"}, core.DefaultConfig())
+	tb.Add(&harness.KVApp{ServiceName: "b"}, core.DefaultConfig())
+	first := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "v0"))
+	tb.Settle(5)
+	tb.SetOffline("b", true)
+	reqID := first.Header[wire.HdrRequestID]
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.ApplyLocal(warp.Action{
+			Kind: warp.ReplaceReq, ReqID: reqID,
+			NewReq: wire.NewRequest("POST", "/put").WithForm("key", "x", "val", fmt.Sprintf("v%d", i+1)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(a.QueueLen()), "queued-msgs") // stays 1 regardless of b.N
+}
+
+// BenchmarkRepairScalingByLogSize shows how local repair cost grows with
+// the portion of the log affected: fixed attack, growing amounts of
+// post-attack traffic that reads the attacked data.
+func BenchmarkRepairScalingByLogSize(b *testing.B) {
+	for _, readers := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tb := harness.NewTestbed()
+				a := tb.Add(&harness.KVApp{ServiceName: "a"}, core.DefaultConfig())
+				attack := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "evil"))
+				for j := 0; j < readers; j++ {
+					tb.MustCall("a", wire.NewRequest("GET", "/get").WithForm("key", "x"))
+				}
+				b.StartTimer()
+				if _, err := a.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: attack.Header[wire.HdrRequestID]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Command aireaudit inspects a persisted Aire service snapshot (written by
+// aire/internal/persist) and answers the administrator questions of §2:
+// what did a suspect request influence, and what could have influenced an
+// observed corruption?
+//
+//	aireaudit -snapshot a.snap -blast <request-id>    # transitive effects
+//	aireaudit -snapshot a.snap -trace <request-id>    # transitive causes
+//	aireaudit -snapshot a.snap -dot > deps.dot        # Graphviz export
+//	aireaudit -snapshot a.snap -list                  # timeline listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"aire/internal/audit"
+	"aire/internal/persist"
+	"aire/internal/repairlog"
+)
+
+func main() {
+	snapshot := flag.String("snapshot", "", "path to a persisted service snapshot (required)")
+	blast := flag.String("blast", "", "print the blast radius of this request ID")
+	trace := flag.String("trace", "", "print the ancestors of this request ID")
+	dot := flag.Bool("dot", false, "emit the dependency graph as Graphviz DOT")
+	list := flag.Bool("list", false, "list the request timeline")
+	flag.Parse()
+
+	if *snapshot == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := persist.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rebuild just the log; audit needs nothing else.
+	lg := repairlog.New(false)
+	for _, r := range snap.Records {
+		if err := lg.Append(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := audit.Build(lg)
+	fmt.Fprintf(os.Stderr, "aireaudit: service %q, %d requests, %d dependency edges\n",
+		snap.Service, len(g.Requests), len(g.Edges))
+
+	switch {
+	case *blast != "":
+		ids := g.Descendants(*blast)
+		fmt.Printf("blast radius of %s: %d request(s)/call(s)\n", *blast, len(ids))
+		for _, id := range ids {
+			fmt.Println(" ", id)
+		}
+	case *trace != "":
+		ids := g.Ancestors(*trace)
+		fmt.Printf("ancestors of %s: %d request(s)\n", *trace, len(ids))
+		for _, id := range ids {
+			fmt.Println(" ", id)
+		}
+	case *dot:
+		highlight := map[string]bool{}
+		fmt.Print(g.DOT(highlight))
+	case *list:
+		for _, r := range snap.Records {
+			status := ""
+			if r.Skipped {
+				status = " [cancelled]"
+			}
+			fmt.Printf("%-20s ts=%-12d %-5s %-30s -> %d%s\n", r.ID, r.TS, r.Req.Method, r.Req.Path, r.Resp.Status, status)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

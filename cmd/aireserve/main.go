@@ -1,0 +1,62 @@
+// Command aireserve runs an Aire-enabled two-service testbed (a notes-like
+// KV service mirrored to a feed service) over real HTTP sockets, so the
+// repair protocol can be exercised with curl.
+//
+//	aireserve -a :8031 -b :8032
+//
+// Example session:
+//
+//	curl -XPOST 'http://localhost:8031/put?key=x&val=hello'   # mirrored to B
+//	curl 'http://localhost:8032/get?key=x'
+//	# repair: delete the put on A using the Aire-Request-Id header it returned
+//	curl -XPOST http://localhost:8031/aire/repair \
+//	     -H 'Aire-Repair: delete' -H "Aire-Request-Id: $ID"
+//	curl 'http://localhost:8032/get?key=x'                    # gone after flush
+//
+// Outgoing repair queues are flushed every -flush interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"aire"
+	"aire/internal/harness"
+	"aire/internal/transport"
+)
+
+func main() {
+	addrA := flag.String("a", "127.0.0.1:8031", "listen address for service a")
+	addrB := flag.String("b", "127.0.0.1:8032", "listen address for service b")
+	flush := flag.Duration("flush", time.Second, "outgoing repair queue flush interval")
+	flag.Parse()
+
+	caller := &transport.HTTPCaller{BaseURLs: map[string]string{
+		"a": "http://" + *addrA,
+		"b": "http://" + *addrB,
+	}}
+	ctrlA := aire.NewService(&harness.KVApp{ServiceName: "a", Mirror: "b"}, caller)
+	ctrlB := aire.NewService(&harness.KVApp{ServiceName: "b"}, caller)
+
+	go func() {
+		log.Fatal(http.ListenAndServe(*addrA, transport.NewHTTPHandler(ctrlA)))
+	}()
+	go func() {
+		log.Fatal(http.ListenAndServe(*addrB, transport.NewHTTPHandler(ctrlB)))
+	}()
+	go func() {
+		for range time.Tick(*flush) {
+			ctrlA.Flush()
+			ctrlB.Flush()
+		}
+	}()
+
+	fmt.Printf("aire: service a (mirrors to b) on http://%s\n", *addrA)
+	fmt.Printf("aire: service b on http://%s\n", *addrB)
+	fmt.Println("aire: try POST /put?key=x&val=hello on a, then GET /get?key=x on b,")
+	fmt.Println("aire: then POST /aire/repair with Aire-Repair: delete + Aire-Request-Id headers")
+	select {}
+}

@@ -1,0 +1,84 @@
+package aire_test
+
+import (
+	"fmt"
+
+	"aire"
+)
+
+// memoApp is a tiny single-model service used by the examples.
+type memoApp struct{}
+
+func (memoApp) Name() string                        { return "memo" }
+func (memoApp) Authorize(ac aire.AuthzRequest) bool { return ac.Carrier.Header["X-Key"] == "k" }
+func (memoApp) Register(svc *aire.Service) {
+	svc.Schema.Register("memo")
+	svc.Router.Handle("POST", "/set", func(c *aire.Ctx) aire.Response {
+		if err := c.DB.Put("memo", "m", aire.Fields("text", c.Form("text"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("ok")
+	})
+	svc.Router.Handle("GET", "/get", func(c *aire.Ctx) aire.Response {
+		o, ok := c.DB.Get("memo", "m")
+		if !ok {
+			return c.Error(404, "no memo")
+		}
+		return c.OK(o.Get("text"))
+	})
+}
+
+// Example shows the minimal Aire lifecycle: serve traffic, cancel an
+// unwanted request, and observe the state roll back.
+func Example() {
+	bus := aire.NewBus()
+	ctrl := aire.NewService(memoApp{}, bus)
+	bus.Register("memo", ctrl)
+
+	set := func(text string) aire.Response {
+		resp, _ := bus.Call("", "memo", aire.NewRequest("POST", "/set").WithForm("text", text))
+		return resp
+	}
+	get := func() string {
+		resp, _ := bus.Call("", "memo", aire.NewRequest("GET", "/get"))
+		return string(resp.Body)
+	}
+
+	set("ship it friday")
+	bad := set("HACKED")
+	fmt.Println("before repair:", get())
+
+	ctrl.ApplyLocal(aire.Cancel(bad.Header[aire.HdrRequestID]))
+	fmt.Println("after repair: ", get())
+	// Output:
+	// before repair: HACKED
+	// after repair:  ship it friday
+}
+
+// ExampleReplace corrects a past request in place: downstream state is
+// recomputed as if the corrected request had always executed.
+func ExampleReplace() {
+	bus := aire.NewBus()
+	ctrl := aire.NewService(memoApp{}, bus)
+	bus.Register("memo", ctrl)
+
+	resp, _ := bus.Call("", "memo", aire.NewRequest("POST", "/set").WithForm("text", "ship it fridya"))
+	ctrl.ApplyLocal(aire.Replace(resp.Header[aire.HdrRequestID],
+		aire.NewRequest("POST", "/set").WithForm("text", "ship it friday")))
+
+	out, _ := bus.Call("", "memo", aire.NewRequest("GET", "/get"))
+	fmt.Println(string(out.Body))
+	// Output: ship it friday
+}
+
+// ExampleSettle pumps every controller's outgoing repair queue until
+// cross-service repair quiesces.
+func ExampleSettle() {
+	bus := aire.NewBus()
+	ctrl := aire.NewService(memoApp{}, bus)
+	bus.Register("memo", ctrl)
+
+	rounds := aire.Settle(10, ctrl)
+	fmt.Println("productive rounds with nothing queued:", rounds)
+	// Output: productive rounds with nothing queued: 0
+}

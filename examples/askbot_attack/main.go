@@ -1,0 +1,79 @@
+// Command askbot_attack replays the paper's main experiment (§7.1,
+// Figure 4): an OAuth-provider misconfiguration — modeled after the 2013
+// Facebook OAuth bug — lets an attacker register on an Askbot-like forum as
+// a victim and spread a malicious code snippet to a Dpaste-like pastebin.
+// One delete repair on the provider then unwinds the whole intrusion across
+// all three services.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"aire"
+	"aire/internal/core"
+	"aire/internal/harness"
+	"aire/internal/wire"
+)
+
+func main() {
+	s, err := harness.NewAskbotScenario(5, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== setup: oauth + askbot + dpaste, 5 legitimate users seeded ==")
+
+	fmt.Println("\n== attack ==")
+	if err := s.RunAttack(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("(1) admin mistakenly enables debug_verify_all on the OAuth service:", s.ConfigReqID)
+	fmt.Println("(2-4) attacker registers on askbot as victim@example.org — verification bypassed")
+	fmt.Println("(5) attacker posts a question; (6) askbot crossposts the code to dpaste:", s.AttackPasteID)
+
+	if err := s.RunLegitTraffic(5, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== meanwhile, 5 legitimate users sign up, post questions, browse ==")
+	list := s.TB.Call("askbot", wire.NewRequest("GET", "/questions"))
+	fmt.Printf("askbot question list mentions the attack: %v\n", strings.Contains(string(list.Body), "bitcoin"))
+
+	fmt.Println("\n== recovery: oauth admin cancels request (1) ==")
+	if err := s.Repair(); err != nil {
+		log.Fatal(err)
+	}
+	if problems := s.Verify(); len(problems) > 0 {
+		log.Fatalf("repair incomplete: %v", problems)
+	}
+	fmt.Println("oauth: misconfiguration deleted; attacker's verify_email now fails")
+	fmt.Println("askbot: attacker's signup and question re-executed away (replace_response from oauth)")
+	fmt.Println("dpaste: crossposted snippet cancelled (delete from askbot)")
+
+	list = s.TB.Call("askbot", wire.NewRequest("GET", "/questions"))
+	fmt.Printf("askbot question list mentions the attack: %v\n", strings.Contains(string(list.Body), "bitcoin"))
+	fmt.Printf("legitimate questions preserved: %d\n", len(s.LegitQuestionIDs))
+
+	fmt.Println("\n== compensations & stats ==")
+	for _, svc := range []string{"oauth", "askbot", "dpaste"} {
+		ctrl := s.TB.Ctrls[svc]
+		rr, tr, ro, to := ctrl.RepairCounts()
+		st := ctrl.Stats()
+		fmt.Printf("%-7s repaired %3d/%3d requests, %3d/%4d model ops, sent %d repair msg(s)\n",
+			svc, rr, tr, ro, to, st.MsgsDelivered)
+		for _, n := range ctrl.Notifications() {
+			if n.Kind == "compensation" {
+				fmt.Printf("        compensation: %s\n", truncate(n.Detail, 90))
+			}
+		}
+	}
+	_ = aire.Request{} // keep the public package linked in for godoc discovery
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,72 @@
+// Command browser_client demonstrates repair reaching an end-user client
+// that cannot accept inbound connections — the browser-shaped gap the
+// paper's prototype leaves open (§2.3).
+//
+// The client tags its requests with a poll:// notifier URL; when the server
+// repairs a response the client saw, the replace_response token is parked
+// in a mailbox the client polls, and the client updates its local copy.
+// The client also initiates repair of its own past request (fixing a typo
+// with replace, per §2's user-mistake use case).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aire"
+	"aire/internal/client"
+	"aire/internal/harness"
+	"aire/internal/wire"
+)
+
+func main() {
+	bus := aire.NewBus()
+	store := aire.NewService(&harness.KVApp{ServiceName: "store"}, bus)
+	bus.Register("store", store)
+
+	cl := client.New("laptop-1", bus)
+	cl.OnRepair = func(old client.Sent, newResp wire.Response) {
+		fmt.Printf("   client: my copy of %q was repaired: %q -> %q\n",
+			old.Req.Form["key"], old.Resp.Body, newResp.Body)
+	}
+
+	seed := func(key, val string) wire.Response {
+		resp, err := bus.Call("", "store", aire.NewRequest("POST", "/put").WithForm("key", key, "val", val))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return resp
+	}
+
+	fmt.Println("1. the store holds x=launch-friday; an attacker overwrites it:")
+	seed("x", "launch-friday")
+	attack := seed("x", "HACKED")
+
+	fmt.Println("2. the client reads x through its Aire-aware library:")
+	read, err := cl.Call("store", aire.NewRequest("GET", "/get").WithForm("key", "x"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   client sees: %q\n", read.Body)
+
+	fmt.Println("3. the store cancels the attack; the client polls and is corrected:")
+	if _, err := store.ApplyLocal(aire.Cancel(attack.Header[aire.HdrRequestID])); err != nil {
+		log.Fatal(err)
+	}
+	store.Flush()
+	n, err := cl.Poll("store")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   applied %d response repair(s); history now shows %q\n", n, cl.History()[0].Resp.Body)
+
+	fmt.Println("4. the client fixes its own typo with a client-initiated replace:")
+	typo, _ := cl.Call("store", aire.NewRequest("POST", "/put").WithForm("key", "note", "val", "meeting at 9an"))
+	_ = typo
+	sent := cl.History()[len(cl.History())-1]
+	if _, err := cl.RepairReplace(sent, aire.NewRequest("POST", "/put").WithForm("key", "note", "val", "meeting at 9am"), nil); err != nil {
+		log.Fatal(err)
+	}
+	fixed, _ := bus.Call("", "store", aire.NewRequest("GET", "/get").WithForm("key", "note"))
+	fmt.Printf("   store now holds: %q\n", fixed.Body)
+}

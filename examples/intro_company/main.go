@@ -1,0 +1,82 @@
+// Command intro_company replays the paper's opening example (§1): a small
+// company runs a customer-management service (Salesforce-like) and an
+// employee-management service (Workday-like), with permissions managed by a
+// centralized access-control service. An attacker who gains write access
+// through the access-control service corrupts both dependents; cancelling
+// the bad grants undoes everything, with repair propagating to the
+// dependents purely as corrected permission-check *responses*.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aire"
+	"aire/internal/apps/crm"
+	"aire/internal/apps/permsvc"
+)
+
+const adminToken = "perm-admin"
+
+func main() {
+	bus := aire.NewBus()
+	perms := aire.NewService(permsvc.New(adminToken), bus)
+	sales := aire.NewService(crm.New("perms"), bus)
+	hrApp := crm.New("perms")
+	hrApp.ServiceName = "workday"
+	hr := aire.NewService(hrApp, bus)
+	bus.Register("perms", perms)
+	bus.Register("crm", sales)
+	bus.Register("workday", hr)
+
+	call := func(svc string, req aire.Request) aire.Response {
+		resp, err := bus.Call("", svc, req)
+		if err != nil {
+			log.Fatalf("%s: %v", svc, err)
+		}
+		return resp
+	}
+	grant := func(svc, user, level string) aire.Response {
+		return call("perms", aire.NewRequest("POST", "/grant").
+			WithForm("svc", svc, "user", user, "level", level).
+			WithHeader("X-Admin-Token", adminToken))
+	}
+	show := func(svc, id string) {
+		resp := call(svc, aire.NewRequest("GET", "/customer").WithForm("user", "alice", "id", id))
+		fmt.Printf("   %-8s %s\n", svc+":", resp.Body)
+	}
+
+	fmt.Println("1. setup: alice manages records on both services")
+	grant("crm", "alice", "rw")
+	grant("workday", "alice", "rw")
+	custID := string(call("crm", aire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "ACME Corp", "notes", "renewal Q3")).Body)
+	empID := string(call("workday", aire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "Jo Engineer", "notes", "L5")).Body)
+	show("crm", custID)
+	show("workday", empID)
+
+	fmt.Println("\n2. the attack: mallory gains write access via the access-control service")
+	g1 := grant("crm", "mallory", "rw")
+	g2 := grant("workday", "mallory", "rw")
+	call("crm", aire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "id", custID, "name", "ACME Corp", "notes", "OWNED"))
+	call("workday", aire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "id", empID, "name", "Jo Engineer", "notes", "FIRED lol"))
+	show("crm", custID)
+	show("workday", empID)
+
+	fmt.Println("\n3. recovery: the perms admin cancels the two bad grants")
+	for _, g := range []aire.Response{g1, g2} {
+		if _, err := perms.ApplyLocal(aire.Cancel(g.Header[aire.HdrRequestID])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	aire.Settle(20, perms, sales, hr)
+	show("crm", custID)
+	show("workday", empID)
+	if resp := call("crm", aire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "name", "again?")); !resp.OK() {
+		fmt.Printf("   mallory locked out again: %d %s\n", resp.Status, resp.Body)
+	}
+}

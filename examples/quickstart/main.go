@@ -1,0 +1,125 @@
+// Command quickstart is the smallest end-to-end Aire program: a notes
+// service and a feed service that mirrors it. An attacker defaces a note,
+// the corruption spreads to the feed, and one repair call undoes it
+// everywhere — asynchronously, even though the feed was offline when repair
+// started.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aire"
+)
+
+// notesApp stores notes and mirrors every write to the feed service.
+type notesApp struct{ mirror string }
+
+func (a *notesApp) Name() string { return "notes" }
+
+// Authorize allows repair only when the repair message carries the author's
+// own edit key — Aire delegates this policy entirely to the application.
+func (a *notesApp) Authorize(ac aire.AuthzRequest) bool {
+	author := ac.Original.Form["author"]
+	if author == "" {
+		author = ac.Repaired.Form["author"]
+	}
+	return ac.Carrier.Header["X-Edit-Key"] == "key-"+author
+}
+
+func (a *notesApp) Register(svc *aire.Service) {
+	svc.Schema.Register("note")
+	svc.Router.Handle("POST", "/note", func(c *aire.Ctx) aire.Response {
+		id, text, author := c.Form("id"), c.Form("text"), c.Form("author")
+		if err := c.DB.Put("note", id, aire.Fields("text", text, "author", author)); err != nil {
+			return c.Error(500, err.Error())
+		}
+		if a.mirror != "" {
+			c.Call(a.mirror, aire.NewRequest("POST", "/ingest").WithForm("id", id, "text", text))
+		}
+		return c.OK("saved " + id)
+	})
+	svc.Router.Handle("GET", "/note", func(c *aire.Ctx) aire.Response {
+		o, ok := c.DB.Get("note", c.Form("id"))
+		if !ok {
+			return c.Error(404, "no such note")
+		}
+		return c.OK(o.Get("text"))
+	})
+}
+
+// feedApp receives mirrored notes.
+type feedApp struct{}
+
+func (a *feedApp) Name() string { return "feed" }
+
+// Authorize accepts repair of a past request only from the same service
+// that issued it.
+func (a *feedApp) Authorize(ac aire.AuthzRequest) bool {
+	return ac.From != "" && (ac.OriginalFrom == "" || ac.From == ac.OriginalFrom)
+}
+
+func (a *feedApp) Register(svc *aire.Service) {
+	svc.Schema.Register("entry")
+	svc.Router.Handle("POST", "/ingest", func(c *aire.Ctx) aire.Response {
+		if err := c.DB.Put("entry", c.Form("id"), aire.Fields("text", c.Form("text"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("ingested")
+	})
+	svc.Router.Handle("GET", "/entry", func(c *aire.Ctx) aire.Response {
+		o, ok := c.DB.Get("entry", c.Form("id"))
+		if !ok {
+			return c.Error(404, "no entry")
+		}
+		return c.OK(o.Get("text"))
+	})
+}
+
+func main() {
+	// Wire two Aire-enabled services onto one fabric.
+	bus := aire.NewBus()
+	notes := aire.NewService(&notesApp{mirror: "feed"}, bus)
+	feed := aire.NewService(&feedApp{}, bus)
+	bus.Register("notes", notes)
+	bus.Register("feed", feed)
+
+	call := func(svc string, req aire.Request) aire.Response {
+		resp, err := bus.Call("", svc, req)
+		if err != nil {
+			log.Fatalf("%s: %v", svc, err)
+		}
+		return resp
+	}
+	show := func() {
+		n := call("notes", aire.NewRequest("GET", "/note").WithForm("id", "n1"))
+		f := call("feed", aire.NewRequest("GET", "/entry").WithForm("id", "n1"))
+		fmt.Printf("  notes/n1 = %q   feed/n1 = %q\n", n.Body, f.Body)
+	}
+
+	fmt.Println("1. alice writes a note; it mirrors to the feed:")
+	call("notes", aire.NewRequest("POST", "/note").WithForm("id", "n1", "text", "launch is on friday", "author", "alice"))
+	show()
+
+	fmt.Println("2. an attacker defaces it (stolen session, say):")
+	attack := call("notes", aire.NewRequest("POST", "/note").WithForm("id", "n1", "text", "HACKED", "author", "alice"))
+	show()
+
+	fmt.Println("3. the feed goes down; alice cancels the attack request anyway:")
+	bus.SetOffline("feed", true)
+	res, err := notes.ApplyLocal(aire.Cancel(attack.Header[aire.HdrRequestID]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	aire.Settle(10, notes, feed)
+	fmt.Printf("  local repair re-ran %d of %d logged requests; %d repair message(s) queued for the feed\n",
+		res.RepairedRequests, res.TotalRequests, notes.QueueLen())
+	n := call("notes", aire.NewRequest("GET", "/note").WithForm("id", "n1"))
+	fmt.Printf("  notes/n1 = %q   feed = offline\n", n.Body)
+
+	fmt.Println("4. the feed comes back; the queued repair lands:")
+	bus.SetOffline("feed", false)
+	aire.Settle(10, notes, feed)
+	show()
+	fmt.Println("done: the attack is gone from both services, and the note is back.")
+}

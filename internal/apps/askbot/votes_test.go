@@ -1,0 +1,123 @@
+package askbot
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+func TestVotesAdjustReputation(t *testing.T) {
+	x := newTB(t)
+	s1 := x.register(t, "user1")
+	s2 := x.register(t, "user2")
+	qid := string(x.call(t, "askbot", wire.NewRequest("POST", "/ask").WithForm(
+		"session", s1, "title", "Q")).Body)
+
+	rep := func() string {
+		page := x.call(t, "askbot", wire.NewRequest("GET", "/questions"))
+		i := strings.Index(string(page.Body), "user1 (rep ")
+		rest := string(page.Body)[i+len("user1 (rep "):]
+		return rest[:strings.Index(rest, ")")]
+	}
+	if rep() != "3" { // 1 signup + 2 for the post
+		t.Fatalf("initial rep = %s", rep())
+	}
+
+	// Upvote: +5.
+	if resp := x.call(t, "askbot", wire.NewRequest("POST", "/vote").WithForm(
+		"session", s2, "question", qid, "dir", "up")); !resp.OK() {
+		t.Fatalf("vote: %s", resp.Body)
+	}
+	if rep() != "8" {
+		t.Fatalf("rep after upvote = %s", rep())
+	}
+	// Re-voting the same way is a no-op.
+	x.call(t, "askbot", wire.NewRequest("POST", "/vote").WithForm(
+		"session", s2, "question", qid, "dir", "up"))
+	if rep() != "8" {
+		t.Fatalf("rep after duplicate vote = %s", rep())
+	}
+	// Switching to a downvote: -7.
+	x.call(t, "askbot", wire.NewRequest("POST", "/vote").WithForm(
+		"session", s2, "question", qid, "dir", "down"))
+	if rep() != "1" {
+		t.Fatalf("rep after switch = %s", rep())
+	}
+	// Self-votes and bad directions rejected.
+	if resp := x.call(t, "askbot", wire.NewRequest("POST", "/vote").WithForm(
+		"session", s1, "question", qid, "dir", "up")); resp.Status != 400 {
+		t.Fatalf("self-vote: %d", resp.Status)
+	}
+	if resp := x.call(t, "askbot", wire.NewRequest("POST", "/vote").WithForm(
+		"session", s2, "question", qid, "dir", "sideways")); resp.Status != 400 {
+		t.Fatalf("bad dir: %d", resp.Status)
+	}
+}
+
+// TestRepairUnwindsVotesOnCancelledQuestion: cancelling a question
+// re-executes the votes cast on it (they 404) and restores the author's
+// reputation — repair through derived state.
+func TestRepairUnwindsVotesOnCancelledQuestion(t *testing.T) {
+	x := newTB(t)
+	s1 := x.register(t, "user1")
+	s2 := x.register(t, "user2")
+	ask := x.call(t, "askbot", wire.NewRequest("POST", "/ask").WithForm(
+		"session", s1, "title", "spam!")) // the unwanted post
+	qid := string(ask.Body)
+	x.call(t, "askbot", wire.NewRequest("POST", "/vote").WithForm(
+		"session", s2, "question", qid, "dir", "up"))
+
+	if _, err := x.bot.ApplyLocal(warp.Action{
+		Kind: warp.CancelReq, ReqID: ask.Header[wire.HdrRequestID],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The vote re-executed against a missing question and failed, so the
+	// author's reputation dropped back to signup level (1).
+	page := string(x.call(t, "askbot", wire.NewRequest("GET", "/questions")).Body)
+	if strings.Contains(page, "spam!") {
+		t.Fatal("question survived repair")
+	}
+	// Check reputation via a fresh post.
+	x.call(t, "askbot", wire.NewRequest("POST", "/ask").WithForm("session", s1, "title", "legit"))
+	page = string(x.call(t, "askbot", wire.NewRequest("GET", "/questions")).Body)
+	if !strings.Contains(page, "user1 (rep 3)") { // 1 + 2 for the new post only
+		t.Fatalf("reputation not unwound: %q", page)
+	}
+}
+
+func TestTagCounters(t *testing.T) {
+	x := newTB(t)
+	sess := x.register(t, "user1")
+	x.call(t, "askbot", wire.NewRequest("POST", "/ask").WithForm(
+		"session", sess, "title", "q1", "tags", "go, repair"))
+	x.call(t, "askbot", wire.NewRequest("POST", "/ask").WithForm(
+		"session", sess, "title", "q2", "tags", "go"))
+	tags := string(x.call(t, "askbot", wire.NewRequest("GET", "/tags")).Body)
+	if !strings.Contains(tags, "go=2") || !strings.Contains(tags, "repair=1") {
+		t.Fatalf("tags = %q", tags)
+	}
+}
+
+func TestNegativeReputation(t *testing.T) {
+	x := newTB(t)
+	s1 := x.register(t, "user1")
+	s2 := x.register(t, "user2")
+	qid := string(x.call(t, "askbot", wire.NewRequest("POST", "/ask").WithForm(
+		"session", s1, "title", "Q")).Body)
+	// Rep 3, then two more posts = 7; downvotes can push below zero for a
+	// fresh account: signup(1) + post(2) = 3; down(-2) x2 -> ... a second
+	// voter is needed for a second downvote; just verify one downvote and
+	// the atoi round trip of negative numbers.
+	x.call(t, "askbot", wire.NewRequest("POST", "/vote").WithForm(
+		"session", s2, "question", qid, "dir", "down"))
+	page := string(x.call(t, "askbot", wire.NewRequest("GET", "/questions")).Body)
+	if !strings.Contains(page, "user1 (rep 1)") {
+		t.Fatalf("rep after downvote: %q", page)
+	}
+	if atoi("-42") != -42 {
+		t.Fatal("atoi must handle negatives")
+	}
+}

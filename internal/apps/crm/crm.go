@@ -1,0 +1,116 @@
+// Package crm implements the customer-management web service of the
+// paper's introduction (§1) — the Salesforce-like dependent in the
+// motivating example: "if an attacker exploits a bug in the access control
+// service, she could give herself write access ... make unauthorized
+// changes ... and corrupt other services."
+//
+// Every write checks the caller's permission by *calling* the central
+// access-control service (pull model). The permission answer is therefore a
+// logged outgoing-call response: when the access-control service repairs a
+// bad grant, the corrected answers arrive as replace_response messages and
+// this service's writes re-execute to failure — recovery driven entirely
+// through response repair.
+package crm
+
+import (
+	"fmt"
+	"strings"
+
+	"aire/internal/core"
+	"aire/internal/orm"
+	"aire/internal/warp"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// ModelCustomer holds customer records: fields name, notes, owner.
+const ModelCustomer = "customer"
+
+// App is the customer-management service.
+type App struct {
+	// ServiceName is the transport identity (default "crm").
+	ServiceName string
+	// PermService is the central access-control service's name.
+	PermService string
+}
+
+// New returns a CRM wired to the given access-control service.
+func New(permService string) *App {
+	return &App{ServiceName: "crm", PermService: permService}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.ServiceName }
+
+// check pulls the caller's access level from the central service.
+func (a *App) check(c *web.Ctx, user string) string {
+	resp := c.Call(a.PermService, wire.NewRequest("GET", "/check").
+		WithForm("svc", a.ServiceName, "user", user))
+	if !resp.OK() {
+		return ""
+	}
+	return string(resp.Body)
+}
+
+// Register installs models and routes.
+func (a *App) Register(svc *web.Service) {
+	svc.Schema.Register(ModelCustomer)
+
+	// POST /customer creates or updates a record; requires "w" from the
+	// central service.
+	svc.Router.Handle("POST", "/customer", func(c *web.Ctx) wire.Response {
+		user := c.Form("user")
+		if !strings.Contains(a.check(c, user), "w") {
+			return c.Error(403, user+" lacks write access (central policy)")
+		}
+		id := c.Form("id")
+		if id == "" {
+			id = "cust-" + c.NewID()
+		}
+		if err := c.DB.Put(ModelCustomer, id, orm.Fields(
+			"name", c.Form("name"), "notes", c.Form("notes"), "owner", user)); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK(id)
+	})
+
+	// GET /customer reads a record; requires "r".
+	svc.Router.Handle("GET", "/customer", func(c *web.Ctx) wire.Response {
+		if !strings.Contains(a.check(c, c.Form("user")), "r") {
+			return c.Error(403, "no read access")
+		}
+		o, ok := c.DB.Get(ModelCustomer, c.Form("id"))
+		if !ok {
+			return c.Error(404, "no such customer")
+		}
+		return c.OK(fmt.Sprintf("%s | %s | owner=%s", o.Get("name"), o.Get("notes"), o.Get("owner")))
+	})
+
+	// GET /customers lists records (read access required).
+	svc.Router.Handle("GET", "/customers", func(c *web.Ctx) wire.Response {
+		if !strings.Contains(a.check(c, c.Form("user")), "r") {
+			return c.Error(403, "no read access")
+		}
+		out := ""
+		for _, o := range c.DB.List(ModelCustomer) {
+			out += o.ID + ": " + o.Get("name") + "\n"
+		}
+		return c.OK(out)
+	})
+}
+
+// Authorize allows a repair only on behalf of the original principal: the
+// same user name presented in the carrier, or the issuing peer service.
+func (a *App) Authorize(ac core.AuthzRequest) bool {
+	if ac.Kind == warp.OutReplaceResponse {
+		return true
+	}
+	if ac.OriginalFrom != "" {
+		return ac.From == ac.OriginalFrom
+	}
+	user := ac.Original.Form["user"]
+	if user == "" {
+		user = ac.Repaired.Form["user"]
+	}
+	return user != "" && ac.Carrier.Header["X-Repair-User"] == user
+}

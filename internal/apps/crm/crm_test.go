@@ -1,0 +1,178 @@
+package crm
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/apps/permsvc"
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+const admin = "perm-admin"
+
+func newWorld(t *testing.T) (*transport.Bus, *core.Controller, *core.Controller) {
+	t.Helper()
+	bus := transport.NewBus()
+	perms := core.NewController(permsvc.New(admin), bus, core.DefaultConfig())
+	app := New("perms")
+	crmCtrl := core.NewController(app, bus, core.DefaultConfig())
+	bus.Register("perms", perms)
+	bus.Register("crm", crmCtrl)
+	return bus, perms, crmCtrl
+}
+
+func call(t *testing.T, bus *transport.Bus, svc string, req wire.Request) wire.Response {
+	t.Helper()
+	resp, err := bus.Call("", svc, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func grant(t *testing.T, bus *transport.Bus, user, level string) wire.Response {
+	t.Helper()
+	return call(t, bus, "perms", wire.NewRequest("POST", "/grant").
+		WithForm("svc", "crm", "user", user, "level", level).
+		WithHeader("X-Admin-Token", admin))
+}
+
+func TestWriteRequiresCentralPermission(t *testing.T) {
+	bus, _, _ := newWorld(t)
+	// No grant: refused.
+	if resp := call(t, bus, "crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "ACME")); resp.Status != 403 {
+		t.Fatalf("ungranted write accepted: %d", resp.Status)
+	}
+	grant(t, bus, "alice", "rw")
+	resp := call(t, bus, "crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "ACME"))
+	if !resp.OK() {
+		t.Fatalf("granted write refused: %s", resp.Body)
+	}
+	// Read-only users can read but not write.
+	grant(t, bus, "bob", "r")
+	if r := call(t, bus, "crm", wire.NewRequest("GET", "/customer").
+		WithForm("user", "bob", "id", string(resp.Body))); !r.OK() {
+		t.Fatalf("read refused: %s", r.Body)
+	}
+	if r := call(t, bus, "crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "bob", "name", "X")); r.Status != 403 {
+		t.Fatalf("read-only write accepted: %d", r.Status)
+	}
+}
+
+func TestRevokeStopsFutureWrites(t *testing.T) {
+	bus, _, _ := newWorld(t)
+	grant(t, bus, "alice", "rw")
+	if resp := call(t, bus, "crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "A")); !resp.OK() {
+		t.Fatal("write should succeed")
+	}
+	grant(t, bus, "alice", "") // revoke
+	if resp := call(t, bus, "crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "B")); resp.Status != 403 {
+		t.Fatalf("post-revoke write accepted: %d", resp.Status)
+	}
+}
+
+func TestGrantRepairPropagatesViaResponses(t *testing.T) {
+	bus, perms, crmCtrl := newWorld(t)
+	grant(t, bus, "alice", "rw")
+	bad := grant(t, bus, "mallory", "rw")
+	cust := call(t, bus, "crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "name", "Shell Co"))
+	if !cust.OK() {
+		t.Fatal("attack write should succeed pre-repair")
+	}
+
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete",
+		wire.HdrRequestID, bad.Header[wire.HdrRequestID],
+		"X-Admin-Token", admin)
+	if resp := call(t, bus, "perms", del); !resp.OK() {
+		t.Fatalf("repair: %d %s", resp.Status, resp.Body)
+	}
+	for i := 0; i < 5; i++ {
+		perms.Flush()
+		crmCtrl.Flush()
+	}
+	if resp := call(t, bus, "crm", wire.NewRequest("GET", "/customer").
+		WithForm("user", "alice", "id", string(cust.Body))); resp.Status != 404 {
+		t.Fatalf("attack record survived: %d %q", resp.Status, resp.Body)
+	}
+	// The propagation was response-driven: crm received no /aire/repair
+	// calls, only notify/fetch.
+	if strings.Contains(strings.Join(notificationKinds(crmCtrl), ","), "unauthorized") {
+		t.Fatal("unexpected authorization failures")
+	}
+}
+
+func notificationKinds(c *core.Controller) []string {
+	var out []string
+	for _, n := range c.Notifications() {
+		out = append(out, n.Kind)
+	}
+	return out
+}
+
+func TestAuthorizePolicies(t *testing.T) {
+	bus, _, _ := newWorld(t)
+	grant(t, bus, "alice", "rw")
+	cust := call(t, bus, "crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "ACME"))
+
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete", wire.HdrRequestID, cust.Header[wire.HdrRequestID])
+	if resp := call(t, bus, "crm", del); resp.Status != 403 {
+		t.Fatalf("credential-less repair accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, "crm", del.WithHeader("X-Repair-User", "mallory")); resp.Status != 403 {
+		t.Fatalf("wrong-user repair accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, "crm", del.WithHeader("X-Repair-User", "alice")); !resp.OK() {
+		t.Fatalf("same-user repair refused: %d %s", resp.Status, resp.Body)
+	}
+
+	// Grant repair on the perm service needs the admin token.
+	g := grant(t, bus, "carol", "r")
+	gdel := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete", wire.HdrRequestID, g.Header[wire.HdrRequestID])
+	if resp := call(t, bus, "perms", gdel); resp.Status != 403 {
+		t.Fatalf("grant repair without admin accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, "perms", gdel.WithHeader("X-Admin-Token", admin)); !resp.OK() {
+		t.Fatalf("grant repair with admin refused: %d %s", resp.Status, resp.Body)
+	}
+}
+
+func TestGrantsListing(t *testing.T) {
+	bus, _, _ := newWorld(t)
+	grant(t, bus, "alice", "rw")
+	grant(t, bus, "bob", "r")
+	out := string(call(t, bus, "perms", wire.NewRequest("GET", "/grants")).Body)
+	if !strings.Contains(out, "crm|alice=rw") || !strings.Contains(out, "crm|bob=r") {
+		t.Fatalf("grants = %q", out)
+	}
+}
+
+func TestCustomersListing(t *testing.T) {
+	bus, _, _ := newWorld(t)
+	grant(t, bus, "alice", "rw")
+	call(t, bus, "crm", wire.NewRequest("POST", "/customer").WithForm("user", "alice", "name", "One"))
+	call(t, bus, "crm", wire.NewRequest("POST", "/customer").WithForm("user", "alice", "name", "Two"))
+	out := string(call(t, bus, "crm", wire.NewRequest("GET", "/customers").WithForm("user", "alice")).Body)
+	if !strings.Contains(out, "One") || !strings.Contains(out, "Two") {
+		t.Fatalf("customers = %q", out)
+	}
+	// No read access: refused.
+	if resp := call(t, bus, "crm", wire.NewRequest("GET", "/customers").WithForm("user", "nobody")); resp.Status != 403 {
+		t.Fatalf("ungranted list accepted: %d", resp.Status)
+	}
+	// Reading a missing customer with access: 404.
+	if resp := call(t, bus, "crm", wire.NewRequest("GET", "/customer").WithForm("user", "alice", "id", "ghost")); resp.Status != 404 {
+		t.Fatalf("missing customer: %d", resp.Status)
+	}
+}

@@ -1,0 +1,107 @@
+// Package dpaste implements the Dpaste-like pastebin of the paper's Askbot
+// scenario (§7.1): services and users post code snippets, and other users
+// view and download them. Askbot crossposts code found in questions here
+// (request (6) of Figure 4), which is how the attack spreads to Dpaste.
+package dpaste
+
+import (
+	"fmt"
+	"strings"
+
+	"aire/internal/core"
+	"aire/internal/orm"
+	"aire/internal/warp"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// ModelSnippet holds pasted code: id = snippet id; fields: code, author,
+// downloads.
+const ModelSnippet = "snippet"
+
+// App is the pastebin application.
+type App struct {
+	// ServiceName is the transport identity (default "dpaste").
+	ServiceName string
+}
+
+// New returns a pastebin app.
+func New() *App { return &App{ServiceName: "dpaste"} }
+
+// Name implements core.App.
+func (a *App) Name() string { return a.ServiceName }
+
+// Register installs models and routes.
+func (a *App) Register(svc *web.Service) {
+	svc.Schema.Register(ModelSnippet)
+
+	// POST /paste stores a snippet and returns its id.
+	svc.Router.Handle("POST", "/paste", func(c *web.Ctx) wire.Response {
+		code := c.Form("code")
+		if code == "" {
+			return c.Error(400, "code required")
+		}
+		id := "paste-" + c.NewID()
+		if err := c.DB.Put(ModelSnippet, id, orm.Fields(
+			"code", code, "author", c.Form("author"), "downloads", "0")); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK(id)
+	})
+
+	// GET /snippet renders a snippet.
+	svc.Router.Handle("GET", "/snippet", func(c *web.Ctx) wire.Response {
+		o, ok := c.DB.Get(ModelSnippet, c.Form("id"))
+		if !ok {
+			return c.Error(404, "no such snippet")
+		}
+		return c.OK(fmt.Sprintf("by %s:\n%s", o.Get("author"), o.Get("code")))
+	})
+
+	// GET /download returns raw code and counts the download (a state
+	// change that depends on the snippet's existence, so repair notifies
+	// downloaders of cancelled snippets).
+	svc.Router.Handle("GET", "/download", func(c *web.Ctx) wire.Response {
+		id := c.Form("id")
+		o, ok := c.DB.Get(ModelSnippet, id)
+		if !ok {
+			return c.Error(404, "no such snippet")
+		}
+		n := o.Int("downloads") + 1
+		if _, err := c.DB.Update(ModelSnippet, id, func(f map[string]string) {
+			f["downloads"] = fmt.Sprint(n)
+		}); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK(o.Get("code"))
+	})
+
+	// GET /list shows all snippet ids.
+	svc.Router.Handle("GET", "/list", func(c *web.Ctx) wire.Response {
+		var b strings.Builder
+		for _, o := range c.DB.List(ModelSnippet) {
+			fmt.Fprintf(&b, "%s\n", o.ID)
+		}
+		return c.OK(b.String())
+	})
+}
+
+// Authorize allows a repair only on behalf of the principal that issued the
+// original request: for service-issued requests (e.g. Askbot's crossposts),
+// the same authenticated service; for user requests, the same author name
+// presented in the carrier (§4, §7.3).
+func (a *App) Authorize(ac core.AuthzRequest) bool {
+	if ac.Kind == warp.OutReplaceResponse {
+		return true
+	}
+	if ac.Kind == warp.OutCreate {
+		// New requests in the past may only be created by Aire-enabled
+		// peers (an authenticated service), acting as themselves.
+		return ac.From != ""
+	}
+	if ac.OriginalFrom != "" {
+		return ac.From == ac.OriginalFrom
+	}
+	author := ac.Original.Form["author"]
+	return author != "" && ac.Carrier.Header["X-Repair-Author"] == author
+}

@@ -1,0 +1,120 @@
+package dpaste
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+func newTB(t *testing.T) (*transport.Bus, *core.Controller) {
+	t.Helper()
+	bus := transport.NewBus()
+	ctrl := core.NewController(New(), bus, core.DefaultConfig())
+	bus.Register("dpaste", ctrl)
+	return bus, ctrl
+}
+
+func call(t *testing.T, bus *transport.Bus, from string, req wire.Request) wire.Response {
+	t.Helper()
+	resp, err := bus.Call(from, "dpaste", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestPasteViewDownload(t *testing.T) {
+	bus, _ := newTB(t)
+	p := call(t, bus, "", wire.NewRequest("POST", "/paste").WithForm("code", "print(1)", "author", "alice"))
+	if !p.OK() {
+		t.Fatalf("paste: %+v", p)
+	}
+	id := string(p.Body)
+
+	view := call(t, bus, "", wire.NewRequest("GET", "/snippet").WithForm("id", id))
+	if !strings.Contains(string(view.Body), "alice") || !strings.Contains(string(view.Body), "print(1)") {
+		t.Fatalf("snippet = %q", view.Body)
+	}
+	if resp := call(t, bus, "", wire.NewRequest("GET", "/snippet").WithForm("id", "nope")); resp.Status != 404 {
+		t.Fatalf("missing snippet: %d", resp.Status)
+	}
+
+	dl := call(t, bus, "", wire.NewRequest("GET", "/download").WithForm("id", id))
+	if string(dl.Body) != "print(1)" {
+		t.Fatalf("download = %q", dl.Body)
+	}
+	call(t, bus, "", wire.NewRequest("GET", "/download").WithForm("id", id))
+	list := call(t, bus, "", wire.NewRequest("GET", "/list"))
+	if !strings.Contains(string(list.Body), id) {
+		t.Fatalf("list = %q", list.Body)
+	}
+	// Empty code rejected.
+	if resp := call(t, bus, "", wire.NewRequest("POST", "/paste")); resp.Status != 400 {
+		t.Fatalf("empty paste: %d", resp.Status)
+	}
+}
+
+func TestAuthorizeSameServicePolicy(t *testing.T) {
+	bus, _ := newTB(t)
+	// A paste issued by the service "askbot".
+	p := call(t, bus, "askbot", wire.NewRequest("POST", "/paste").WithForm("code", "x", "author", "bob"))
+	id := string(p.Body)
+
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete", wire.HdrRequestID, p.Header[wire.HdrRequestID])
+
+	// A different service may not repair askbot's paste.
+	if resp, _ := bus.Call("evil-svc", "dpaste", del); resp.Status != 403 {
+		t.Fatalf("foreign service repair accepted: %d", resp.Status)
+	}
+	// The issuing service may.
+	if resp, _ := bus.Call("askbot", "dpaste", del); !resp.OK() {
+		t.Fatalf("same-service repair rejected: %d %s", resp.Status, resp.Body)
+	}
+	if resp := call(t, bus, "", wire.NewRequest("GET", "/snippet").WithForm("id", id)); resp.Status != 404 {
+		t.Fatalf("snippet should be cancelled: %d", resp.Status)
+	}
+}
+
+func TestAuthorizeSameAuthorPolicy(t *testing.T) {
+	bus, _ := newTB(t)
+	// A paste from an external user.
+	p := call(t, bus, "", wire.NewRequest("POST", "/paste").WithForm("code", "x", "author", "carol"))
+
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete", wire.HdrRequestID, p.Header[wire.HdrRequestID])
+	if resp := call(t, bus, "", del); resp.Status != 403 {
+		t.Fatalf("authorless repair accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, "", del.WithHeader("X-Repair-Author", "mallory")); resp.Status != 403 {
+		t.Fatalf("wrong-author repair accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, "", del.WithHeader("X-Repair-Author", "carol")); !resp.OK() {
+		t.Fatalf("same-author repair rejected: %d %s", resp.Status, resp.Body)
+	}
+}
+
+func TestDownloadersRereadAfterRepair(t *testing.T) {
+	// A downloader's logged response is repaired when the snippet is
+	// cancelled: the download re-executes to a 404.
+	bus, ctrl := newTB(t)
+	p := call(t, bus, "askbot", wire.NewRequest("POST", "/paste").WithForm("code", "evil()", "author", "x"))
+	id := string(p.Body)
+	dl := call(t, bus, "", wire.NewRequest("GET", "/download").WithForm("id", id))
+	if string(dl.Body) != "evil()" {
+		t.Fatalf("download = %q", dl.Body)
+	}
+
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete", wire.HdrRequestID, p.Header[wire.HdrRequestID])
+	if resp, _ := bus.Call("askbot", "dpaste", del); !resp.OK() {
+		t.Fatalf("repair: %+v", resp)
+	}
+	rec, _ := ctrl.Svc.Log.Get(dl.Header[wire.HdrRequestID])
+	if rec.Resp.Status != 404 {
+		t.Fatalf("downloader's repaired response = %d, want 404", rec.Resp.Status)
+	}
+}

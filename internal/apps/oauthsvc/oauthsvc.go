@@ -1,0 +1,185 @@
+// Package oauthsvc implements the Django-OAuth-like identity provider used
+// in the paper's Askbot attack scenario (§7.1, Figure 4).
+//
+// The service manages user accounts, grants OAuth tokens to clients after a
+// login, and verifies that an email address belongs to a token's owner. It
+// deliberately includes the paper's injected vulnerability: a debug
+// configuration option (debug_verify_all) that makes every email
+// verification succeed. An administrator mistakenly enabling it in
+// production is request (1) of Figure 4, modeled after the 2013 Facebook
+// OAuth bug.
+package oauthsvc
+
+import (
+	"fmt"
+
+	"aire/internal/core"
+	"aire/internal/orm"
+	"aire/internal/warp"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// Model names.
+const (
+	ModelUser   = "user"   // id = username; fields: password, email
+	ModelToken  = "token"  // id = token value; fields: user, client
+	ModelConfig = "config" // id = option name; fields: value
+)
+
+// App is the OAuth provider application.
+type App struct {
+	// ServiceName is the transport identity (default "oauth").
+	ServiceName string
+	// AdminToken authorizes /admin endpoints and admin-issued repair.
+	AdminToken string
+}
+
+// New returns an OAuth provider with the given admin token.
+func New(adminToken string) *App {
+	return &App{ServiceName: "oauth", AdminToken: adminToken}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.ServiceName }
+
+// Register installs models and routes.
+func (a *App) Register(svc *web.Service) {
+	svc.Schema.Register(ModelUser)
+	svc.Schema.Register(ModelToken)
+	svc.Schema.Register(ModelConfig)
+
+	// POST /signup creates a user account (seeding; no verification here).
+	svc.Router.Handle("POST", "/signup", func(c *web.Ctx) wire.Response {
+		user, pw, email := c.Form("user"), c.Form("password"), c.Form("email")
+		if user == "" || pw == "" {
+			return c.Error(400, "user and password required")
+		}
+		if _, exists := c.DB.Get(ModelUser, user); exists {
+			return c.Error(409, "user exists")
+		}
+		if err := c.DB.Put(ModelUser, user, orm.Fields("password", pw, "email", email)); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("user created")
+	})
+
+	// POST /admin/config sets a configuration option — the vector for the
+	// misconfiguration of Figure 4's request (1).
+	svc.Router.Handle("POST", "/admin/config", func(c *web.Ctx) wire.Response {
+		if c.Header("X-Admin-Token") != a.AdminToken {
+			return c.Error(403, "admin token required")
+		}
+		key, val := c.Form("key"), c.Form("value")
+		if key == "" {
+			return c.Error(400, "key required")
+		}
+		if err := c.DB.Put(ModelConfig, key, orm.Fields("value", val)); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("config " + key + "=" + val)
+	})
+
+	// POST /authorize is the token-granting leg of the OAuth handshake
+	// (request (2) of Figure 4): the user logs in and the named client is
+	// granted a token for them.
+	svc.Router.Handle("POST", "/authorize", func(c *web.Ctx) wire.Response {
+		user, pw, client := c.Form("user"), c.Form("password"), c.Form("client")
+		u, ok := c.DB.Get(ModelUser, user)
+		if !ok || u.Get("password") != pw {
+			return c.Error(403, "bad credentials")
+		}
+		tok := "tok-" + c.NewID()
+		if err := c.DB.Put(ModelToken, tok, orm.Fields("user", user, "client", client)); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK(tok)
+	})
+
+	// POST /verify_email checks that an email belongs to the token's owner
+	// (request (4) of Figure 4). With debug_verify_all enabled it always
+	// succeeds — the vulnerability.
+	svc.Router.Handle("POST", "/verify_email", func(c *web.Ctx) wire.Response {
+		if cfg, ok := c.DB.Get(ModelConfig, "debug_verify_all"); ok && cfg.Get("value") == "true" {
+			return c.OK("verified")
+		}
+		email, tok := c.Form("email"), c.Form("token")
+		tk, ok := c.DB.Get(ModelToken, tok)
+		if !ok {
+			return c.Error(403, "unknown token")
+		}
+		u, ok := c.DB.Get(ModelUser, tk.Get("user"))
+		if !ok || u.Get("email") != email {
+			return c.Error(403, "email verification failed")
+		}
+		return c.OK("verified")
+	})
+
+	// GET /token_user resolves a token to its owner (for peer services).
+	svc.Router.Handle("GET", "/token_user", func(c *web.Ctx) wire.Response {
+		tk, ok := c.DB.Get(ModelToken, c.Form("token"))
+		if !ok {
+			return c.Error(404, "unknown token")
+		}
+		return c.OK(tk.Get("user"))
+	})
+}
+
+// Authorize implements the paper's example policy (§7.3): a past request may
+// be repaired only on behalf of the principal that issued it — the same
+// user's credentials for user requests, the admin token for admin requests.
+// Response repairs are accepted from the authenticated server that produced
+// the response (§3.1's certificate check, done by the transport).
+func (a *App) Authorize(ac core.AuthzRequest) bool {
+	switch ac.Kind {
+	case warp.OutReplaceResponse:
+		return true // transport already authenticated the producing server
+	default:
+		orig := ac.Original
+		if ac.Kind == warp.OutCreate {
+			orig = ac.Repaired
+		}
+		if orig.Path == "/admin/config" {
+			return ac.Carrier.Header["X-Admin-Token"] == a.AdminToken
+		}
+		user := orig.Form["user"]
+		if user == "" {
+			// Request not tied to a user principal: require admin.
+			return ac.Carrier.Header["X-Admin-Token"] == a.AdminToken
+		}
+		// Same-user rule: the carrier must present the user's valid
+		// password as of the original request (checked against the
+		// snapshot, §4).
+		pw := ac.Carrier.Header["X-Repair-Password"]
+		if pw == "" {
+			pw = ac.Repaired.Form["password"]
+		}
+		u, ok := ac.Snapshot.Get(ModelUser, user)
+		return ok && u.Get("password") == pw
+	}
+}
+
+// Seed creates n user accounts named user1..userN (password "pw-<name>",
+// email "<name>@example.org") plus the given extra users, via the public
+// API so the requests are logged and repairable.
+func Seed(call func(wire.Request) wire.Response, n int, extras ...string) error {
+	mk := func(name string) error {
+		resp := call(wire.NewRequest("POST", "/signup").WithForm(
+			"user", name, "password", "pw-"+name, "email", name+"@example.org"))
+		if !resp.OK() {
+			return fmt.Errorf("oauthsvc: seeding %s: %s", name, resp.Body)
+		}
+		return nil
+	}
+	for i := 1; i <= n; i++ {
+		if err := mk(fmt.Sprintf("user%d", i)); err != nil {
+			return err
+		}
+	}
+	for _, name := range extras {
+		if err := mk(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package oauthsvc
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+const admin = "admin-tok"
+
+func newTB(t *testing.T) (*transport.Bus, *core.Controller) {
+	t.Helper()
+	bus := transport.NewBus()
+	ctrl := core.NewController(New(admin), bus, core.DefaultConfig())
+	bus.Register("oauth", ctrl)
+	return bus, ctrl
+}
+
+func call(t *testing.T, bus *transport.Bus, req wire.Request) wire.Response {
+	t.Helper()
+	resp, err := bus.Call("", "oauth", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func signup(t *testing.T, bus *transport.Bus, user, email string) {
+	t.Helper()
+	resp := call(t, bus, wire.NewRequest("POST", "/signup").WithForm(
+		"user", user, "password", "pw-"+user, "email", email))
+	if !resp.OK() {
+		t.Fatalf("signup %s: %s", user, resp.Body)
+	}
+}
+
+func TestSignupAuthorizeVerifyFlow(t *testing.T) {
+	bus, _ := newTB(t)
+	signup(t, bus, "alice", "alice@x.org")
+
+	// Duplicate signup rejected.
+	if resp := call(t, bus, wire.NewRequest("POST", "/signup").WithForm(
+		"user", "alice", "password", "zz", "email", "e")); resp.Status != 409 {
+		t.Fatalf("duplicate signup: %d", resp.Status)
+	}
+
+	// Bad credentials rejected.
+	if resp := call(t, bus, wire.NewRequest("POST", "/authorize").WithForm(
+		"user", "alice", "password", "wrong", "client", "app")); resp.Status != 403 {
+		t.Fatalf("bad creds: %d", resp.Status)
+	}
+	auth := call(t, bus, wire.NewRequest("POST", "/authorize").WithForm(
+		"user", "alice", "password", "pw-alice", "client", "app"))
+	if !auth.OK() || !strings.HasPrefix(string(auth.Body), "tok-") {
+		t.Fatalf("authorize: %+v", auth)
+	}
+	token := string(auth.Body)
+
+	// Correct email verifies; wrong email does not.
+	if resp := call(t, bus, wire.NewRequest("POST", "/verify_email").WithForm(
+		"email", "alice@x.org", "token", token)); !resp.OK() {
+		t.Fatalf("verify own email: %s", resp.Body)
+	}
+	if resp := call(t, bus, wire.NewRequest("POST", "/verify_email").WithForm(
+		"email", "victim@x.org", "token", token)); resp.Status != 403 {
+		t.Fatalf("verify foreign email should fail: %d", resp.Status)
+	}
+	// Unknown token.
+	if resp := call(t, bus, wire.NewRequest("POST", "/verify_email").WithForm(
+		"email", "alice@x.org", "token", "bogus")); resp.Status != 403 {
+		t.Fatalf("unknown token: %d", resp.Status)
+	}
+	// Token resolution endpoint.
+	if resp := call(t, bus, wire.NewRequest("GET", "/token_user").WithForm("token", token)); string(resp.Body) != "alice" {
+		t.Fatalf("token_user = %q", resp.Body)
+	}
+}
+
+func TestDebugVerifyAllVulnerability(t *testing.T) {
+	bus, _ := newTB(t)
+	signup(t, bus, "attacker", "attacker@x.org")
+	auth := call(t, bus, wire.NewRequest("POST", "/authorize").WithForm(
+		"user", "attacker", "password", "pw-attacker", "client", "app"))
+	token := string(auth.Body)
+
+	// Config change requires the admin token.
+	bad := wire.NewRequest("POST", "/admin/config").WithForm("key", "debug_verify_all", "value", "true")
+	if resp := call(t, bus, bad); resp.Status != 403 {
+		t.Fatalf("config without admin token: %d", resp.Status)
+	}
+	if resp := call(t, bus, bad.WithHeader("X-Admin-Token", admin)); !resp.OK() {
+		t.Fatalf("config with admin token: %s", resp.Body)
+	}
+	// With the debug flag on, any email verifies — the Figure 4 bug.
+	if resp := call(t, bus, wire.NewRequest("POST", "/verify_email").WithForm(
+		"email", "victim@x.org", "token", token)); !resp.OK() {
+		t.Fatalf("debug bypass should verify anything: %d %s", resp.Status, resp.Body)
+	}
+}
+
+func TestAuthorizePolicy(t *testing.T) {
+	bus, ctrl := newTB(t)
+	signup(t, bus, "alice", "alice@x.org")
+	auth := call(t, bus, wire.NewRequest("POST", "/authorize").WithForm(
+		"user", "alice", "password", "pw-alice", "client", "app"))
+
+	mkDelete := func(hdr ...string) wire.Request {
+		return wire.NewRequest("POST", "/aire/repair").WithHeader(
+			wire.HdrRepair, "delete", wire.HdrRequestID, auth.Header[wire.HdrRequestID],
+		).WithHeader(hdr...)
+	}
+	// No credentials: denied.
+	if resp := call(t, bus, mkDelete()); resp.Status != 403 {
+		t.Fatalf("credential-less repair accepted: %d", resp.Status)
+	}
+	// Wrong user's password: denied.
+	if resp := call(t, bus, mkDelete("X-Repair-Password", "nope")); resp.Status != 403 {
+		t.Fatalf("wrong password accepted: %d", resp.Status)
+	}
+	// Same user's password: allowed — the token grant is revoked.
+	if resp := call(t, bus, mkDelete("X-Repair-Password", "pw-alice")); !resp.OK() {
+		t.Fatalf("same-user repair rejected: %d %s", resp.Status, resp.Body)
+	}
+	if resp := call(t, bus, wire.NewRequest("GET", "/token_user").WithForm(
+		"token", string(auth.Body))); resp.Status != 404 {
+		t.Fatalf("token should be revoked by repair: %d", resp.Status)
+	}
+
+	// Admin-path repair requires the admin token.
+	cfg := call(t, bus, wire.NewRequest("POST", "/admin/config").
+		WithForm("key", "k", "value", "v").WithHeader("X-Admin-Token", admin))
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete", wire.HdrRequestID, cfg.Header[wire.HdrRequestID])
+	if resp := call(t, bus, del); resp.Status != 403 {
+		t.Fatalf("admin repair without token accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, del.WithHeader("X-Admin-Token", admin)); !resp.OK() {
+		t.Fatalf("admin repair rejected: %d %s", resp.Status, resp.Body)
+	}
+	_ = ctrl
+}
+
+func TestSeed(t *testing.T) {
+	bus, _ := newTB(t)
+	if err := Seed(func(req wire.Request) wire.Response {
+		resp, _ := bus.Call("", "oauth", req)
+		return resp
+	}, 3, "mallory"); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"user1", "user2", "user3", "mallory"} {
+		resp := call(t, bus, wire.NewRequest("POST", "/authorize").WithForm(
+			"user", u, "password", "pw-"+u, "client", "c"))
+		if !resp.OK() {
+			t.Fatalf("seeded user %s cannot authorize: %s", u, resp.Body)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package permsvc implements the centralized access-control web service of
+// the paper's introduction (§1): "a small company ... uses a centralized
+// access control web service to manage permissions across all of its
+// services."
+//
+// Unlike the spreadsheet scenario's push-based ACL distribution (Figure 5),
+// dependent services *pull*: they call /check on every guarded operation.
+// That puts the permission decision in this service's *responses*, so
+// repairing a bad grant here propagates to dependents as replace_response
+// messages — the other half of Aire's repair protocol.
+package permsvc
+
+import (
+	"fmt"
+
+	"aire/internal/core"
+	"aire/internal/orm"
+	"aire/internal/warp"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// ModelGrant maps "service|user" to an access level: fields level ("r",
+// "rw"), granted_by.
+const ModelGrant = "grant"
+
+// App is the access-control service.
+type App struct {
+	// ServiceName is the transport identity (default "perms").
+	ServiceName string
+	// AdminToken authorizes grant changes and their repair.
+	AdminToken string
+}
+
+// New returns an access-control service.
+func New(adminToken string) *App {
+	return &App{ServiceName: "perms", AdminToken: adminToken}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.ServiceName }
+
+func grantID(svc, user string) string { return svc + "|" + user }
+
+// Register installs models and routes.
+func (a *App) Register(svc *web.Service) {
+	svc.Schema.Register(ModelGrant)
+
+	// POST /grant sets a user's level on a dependent service (admin only).
+	// Level "" revokes.
+	svc.Router.Handle("POST", "/grant", func(c *web.Ctx) wire.Response {
+		if c.Header("X-Admin-Token") != a.AdminToken {
+			return c.Error(403, "admin token required")
+		}
+		target, user, level := c.Form("svc"), c.Form("user"), c.Form("level")
+		if target == "" || user == "" {
+			return c.Error(400, "svc and user required")
+		}
+		id := grantID(target, user)
+		var err error
+		if level == "" {
+			if _, ok := c.DB.Get(ModelGrant, id); ok {
+				err = c.DB.Delete(ModelGrant, id)
+			}
+		} else {
+			err = c.DB.Put(ModelGrant, id, orm.Fields("level", level, "granted_by", "admin"))
+		}
+		if err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK(fmt.Sprintf("grant %s=%s", id, level))
+	})
+
+	// GET /check returns a user's level on a service ("" if none). This is
+	// the per-operation pull dependents make; its responses are what repair
+	// corrects.
+	svc.Router.Handle("GET", "/check", func(c *web.Ctx) wire.Response {
+		g, ok := c.DB.Get(ModelGrant, grantID(c.Form("svc"), c.Form("user")))
+		if !ok {
+			return c.OK("")
+		}
+		return c.OK(g.Get("level"))
+	})
+
+	// GET /grants lists all grants for auditing.
+	svc.Router.Handle("GET", "/grants", func(c *web.Ctx) wire.Response {
+		out := ""
+		for _, g := range c.DB.List(ModelGrant) {
+			out += g.ID + "=" + g.Get("level") + "\n"
+		}
+		return c.OK(out)
+	})
+}
+
+// Authorize allows repair of grant operations only with the admin token;
+// checks are read-only and may be repaired by the service that issued them.
+func (a *App) Authorize(ac core.AuthzRequest) bool {
+	if ac.Kind == warp.OutReplaceResponse {
+		return true
+	}
+	if ac.OriginalFrom != "" && ac.From == ac.OriginalFrom {
+		return true
+	}
+	return ac.Carrier.Header["X-Admin-Token"] == a.AdminToken
+}

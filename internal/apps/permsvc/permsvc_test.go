@@ -1,0 +1,95 @@
+package permsvc
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+const admin = "perm-admin"
+
+func newTB(t *testing.T) *transport.Bus {
+	t.Helper()
+	bus := transport.NewBus()
+	ctrl := core.NewController(New(admin), bus, core.DefaultConfig())
+	bus.Register("perms", ctrl)
+	return bus
+}
+
+func call(t *testing.T, bus *transport.Bus, req wire.Request) wire.Response {
+	t.Helper()
+	resp, err := bus.Call("", "perms", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestGrantCheckRevoke(t *testing.T) {
+	bus := newTB(t)
+	// Grants need the admin token.
+	noAuth := wire.NewRequest("POST", "/grant").WithForm("svc", "crm", "user", "alice", "level", "rw")
+	if resp := call(t, bus, noAuth); resp.Status != 403 {
+		t.Fatalf("tokenless grant accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, noAuth.WithHeader("X-Admin-Token", admin)); !resp.OK() {
+		t.Fatalf("grant: %s", resp.Body)
+	}
+	// Check answers the level; unknown users get "".
+	if got := string(call(t, bus, wire.NewRequest("GET", "/check").
+		WithForm("svc", "crm", "user", "alice")).Body); got != "rw" {
+		t.Fatalf("check = %q", got)
+	}
+	if got := string(call(t, bus, wire.NewRequest("GET", "/check").
+		WithForm("svc", "crm", "user", "nobody")).Body); got != "" {
+		t.Fatalf("unknown user check = %q", got)
+	}
+	// Revoke via empty level.
+	call(t, bus, wire.NewRequest("POST", "/grant").
+		WithForm("svc", "crm", "user", "alice", "level", "").
+		WithHeader("X-Admin-Token", admin))
+	if got := string(call(t, bus, wire.NewRequest("GET", "/check").
+		WithForm("svc", "crm", "user", "alice")).Body); got != "" {
+		t.Fatalf("post-revoke check = %q", got)
+	}
+	// Missing fields rejected.
+	if resp := call(t, bus, wire.NewRequest("POST", "/grant").
+		WithHeader("X-Admin-Token", admin)); resp.Status != 400 {
+		t.Fatalf("empty grant: %d", resp.Status)
+	}
+}
+
+func TestGrantsList(t *testing.T) {
+	bus := newTB(t)
+	for _, u := range []string{"a", "b"} {
+		call(t, bus, wire.NewRequest("POST", "/grant").
+			WithForm("svc", "crm", "user", u, "level", "r").
+			WithHeader("X-Admin-Token", admin))
+	}
+	out := string(call(t, bus, wire.NewRequest("GET", "/grants")).Body)
+	if !strings.Contains(out, "crm|a=r") || !strings.Contains(out, "crm|b=r") {
+		t.Fatalf("grants = %q", out)
+	}
+}
+
+func TestRepairPolicy(t *testing.T) {
+	bus := newTB(t)
+	g := call(t, bus, wire.NewRequest("POST", "/grant").
+		WithForm("svc", "crm", "user", "mallory", "level", "rw").
+		WithHeader("X-Admin-Token", admin))
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete", wire.HdrRequestID, g.Header[wire.HdrRequestID])
+	if resp := call(t, bus, del); resp.Status != 403 {
+		t.Fatalf("tokenless grant repair accepted: %d", resp.Status)
+	}
+	if resp := call(t, bus, del.WithHeader("X-Admin-Token", admin)); !resp.OK() {
+		t.Fatalf("admin grant repair refused: %d %s", resp.Status, resp.Body)
+	}
+	if got := string(call(t, bus, wire.NewRequest("GET", "/check").
+		WithForm("svc", "crm", "user", "mallory")).Body); got != "" {
+		t.Fatalf("grant survived repair: %q", got)
+	}
+}

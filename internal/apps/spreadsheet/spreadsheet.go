@@ -1,0 +1,358 @@
+// Package spreadsheet implements the shared spreadsheet service the paper
+// built for its lax-permission and data-synchronization scenarios (§7.1,
+// Figure 5), including the branching versioned-cell API of §5.2/Figure 3.
+//
+// A spreadsheet holds named cells. Every cell write creates an immutable
+// version object (an AppVersionedModel) and moves the cell's mutable
+// "current" pointer — so repair never erases history: re-execution creates
+// fresh versions on a new branch and swings the pointer, exactly the
+// git-like model of Figure 3.
+//
+// A simple scripting capability (the paper's Google-Apps-Script stand-in)
+// reacts to cell changes: "distribute" scripts push ACL cells to other
+// services' access-control lists, and "sync" scripts copy cell values to a
+// peer spreadsheet. Services authenticate to each other with per-user
+// tokens that can expire — the §7.2 partial-repair-by-authorization
+// experiment.
+package spreadsheet
+
+import (
+	"fmt"
+	"strings"
+
+	"aire/internal/core"
+	"aire/internal/orm"
+	"aire/internal/warp"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// Model names.
+const (
+	// ModelCellPtr maps a cell name to its current version (mutable).
+	ModelCellPtr = "cellptr"
+	// ModelCellVer holds immutable cell versions (AppVersionedModel):
+	// fields cell, value, parent, author.
+	ModelCellVer = "cellver"
+	// ModelACL maps a user to permission string ("r", "rw", "rwa").
+	ModelACL = "acl"
+	// ModelToken maps a user to the service-to-service token accepted on
+	// their behalf: fields value, expired.
+	ModelToken = "token"
+	// ModelScript holds change-triggered scripts: fields trigger (cell
+	// prefix), action ("distribute" or "sync"), target (service), owner,
+	// token (credential presented to the target).
+	ModelScript = "script"
+	// ModelConfig holds service options (e.g. world_writable).
+	ModelConfig = "config"
+)
+
+// App is one spreadsheet service.
+type App struct {
+	// ServiceName is the transport identity.
+	ServiceName string
+	// BootstrapToken guards the seeding endpoints.
+	BootstrapToken string
+}
+
+// New returns a spreadsheet service with the given name.
+func New(name, bootstrapToken string) *App {
+	return &App{ServiceName: name, BootstrapToken: bootstrapToken}
+}
+
+// Name implements core.App.
+func (a *App) Name() string { return a.ServiceName }
+
+// Register installs models and routes.
+func (a *App) Register(svc *web.Service) {
+	svc.Schema.Register(ModelCellPtr)
+	svc.Schema.RegisterVersioned(ModelCellVer)
+	svc.Schema.Register(ModelACL)
+	svc.Schema.Register(ModelToken)
+	svc.Schema.Register(ModelScript)
+	svc.Schema.Register(ModelConfig)
+
+	svc.Router.Handle("POST", "/set", a.handleSet)
+
+	// GET /get returns the current value of a cell.
+	svc.Router.Handle("GET", "/get", func(c *web.Ctx) wire.Response {
+		val, ok := a.currentValue(c, c.Form("cell"))
+		if !ok {
+			return c.Error(404, "no such cell")
+		}
+		return c.OK(val)
+	})
+
+	// GET /versions implements the versions(x) call of Figure 3: every
+	// immutable version of the cell created before the request's logical
+	// execution time — on any branch, since branching preserves the history
+	// of mistakes and attacks (§5.2) — plus the mutable current pointer.
+	// Reading the pointer is what makes the request repairable: when repair
+	// moves the branch, the response is recomputed and contains the
+	// repaired branch's versions (the paper's {v1,v2,v3,v5} example).
+	svc.Router.Handle("GET", "/versions", func(c *web.Ctx) wire.Response {
+		cell := c.Form("cell")
+		ptr, ok := c.DB.Get(ModelCellPtr, cell)
+		if !ok {
+			return c.Error(404, "no such cell")
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "current=%s\n", ptr.Get("current"))
+		for _, v := range c.DB.Select(ModelCellVer, func(o orm.Obj) bool {
+			return o.Get("cell") == cell
+		}) {
+			fmt.Fprintf(&b, "%s=%s\n", v.ID, v.Get("value"))
+		}
+		return c.OK(b.String())
+	})
+
+	// GET /branch lists the current branch's chain oldest-first, walking
+	// parent pointers from the current version.
+	svc.Router.Handle("GET", "/branch", func(c *web.Ctx) wire.Response {
+		ptr, ok := c.DB.Get(ModelCellPtr, c.Form("cell"))
+		if !ok {
+			return c.Error(404, "no such cell")
+		}
+		var chain []orm.Obj
+		for vid := ptr.Get("current"); vid != ""; {
+			v, ok := c.DB.Get(ModelCellVer, vid)
+			if !ok {
+				break
+			}
+			chain = append(chain, v)
+			vid = v.Get("parent")
+		}
+		var b strings.Builder
+		for i := len(chain) - 1; i >= 0; i-- {
+			fmt.Fprintf(&b, "%s=%s\n", chain[i].ID, chain[i].Get("value"))
+		}
+		return c.OK(b.String())
+	})
+
+	// POST /acl/update sets a user's permissions; callers must present a
+	// valid token for an admin-capable principal (the directory's
+	// distribution script, or a human administrator).
+	svc.Router.Handle("POST", "/acl/update", func(c *web.Ctx) wire.Response {
+		as := c.Form("as")
+		if !a.tokenValid(c, as) {
+			return c.Error(403, "invalid or expired token for "+as)
+		}
+		if acl, ok := c.DB.Get(ModelACL, as); !ok || !strings.Contains(acl.Get("perms"), "a") {
+			return c.Error(403, as+" lacks admin permission")
+		}
+		user, perms := c.Form("user"), c.Form("perms")
+		if user == "" {
+			return c.Error(400, "user required")
+		}
+		var err error
+		if perms == "" {
+			// Empty permissions remove the entry.
+			if _, ok := c.DB.Get(ModelACL, user); ok {
+				err = c.DB.Delete(ModelACL, user)
+			}
+		} else {
+			err = c.DB.Put(ModelACL, user, orm.Fields("perms", perms))
+		}
+		if err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("acl " + user + "=" + perms)
+	})
+
+	// GET /acl reads a user's permissions.
+	svc.Router.Handle("GET", "/acl", func(c *web.Ctx) wire.Response {
+		o, ok := c.DB.Get(ModelACL, c.Form("user"))
+		if !ok {
+			return c.Error(404, "no acl entry")
+		}
+		return c.OK(o.Get("perms"))
+	})
+
+	a.registerSeeding(svc)
+}
+
+// handleSet writes a cell: ACL check, immutable version creation, pointer
+// move, then change-triggered scripts.
+func (a *App) handleSet(c *web.Ctx) wire.Response {
+	cell, value, user := c.Form("cell"), c.Form("value"), c.Form("user")
+	if cell == "" || user == "" {
+		return c.Error(400, "cell and user required")
+	}
+	if !a.tokenValid(c, user) {
+		return c.Error(403, "invalid or expired token for "+user)
+	}
+	worldWritable := false
+	if cfg, ok := c.DB.Get(ModelConfig, "world_writable"); ok && cfg.Get("value") == "true" {
+		worldWritable = true
+	}
+	if !worldWritable {
+		acl, ok := c.DB.Get(ModelACL, user)
+		if !ok || !strings.Contains(acl.Get("perms"), "w") {
+			return c.Error(403, user+" lacks write permission")
+		}
+	}
+
+	parent := ""
+	if ptr, ok := c.DB.Get(ModelCellPtr, cell); ok {
+		parent = ptr.Get("current")
+	}
+	vid := "v-" + c.NewVersionID()
+	if err := c.DB.Put(ModelCellVer, vid, orm.Fields(
+		"cell", cell, "value", value, "parent", parent, "author", user)); err != nil {
+		return c.Error(500, err.Error())
+	}
+	if err := c.DB.Put(ModelCellPtr, cell, orm.Fields("current", vid)); err != nil {
+		return c.Error(500, err.Error())
+	}
+
+	a.runScripts(c, cell, value, user)
+	return c.OK(vid)
+}
+
+// runScripts fires every script whose trigger prefix matches the changed
+// cell.
+func (a *App) runScripts(c *web.Ctx, cell, value, user string) {
+	for _, s := range c.DB.List(ModelScript) {
+		if !strings.HasPrefix(cell, s.Get("trigger")) {
+			continue
+		}
+		switch s.Get("action") {
+		case "distribute":
+			// Cells named "acl:<service>:<user>" hold the master ACL; a
+			// change distributes the permission to the named service
+			// (Figure 5).
+			parts := strings.SplitN(cell, ":", 3)
+			if len(parts) != 3 || parts[1] != s.Get("target") {
+				continue
+			}
+			c.Call(s.Get("target"), wire.NewRequest("POST", "/acl/update").
+				WithForm("user", parts[2], "perms", value, "as", s.Get("owner")).
+				WithHeader("X-User-Token", s.Get("token")))
+		case "sync":
+			// Copy the changed cell to the same cell on the target service
+			// (the data-synchronization scenario).
+			c.Call(s.Get("target"), wire.NewRequest("POST", "/set").
+				WithForm("cell", cell, "value", value, "user", s.Get("owner")).
+				WithHeader("X-User-Token", s.Get("token")))
+		}
+	}
+}
+
+// currentValue resolves a cell through its pointer and version object.
+func (a *App) currentValue(c *web.Ctx, cell string) (string, bool) {
+	ptr, ok := c.DB.Get(ModelCellPtr, cell)
+	if !ok {
+		return "", false
+	}
+	v, ok := c.DB.Get(ModelCellVer, ptr.Get("current"))
+	if !ok {
+		return "", false
+	}
+	return v.Get("value"), true
+}
+
+// tokenValid checks the caller-presented token for the acting user against
+// the service's token table (valid and unexpired, checked at the request's
+// execution time).
+func (a *App) tokenValid(c *web.Ctx, user string) bool {
+	tok, ok := c.DB.Get(ModelToken, user)
+	if !ok {
+		return false
+	}
+	return tok.Get("value") == c.Header("X-User-Token") && tok.Get("expired") != "true"
+}
+
+// registerSeeding installs bootstrap endpoints used to stand a testbed up;
+// they are ordinary logged requests guarded by the bootstrap token.
+func (a *App) registerSeeding(svc *web.Service) {
+	guard := func(h web.Handler) web.Handler {
+		return func(c *web.Ctx) wire.Response {
+			if c.Header("X-Bootstrap") != a.BootstrapToken {
+				return c.Error(403, "bootstrap token required")
+			}
+			return h(c)
+		}
+	}
+	svc.Router.Handle("POST", "/seed/acl", guard(func(c *web.Ctx) wire.Response {
+		if err := c.DB.Put(ModelACL, c.Form("user"), orm.Fields("perms", c.Form("perms"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("ok")
+	}))
+	svc.Router.Handle("POST", "/seed/token", guard(func(c *web.Ctx) wire.Response {
+		if err := c.DB.Put(ModelToken, c.Form("user"), orm.Fields(
+			"value", c.Form("value"), "expired", "false")); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("ok")
+	}))
+	svc.Router.Handle("POST", "/seed/script", guard(func(c *web.Ctx) wire.Response {
+		if err := c.DB.Put(ModelScript, c.Form("id"), orm.Fields(
+			"trigger", c.Form("trigger"), "action", c.Form("action"),
+			"target", c.Form("target"), "owner", c.Form("owner"), "token", c.Form("token"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("ok")
+	}))
+	svc.Router.Handle("POST", "/seed/config", guard(func(c *web.Ctx) wire.Response {
+		if err := c.DB.Put(ModelConfig, c.Form("key"), orm.Fields("value", c.Form("value"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("ok")
+	}))
+	// Token lifecycle hooks for the §7.2 credential-expiry experiment.
+	svc.Router.Handle("POST", "/token/expire", guard(func(c *web.Ctx) wire.Response {
+		if _, err := c.DB.Update(ModelToken, c.Form("user"), func(f map[string]string) {
+			f["expired"] = "true"
+		}); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("expired")
+	}))
+	svc.Router.Handle("POST", "/token/refresh", guard(func(c *web.Ctx) wire.Response {
+		if _, err := c.DB.Update(ModelToken, c.Form("user"), func(f map[string]string) {
+			f["expired"] = "false"
+			if v := c.Form("value"); v != "" {
+				f["value"] = v
+			}
+		}); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("refreshed")
+	}))
+}
+
+// Authorize implements the paper's spreadsheet policy (§7.2): "repair of a
+// past request only if the repair message has a valid token for the same
+// user on whose behalf the request was originally issued". Token validity
+// is checked against the *current* state — an expired token makes the
+// service reject repair until the user refreshes it.
+func (a *App) Authorize(ac core.AuthzRequest) bool {
+	if ac.Kind == warp.OutReplaceResponse {
+		return true
+	}
+	orig := ac.Original
+	if ac.Kind == warp.OutCreate {
+		orig = ac.Repaired
+	}
+	if ac.Carrier.Header["X-Bootstrap"] == a.BootstrapToken {
+		return true // local administrator
+	}
+	// The acting principal: "as" for ACL updates, "user" for cell writes.
+	user := orig.Form["as"]
+	if user == "" {
+		user = orig.Form["user"]
+	}
+	if user == "" {
+		return false
+	}
+	presented := ac.Carrier.Header["X-User-Token"]
+	if presented == "" {
+		presented = ac.Repaired.Header["X-User-Token"]
+	}
+	tok, ok := ac.Now.Get(ModelToken, user)
+	if !ok {
+		return false
+	}
+	return tok.Get("value") == presented && tok.Get("expired") != "true"
+}

@@ -1,0 +1,249 @@
+package spreadsheet
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+const boot = "boot-token"
+
+type sheetTB struct {
+	bus  *transport.Bus
+	ctrl *core.Controller
+}
+
+func newSheetTB(t *testing.T) *sheetTB {
+	t.Helper()
+	bus := transport.NewBus()
+	ctrl := core.NewController(New("sheet", boot), bus, core.DefaultConfig())
+	bus.Register("sheet", ctrl)
+	tb := &sheetTB{bus: bus, ctrl: ctrl}
+	tb.must(t, wire.NewRequest("POST", "/seed/token").WithForm("user", "u1", "value", "tok-u1").WithHeader("X-Bootstrap", boot))
+	tb.must(t, wire.NewRequest("POST", "/seed/acl").WithForm("user", "u1", "perms", "rw").WithHeader("X-Bootstrap", boot))
+	return tb
+}
+
+func (tb *sheetTB) call(req wire.Request) wire.Response {
+	resp, err := tb.bus.Call("", "sheet", req)
+	if err != nil {
+		return wire.NewResponse(wire.StatusTimeout, err.Error())
+	}
+	return resp
+}
+
+func (tb *sheetTB) must(t *testing.T, req wire.Request) wire.Response {
+	t.Helper()
+	resp := tb.call(req)
+	if !resp.OK() {
+		t.Fatalf("%s %s: %d %s", req.Method, req.Path, resp.Status, resp.Body)
+	}
+	return resp
+}
+
+func (tb *sheetTB) set(t *testing.T, cell, val string) wire.Response {
+	t.Helper()
+	return tb.must(t, wire.NewRequest("POST", "/set").
+		WithForm("cell", cell, "value", val, "user", "u1").
+		WithHeader("X-User-Token", "tok-u1"))
+}
+
+func (tb *sheetTB) get(t *testing.T, cell string) string {
+	t.Helper()
+	return string(tb.must(t, wire.NewRequest("GET", "/get").WithForm("cell", cell)).Body)
+}
+
+func TestSetGetAndACL(t *testing.T) {
+	tb := newSheetTB(t)
+	tb.set(t, "x", "a")
+	if got := tb.get(t, "x"); got != "a" {
+		t.Fatalf("get = %q", got)
+	}
+	// Wrong token rejected.
+	if resp := tb.call(wire.NewRequest("POST", "/set").
+		WithForm("cell", "x", "value", "z", "user", "u1").
+		WithHeader("X-User-Token", "bogus")); resp.Status != 403 {
+		t.Fatalf("bad token accepted: %d", resp.Status)
+	}
+	// Unknown user rejected.
+	if resp := tb.call(wire.NewRequest("POST", "/set").
+		WithForm("cell", "x", "value", "z", "user", "eve").
+		WithHeader("X-User-Token", "tok-u1")); resp.Status != 403 {
+		t.Fatalf("unknown user accepted: %d", resp.Status)
+	}
+}
+
+func TestVersionChain(t *testing.T) {
+	tb := newSheetTB(t)
+	tb.set(t, "x", "a")
+	tb.set(t, "x", "b")
+	tb.set(t, "x", "c")
+	branch := string(tb.must(t, wire.NewRequest("GET", "/branch").WithForm("cell", "x")).Body)
+	lines := strings.Split(strings.TrimSpace(branch), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("branch = %q", branch)
+	}
+	if !strings.HasSuffix(lines[0], "=a") || !strings.HasSuffix(lines[2], "=c") {
+		t.Fatalf("branch order wrong: %q", branch)
+	}
+}
+
+// TestFigure3Branching reproduces Figure 3 exactly: the original history
+// put(x,a) put(x,b) get(x) put(x,c) versions(x) put(x,d); repair deletes
+// put(x,b). Afterwards the current branch is a→c'→d' with fresh version IDs,
+// all original versions still exist (immutable history), and the repaired
+// responses are get(x)→a and versions(x) ∋ {v1,v2,v3,v5} but ∌ {v4,v6}.
+func TestFigure3Branching(t *testing.T) {
+	tb := newSheetTB(t)
+	putA := tb.set(t, "x", "a")
+	putB := tb.set(t, "x", "b") // the unwanted write
+	getX := tb.must(t, wire.NewRequest("GET", "/get").WithForm("cell", "x"))
+	putC := tb.set(t, "x", "c")
+	versX := tb.must(t, wire.NewRequest("GET", "/versions").WithForm("cell", "x"))
+	putD := tb.set(t, "x", "d")
+
+	v1, v2 := string(putA.Body), string(putB.Body)
+	v3, v4 := string(putC.Body), string(putD.Body)
+	if string(getX.Body) != "b" {
+		t.Fatalf("original get = %q", getX.Body)
+	}
+	for _, v := range []string{v1, v2, v3} {
+		if !strings.Contains(string(versX.Body), v+"=") {
+			t.Fatalf("original versions missing %s: %q", v, versX.Body)
+		}
+	}
+
+	// Repair: delete put(x,b).
+	if _, err := tb.ctrl.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: putB.Header[wire.HdrRequestID]}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Current value is still d; the pointer moved to the repaired branch.
+	if got := tb.get(t, "x"); got != "d" {
+		t.Fatalf("post-repair get = %q, want d", got)
+	}
+	branch := string(tb.must(t, wire.NewRequest("GET", "/branch").WithForm("cell", "x")).Body)
+	vals := []string{}
+	var v5, v6 string
+	for _, line := range strings.Split(strings.TrimSpace(branch), "\n") {
+		id, val, _ := strings.Cut(line, "=")
+		vals = append(vals, val)
+		switch val {
+		case "c":
+			v5 = id
+		case "d":
+			v6 = id
+		}
+	}
+	if strings.Join(vals, "") != "acd" {
+		t.Fatalf("repaired branch = %v, want a,c,d", vals)
+	}
+	// The repaired branch uses fresh version IDs (v5 mirrors v3, v6
+	// mirrors v4); version numbers are opaque, so only inequality matters.
+	if v5 == v3 || v6 == v4 {
+		t.Fatalf("repaired branch reuses original version ids: %s %s", v5, v6)
+	}
+
+	// History is preserved: every original version object still exists.
+	now := tb.must(t, wire.NewRequest("GET", "/versions").WithForm("cell", "x"))
+	for _, v := range []string{v1, v2, v3, v4, v5, v6} {
+		if !strings.Contains(string(now.Body), v+"=") {
+			t.Fatalf("version %s erased by repair (history must be preserved): %q", v, now.Body)
+		}
+	}
+
+	// Repaired logged responses (what replace_response would carry):
+	// get(x) → a.
+	getRec, _ := tb.ctrl.Svc.Log.Get(getX.Header[wire.HdrRequestID])
+	if string(getRec.Resp.Body) != "a" {
+		t.Fatalf("repaired get response = %q, want a", getRec.Resp.Body)
+	}
+	// versions(x) → {v1, v2, v3, v5} and not {v4, v6} (the paper's exact
+	// example: versions created before the call's logical time).
+	versRec, _ := tb.ctrl.Svc.Log.Get(versX.Header[wire.HdrRequestID])
+	body := string(versRec.Resp.Body)
+	for _, want := range []string{v1, v2, v3, v5} {
+		if !strings.Contains(body, want+"=") {
+			t.Fatalf("repaired versions response missing %s: %q", want, body)
+		}
+	}
+	for _, bad := range []string{v4, v6} {
+		if strings.Contains(body, bad+"=") {
+			t.Fatalf("repaired versions response leaks future version %s: %q", bad, body)
+		}
+	}
+	// The current pointer in that response names the repaired branch (v5).
+	if !strings.Contains(body, "current="+v5) {
+		t.Fatalf("repaired versions response current pointer: %q", body)
+	}
+}
+
+func TestWorldWritableConfig(t *testing.T) {
+	tb := newSheetTB(t)
+	// eve has a token but no ACL entry.
+	tb.must(t, wire.NewRequest("POST", "/seed/token").WithForm("user", "eve", "value", "tok-eve").WithHeader("X-Bootstrap", boot))
+	if resp := tb.call(wire.NewRequest("POST", "/set").
+		WithForm("cell", "x", "value", "z", "user", "eve").
+		WithHeader("X-User-Token", "tok-eve")); resp.Status != 403 {
+		t.Fatal("eve should lack access")
+	}
+	tb.must(t, wire.NewRequest("POST", "/seed/config").
+		WithForm("key", "world_writable", "value", "true").WithHeader("X-Bootstrap", boot))
+	if resp := tb.call(wire.NewRequest("POST", "/set").
+		WithForm("cell", "x", "value", "z", "user", "eve").
+		WithHeader("X-User-Token", "tok-eve")); !resp.OK() {
+		t.Fatalf("world-writable should allow eve: %d %s", resp.Status, resp.Body)
+	}
+}
+
+func TestACLUpdateRequiresAdminPerm(t *testing.T) {
+	tb := newSheetTB(t)
+	// u1 has rw but not admin.
+	if resp := tb.call(wire.NewRequest("POST", "/acl/update").
+		WithForm("user", "eve", "perms", "rw", "as", "u1").
+		WithHeader("X-User-Token", "tok-u1")); resp.Status != 403 {
+		t.Fatalf("non-admin ACL update accepted: %d", resp.Status)
+	}
+	// Grant u1 admin, then it works.
+	tb.must(t, wire.NewRequest("POST", "/seed/acl").
+		WithForm("user", "u1", "perms", "rwa").WithHeader("X-Bootstrap", boot))
+	tb.must(t, wire.NewRequest("POST", "/acl/update").
+		WithForm("user", "eve", "perms", "r", "as", "u1").
+		WithHeader("X-User-Token", "tok-u1"))
+	if got := string(tb.must(t, wire.NewRequest("GET", "/acl").WithForm("user", "eve")).Body); got != "r" {
+		t.Fatalf("acl = %q", got)
+	}
+	// Empty perms removes the entry.
+	tb.must(t, wire.NewRequest("POST", "/acl/update").
+		WithForm("user", "eve", "perms", "", "as", "u1").
+		WithHeader("X-User-Token", "tok-u1"))
+	if resp := tb.call(wire.NewRequest("GET", "/acl").WithForm("user", "eve")); resp.Status != 404 {
+		t.Fatal("acl entry should be removed")
+	}
+}
+
+func TestTokenExpiryGatesAuthorize(t *testing.T) {
+	tb := newSheetTB(t)
+	set := tb.set(t, "x", "a")
+	tb.must(t, wire.NewRequest("POST", "/token/expire").WithForm("user", "u1").WithHeader("X-Bootstrap", boot))
+
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete",
+		wire.HdrRequestID, set.Header[wire.HdrRequestID],
+		"X-User-Token", "tok-u1",
+	)
+	if resp := tb.call(del); resp.Status != 403 {
+		t.Fatalf("repair with expired token accepted: %d %s", resp.Status, resp.Body)
+	}
+	tb.must(t, wire.NewRequest("POST", "/token/refresh").WithForm("user", "u1").WithHeader("X-Bootstrap", boot))
+	if resp := tb.call(del); !resp.OK() {
+		t.Fatalf("repair with refreshed token rejected: %d %s", resp.Status, resp.Body)
+	}
+	if resp := tb.call(wire.NewRequest("GET", "/get").WithForm("cell", "x")); resp.Status != 404 {
+		t.Fatal("cell should be gone after authorized repair")
+	}
+}

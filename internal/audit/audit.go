@@ -1,0 +1,223 @@
+// Package audit builds cross-request dependency graphs from a service's
+// repair log.
+//
+// Aire expects the administrator to pinpoint the intrusion point using
+// auditing or intrusion detection (§2). This package provides that tooling
+// for Aire-enabled services: given the repair log, it reconstructs which
+// requests influenced which — through database objects (write→read edges),
+// model scans, and outgoing calls — so an administrator can inspect the
+// blast radius of a suspect request before repairing it, and can trace an
+// observed corruption back to candidate intrusion points.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aire/internal/repairlog"
+	"aire/internal/vdb"
+)
+
+// EdgeKind classifies a dependency edge.
+type EdgeKind string
+
+// Edge kinds.
+const (
+	// EdgeData is a write→read dependency through an object: the source
+	// wrote a version the destination read.
+	EdgeData EdgeKind = "data"
+	// EdgeScan is a write→scan dependency through a model: the source
+	// wrote an object of a model the destination scanned after that write.
+	EdgeScan EdgeKind = "scan"
+	// EdgeCall is a request→outgoing-call dependency: the source request
+	// issued a call to another service.
+	EdgeCall EdgeKind = "call"
+)
+
+// Edge is one dependency between two logged requests (or from a request to
+// a remote service for EdgeCall).
+type Edge struct {
+	From string
+	To   string // request ID, or "target-service/remote-req-id" for calls
+	Kind EdgeKind
+	// Via names the object, model, or target service carrying the
+	// dependency.
+	Via string
+}
+
+// Graph is the dependency graph of one service's repair log.
+type Graph struct {
+	// Requests holds all request IDs in timeline order.
+	Requests []string
+	// Edges holds all dependency edges, deterministically ordered.
+	Edges []Edge
+
+	out map[string][]int // request -> indices into Edges
+}
+
+// Build constructs the dependency graph from a repair log.
+//
+// The construction is conservative in the same way Warp's dependency
+// analysis is: a read of object O at time t depends on the latest write to
+// O at or before t; a scan of model M depends on every write to M before
+// the scan.
+func Build(log *repairlog.Log) *Graph {
+	recs := log.All()
+	g := &Graph{out: make(map[string][]int)}
+
+	// lastWrite tracks, per object, the (time-ordered) writers so far.
+	type writeEvent struct {
+		ts    int64
+		reqID string
+	}
+	writers := make(map[vdb.Key][]writeEvent)
+	modelWriters := make(map[string][]writeEvent)
+
+	addEdge := func(e Edge) {
+		g.out[e.From] = append(g.out[e.From], len(g.Edges))
+		g.Edges = append(g.Edges, e)
+	}
+
+	for _, rec := range recs {
+		g.Requests = append(g.Requests, rec.ID)
+		if rec.Skipped {
+			continue
+		}
+		// Data edges: the version a read observed names its writer.
+		seen := make(map[string]bool)
+		for _, rd := range rec.Reads {
+			if rd.TS == 0 {
+				continue // read miss
+			}
+			ws := writers[rd.Key]
+			for i := len(ws) - 1; i >= 0; i-- {
+				if ws[i].ts == rd.TS {
+					if ws[i].reqID != rec.ID && !seen["d"+ws[i].reqID+rd.Key.String()] {
+						seen["d"+ws[i].reqID+rd.Key.String()] = true
+						addEdge(Edge{From: ws[i].reqID, To: rec.ID, Kind: EdgeData, Via: rd.Key.String()})
+					}
+					break
+				}
+				if ws[i].ts < rd.TS {
+					break
+				}
+			}
+		}
+		// Scan edges: every prior writer of the model influences the scan.
+		for _, sc := range rec.Scans {
+			for _, w := range modelWriters[sc.Model] {
+				if w.ts >= rec.TS || w.reqID == rec.ID {
+					continue
+				}
+				key := "s" + w.reqID + sc.Model
+				if !seen[key] {
+					seen[key] = true
+					addEdge(Edge{From: w.reqID, To: rec.ID, Kind: EdgeScan, Via: sc.Model})
+				}
+			}
+		}
+		// Record this request's writes.
+		for _, wr := range rec.Writes {
+			writers[wr.Key] = append(writers[wr.Key], writeEvent{ts: wr.TS, reqID: rec.ID})
+			modelWriters[wr.Key.Model] = append(modelWriters[wr.Key.Model], writeEvent{ts: wr.TS, reqID: rec.ID})
+		}
+		// Call edges.
+		for _, call := range rec.Calls {
+			to := call.Target
+			if call.RemoteReqID != "" {
+				to = call.Target + "/" + call.RemoteReqID
+			}
+			addEdge(Edge{From: rec.ID, To: to, Kind: EdgeCall, Via: call.Target})
+		}
+	}
+	return g
+}
+
+// Descendants returns every request (and remote call target) transitively
+// influenced by the given request — the candidate blast radius an
+// administrator reviews before invoking repair.
+func (g *Graph) Descendants(reqID string) []string {
+	visited := map[string]bool{}
+	var walk func(id string)
+	walk = func(id string) {
+		for _, ei := range g.out[id] {
+			e := g.Edges[ei]
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			walk(e.To)
+		}
+	}
+	walk(reqID)
+	out := make([]string, 0, len(visited))
+	for id := range visited {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ancestors returns every request that transitively influenced the given
+// request — tracing an observed corruption back toward candidate intrusion
+// points.
+func (g *Graph) Ancestors(reqID string) []string {
+	// Build a reverse index lazily.
+	in := make(map[string][]string)
+	for _, e := range g.Edges {
+		in[e.To] = append(in[e.To], e.From)
+	}
+	visited := map[string]bool{}
+	var walk func(id string)
+	walk = func(id string) {
+		for _, from := range in[id] {
+			if visited[from] {
+				continue
+			}
+			visited[from] = true
+			walk(from)
+		}
+	}
+	walk(reqID)
+	out := make([]string, 0, len(visited))
+	for id := range visited {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgesFrom returns the edges leaving a request.
+func (g *Graph) EdgesFrom(reqID string) []Edge {
+	out := make([]Edge, 0, len(g.out[reqID]))
+	for _, ei := range g.out[reqID] {
+		out = append(out, g.Edges[ei])
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz format. Requests in `highlight` are
+// drawn filled (e.g. a suspect request and its descendants).
+func (g *Graph) DOT(highlight map[string]bool) string {
+	var b strings.Builder
+	b.WriteString("digraph aire_deps {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, id := range g.Requests {
+		attr := ""
+		if highlight[id] {
+			attr = ` style=filled fillcolor="#f4cccc"`
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", id, id, attr)
+	}
+	for _, e := range g.Edges {
+		style := "solid"
+		if e.Kind == EdgeScan {
+			style = "dashed"
+		} else if e.Kind == EdgeCall {
+			style = "bold"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s, label=%q, fontsize=8];\n", e.From, e.To, style, e.Via)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

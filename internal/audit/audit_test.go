@@ -1,0 +1,152 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/repairlog"
+	"aire/internal/vdb"
+	"aire/internal/wire"
+)
+
+func key(id string) vdb.Key { return vdb.Key{Model: "kv", ID: id} }
+
+func rec(id string, ts int64) *repairlog.Record {
+	return &repairlog.Record{ID: id, TS: ts, Req: wire.NewRequest("POST", "/op"), Resp: wire.NewResponse(200, "ok")}
+}
+
+// buildLog constructs: w1 writes x; r1 reads x; w2 writes y; s1 scans kv;
+// w1 also called service b.
+func buildLog(t *testing.T) *repairlog.Log {
+	t.Helper()
+	l := repairlog.New(false)
+
+	w1 := rec("w1", 10)
+	w1.Writes = []repairlog.WriteDep{{Key: key("x"), TS: 10}}
+	w1.Calls = []repairlog.Call{{Target: "b", RemoteReqID: "b-req-9"}}
+
+	r1 := rec("r1", 20)
+	r1.Reads = []repairlog.ReadDep{{Key: key("x"), TS: 10, Hash: 1}}
+
+	w2 := rec("w2", 30)
+	w2.Writes = []repairlog.WriteDep{{Key: key("y"), TS: 30}}
+
+	s1 := rec("s1", 40)
+	s1.Scans = []repairlog.ScanDep{{Model: "kv", Hash: 2}}
+
+	for _, r := range []*repairlog.Record{w1, r1, w2, s1} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestDataEdges(t *testing.T) {
+	g := Build(buildLog(t))
+	found := false
+	for _, e := range g.EdgesFrom("w1") {
+		if e.To == "r1" && e.Kind == EdgeData && e.Via == "kv/x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing w1->r1 data edge: %+v", g.Edges)
+	}
+}
+
+func TestScanEdges(t *testing.T) {
+	g := Build(buildLog(t))
+	var fromW1, fromW2 bool
+	for _, e := range g.Edges {
+		if e.Kind == EdgeScan && e.To == "s1" {
+			switch e.From {
+			case "w1":
+				fromW1 = true
+			case "w2":
+				fromW2 = true
+			}
+		}
+	}
+	if !fromW1 || !fromW2 {
+		t.Fatalf("scan must depend on all prior writers: w1=%v w2=%v", fromW1, fromW2)
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	g := Build(buildLog(t))
+	found := false
+	for _, e := range g.EdgesFrom("w1") {
+		if e.Kind == EdgeCall && e.To == "b/b-req-9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing call edge")
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	g := Build(buildLog(t))
+	d := g.Descendants("w1")
+	want := map[string]bool{"r1": true, "s1": true, "b/b-req-9": true}
+	if len(d) != len(want) {
+		t.Fatalf("descendants(w1) = %v", d)
+	}
+	for _, id := range d {
+		if !want[id] {
+			t.Fatalf("unexpected descendant %s", id)
+		}
+	}
+	// w2 influences only the scan.
+	d2 := g.Descendants("w2")
+	if len(d2) != 1 || d2[0] != "s1" {
+		t.Fatalf("descendants(w2) = %v", d2)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	g := Build(buildLog(t))
+	a := g.Ancestors("s1")
+	if len(a) != 2 { // w1 and w2
+		t.Fatalf("ancestors(s1) = %v", a)
+	}
+	if got := g.Ancestors("w1"); len(got) != 0 {
+		t.Fatalf("ancestors(w1) = %v, want none", got)
+	}
+}
+
+func TestSkippedRequestsExcluded(t *testing.T) {
+	l := buildLog(t)
+	if err := l.Update("w1", func(r *repairlog.Record) { r.Skipped = true }); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(l)
+	if len(g.EdgesFrom("w1")) != 0 {
+		t.Fatal("cancelled request should contribute no edges")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Build(buildLog(t))
+	dot := g.DOT(map[string]bool{"w1": true})
+	for _, want := range []string{"digraph aire_deps", `"w1" -> "r1"`, "fillcolor", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestReadMissProducesNoEdge(t *testing.T) {
+	l := repairlog.New(false)
+	w := rec("w1", 10)
+	w.Writes = []repairlog.WriteDep{{Key: key("x"), TS: 10}}
+	r := rec("r1", 20)
+	r.Reads = []repairlog.ReadDep{{Key: key("z"), TS: 0, Hash: 0}} // miss
+	l.Append(w)
+	l.Append(r)
+	g := Build(l)
+	if len(g.Descendants("w1")) != 0 {
+		t.Fatal("read miss must not create a dependency")
+	}
+}

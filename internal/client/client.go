@@ -1,0 +1,209 @@
+// Package client implements an Aire-aware end-user client — the piece the
+// paper's prototype leaves out ("our current Aire prototype does not
+// support browser clients", §2.3).
+//
+// A Client is not a service: it has no inbound address, so it cannot be
+// handed response-repair tokens the way services are (§3.1). Instead it
+// tags every request with a poll:// notifier URL; servers park tokens in a
+// per-client mailbox, and the client polls, fetches each token's
+// replace_response payload, and applies it to its own local state through
+// an application callback.
+//
+// The client also remembers the Aire-Request-Id of every request it made,
+// so the user can later repair their own actions (replace or delete a past
+// request) — the "user or administrator pinpoints the unwanted operation"
+// workflow of §2.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+// Sent records one request the client made.
+type Sent struct {
+	// Service is the service the request went to.
+	Service string
+	// ReqID is the Aire-Request-Id the service assigned.
+	ReqID string
+	// RespID is the Aire-Response-Id the client assigned to the response.
+	RespID string
+	// Req and Resp are the request and its current (possibly repaired)
+	// response.
+	Req  wire.Request
+	Resp wire.Response
+}
+
+// RepairHandler is invoked when a server repairs the response of a past
+// request: the application updates whatever local state it derived from the
+// old response (§5's partially-repaired-state contract, client side).
+type RepairHandler func(old Sent, newResp wire.Response)
+
+// Client is a stateful Aire-aware client.
+type Client struct {
+	// ID identifies the client's mailbox on servers.
+	ID string
+	// Net is the transport (clients call with an empty from-identity, like
+	// a browser).
+	Net core.Caller
+	// OnRepair, if set, observes every applied response repair.
+	OnRepair RepairHandler
+
+	mu    sync.Mutex
+	seq   int
+	sent  []*Sent
+	byRID map[string]*Sent
+}
+
+// New returns a client with the given mailbox ID.
+func New(id string, net core.Caller) *Client {
+	return &Client{ID: id, Net: net, byRID: make(map[string]*Sent)}
+}
+
+// Call sends a request with Aire client headers attached and records the
+// identifiers both sides assigned.
+func (c *Client) Call(service string, req wire.Request) (wire.Response, error) {
+	c.mu.Lock()
+	c.seq++
+	respID := fmt.Sprintf("%s-resp-%d", c.ID, c.seq)
+	c.mu.Unlock()
+
+	out := req.WithHeader(
+		wire.HdrResponseID, respID,
+		wire.HdrNotifierURL, transport.PollNotifierURL(c.ID),
+	)
+	resp, err := c.Net.Call("", service, out)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	s := &Sent{
+		Service: service,
+		ReqID:   resp.Header[wire.HdrRequestID],
+		RespID:  respID,
+		Req:     req.Clone(),
+		Resp:    resp.Clone(),
+	}
+	c.mu.Lock()
+	c.sent = append(c.sent, s)
+	c.byRID[respID] = s
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// History returns a copy of everything the client has sent.
+func (c *Client) History() []Sent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Sent, len(c.sent))
+	for i, s := range c.sent {
+		out[i] = *s
+	}
+	return out
+}
+
+// Poll checks the named service's mailbox for response repairs and applies
+// them; it returns how many repairs were applied.
+func (c *Client) Poll(service string) (int, error) {
+	resp, err := c.Net.Call("", service, wire.NewRequest("GET", "/aire/poll").WithForm("client_id", c.ID))
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK() {
+		return 0, fmt.Errorf("client: poll %s: %d %s", service, resp.Status, resp.Body)
+	}
+	var tokens []string
+	if err := json.Unmarshal(resp.Body, &tokens); err != nil {
+		return 0, fmt.Errorf("client: bad poll payload: %w", err)
+	}
+	applied := 0
+	for _, tok := range tokens {
+		if err := c.fetchAndApply(service, tok); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+type respPayload struct {
+	RespID      string `json:"resp_id"`
+	RemoteReqID string `json:"remote_req_id"`
+	Resp        []byte `json:"resp"`
+}
+
+func (c *Client) fetchAndApply(service, token string) error {
+	resp, err := c.Net.Call("", service, wire.NewRequest("POST", "/aire/fetch_repair").WithForm("token", token))
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return fmt.Errorf("client: fetch_repair: %d %s", resp.Status, resp.Body)
+	}
+	var p respPayload
+	if err := json.Unmarshal(resp.Body, &p); err != nil {
+		return fmt.Errorf("client: bad fetch payload: %w", err)
+	}
+	newResp, err := wire.DecodeResponse(p.Resp)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	s, ok := c.byRID[p.RespID]
+	var old Sent
+	if ok {
+		old = *s
+		s.Resp = newResp.Clone()
+		if p.RemoteReqID != "" {
+			s.ReqID = p.RemoteReqID
+		}
+	}
+	c.mu.Unlock()
+	if ok && c.OnRepair != nil {
+		c.OnRepair(old, newResp)
+	}
+	return nil
+}
+
+// RepairDelete asks the service to cancel one of this client's past
+// requests. Credential headers for the service's authorize policy ride on
+// creds.
+func (c *Client) RepairDelete(s Sent, creds map[string]string) (wire.Response, error) {
+	req := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete",
+		wire.HdrRequestID, s.ReqID,
+	)
+	for k, v := range creds {
+		req.Header[k] = v
+	}
+	return c.Net.Call("", s.Service, req)
+}
+
+// RepairReplace asks the service to replace one of this client's past
+// requests with corrected content.
+func (c *Client) RepairReplace(s Sent, newReq wire.Request, creds map[string]string) (wire.Response, error) {
+	c.mu.Lock()
+	c.seq++
+	respID := fmt.Sprintf("%s-resp-%d", c.ID, c.seq)
+	c.mu.Unlock()
+	req := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "replace",
+		wire.HdrRequestID, s.ReqID,
+		wire.HdrResponseID, respID,
+		wire.HdrNotifierURL, transport.PollNotifierURL(c.ID),
+	)
+	req.Body = newReq.Encode()
+	for k, v := range creds {
+		req.Header[k] = v
+	}
+	c.mu.Lock()
+	ns := &Sent{Service: s.Service, ReqID: s.ReqID, RespID: respID, Req: newReq.Clone()}
+	c.sent = append(c.sent, ns)
+	c.byRID[respID] = ns
+	c.mu.Unlock()
+	return c.Net.Call("", s.Service, req)
+}

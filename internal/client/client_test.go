@@ -1,0 +1,127 @@
+package client
+
+import (
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/harness"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+func newWorld(t *testing.T) (*harness.Testbed, *core.Controller) {
+	t.Helper()
+	tb := harness.NewTestbed()
+	store := tb.Add(&harness.KVApp{ServiceName: "store"}, core.DefaultConfig())
+	return tb, store
+}
+
+func TestClientRecordsIdentifiers(t *testing.T) {
+	tb, _ := newWorld(t)
+	cl := New("browser-1", tb.Bus)
+	resp, err := cl.Call("store", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "a"))
+	if err != nil || !resp.OK() {
+		t.Fatalf("call: %v %+v", err, resp)
+	}
+	h := cl.History()
+	if len(h) != 1 || h[0].ReqID == "" || h[0].RespID == "" {
+		t.Fatalf("history = %+v", h)
+	}
+	if h[0].ReqID != resp.Header[wire.HdrRequestID] {
+		t.Fatal("client did not record the server-assigned request ID")
+	}
+}
+
+// TestClientReceivesResponseRepairByPolling is the browser-shaped version
+// of Figure 2: the client's stale read is corrected through the poll
+// mailbox after the server repairs the attack.
+func TestClientReceivesResponseRepairByPolling(t *testing.T) {
+	tb, store := newWorld(t)
+
+	var repaired []string
+	cl := New("browser-1", tb.Bus)
+	cl.OnRepair = func(old Sent, newResp wire.Response) {
+		repaired = append(repaired, string(old.Resp.Body)+"->"+string(newResp.Body))
+	}
+
+	tb.MustCall("store", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "a"))
+	atk := tb.MustCall("store", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "b"))
+
+	// The client reads through its Aire-aware library.
+	read, err := cl.Call("store", wire.NewRequest("GET", "/get").WithForm("key", "x"))
+	if err != nil || string(read.Body) != "b" {
+		t.Fatalf("read: %v %q", err, read.Body)
+	}
+
+	// Server-side repair; the replace_response lands in the mailbox.
+	if _, err := store.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: atk.Header[wire.HdrRequestID]}); err != nil {
+		t.Fatal(err)
+	}
+	store.Flush()
+
+	n, err := cl.Poll("store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("polled %d repairs, want 1", n)
+	}
+	if len(repaired) != 1 || repaired[0] != "b->a" {
+		t.Fatalf("repair callback = %v", repaired)
+	}
+	h := cl.History()
+	if string(h[len(h)-1].Resp.Body) != "a" {
+		t.Fatalf("history not updated: %q", h[len(h)-1].Resp.Body)
+	}
+	// Second poll: mailbox empty.
+	if n, _ := cl.Poll("store"); n != 0 {
+		t.Fatalf("second poll returned %d", n)
+	}
+}
+
+func TestClientInitiatedRepair(t *testing.T) {
+	tb, _ := newWorld(t)
+	cl := New("browser-2", tb.Bus)
+
+	resp, err := cl.Call("store", wire.NewRequest("POST", "/put").WithForm("key", "note", "val", "tpyo"))
+	if err != nil || !resp.OK() {
+		t.Fatalf("call: %v", err)
+	}
+	sent := cl.History()[0]
+
+	// Fix the typo with a client-initiated replace.
+	if r, err := cl.RepairReplace(sent, wire.NewRequest("POST", "/put").WithForm("key", "note", "val", "typo fixed"), nil); err != nil || !r.OK() {
+		t.Fatalf("replace: %v %+v", err, r)
+	}
+	if got := string(tb.Call("store", wire.NewRequest("GET", "/get").WithForm("key", "note")).Body); got != "typo fixed" {
+		t.Fatalf("note = %q", got)
+	}
+
+	// Then undo it entirely.
+	if r, err := cl.RepairDelete(sent, nil); err != nil || !r.OK() {
+		t.Fatalf("delete: %v %+v", err, r)
+	}
+	if resp := tb.Call("store", wire.NewRequest("GET", "/get").WithForm("key", "note")); resp.Status != 404 {
+		t.Fatalf("note should be gone: %d", resp.Status)
+	}
+}
+
+func TestMailboxTokenIsSingleUse(t *testing.T) {
+	tb, store := newWorld(t)
+	cl := New("browser-3", tb.Bus)
+	tb.MustCall("store", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "a"))
+	atk := tb.MustCall("store", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "b"))
+	if _, err := cl.Call("store", wire.NewRequest("GET", "/get").WithForm("key", "x")); err != nil {
+		t.Fatal(err)
+	}
+	store.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: atk.Header[wire.HdrRequestID]})
+	store.Flush()
+	if _, err := cl.Poll("store"); err != nil {
+		t.Fatal(err)
+	}
+	// The consumed token cannot be replayed by anyone.
+	resp := tb.Call("store", wire.NewRequest("POST", "/aire/fetch_repair").WithForm("token", "store-tok-1"))
+	if resp.Status != 404 {
+		t.Fatalf("replayed token: %d", resp.Status)
+	}
+}

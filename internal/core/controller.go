@@ -1,0 +1,599 @@
+// Package core implements the Aire repair controller — the paper's primary
+// contribution (§2.2, §3, §4).
+//
+// One Controller fronts each web service. During normal operation it
+// intercepts every incoming request and outgoing call, assigns Aire
+// identifiers, and maintains the repair log. When repair is requested —
+// locally by an administrator, or remotely through the repair API of
+// Table 1 — it runs Warp-style local repair, and queues repair messages for
+// affected peers in per-service outgoing queues that survive peer downtime
+// (asynchronous repair, §3). Access control for every repair message is
+// delegated to the application through the authorize/notify/retry interface
+// of Table 2 (§4).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aire/internal/audit"
+	"aire/internal/orm"
+	"aire/internal/repairlog"
+	"aire/internal/transport"
+	"aire/internal/warp"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// App is the contract between Aire and the web service it protects
+// (Table 2, plus route/model registration).
+type App interface {
+	// Name is the service's identity on the transport.
+	Name() string
+	// Register installs the application's models and routes on the service.
+	Register(svc *web.Service)
+	// Authorize decides whether a repair message is allowed (Table 2). The
+	// application inspects the original and repaired payloads, the carrier
+	// request (which holds the repair message's credentials), and a
+	// read-only snapshot of the database at the original request's
+	// execution time (§4).
+	Authorize(ac AuthzRequest) bool
+}
+
+// Notifier is optionally implemented by applications that want repair
+// problem notifications pushed to them (Table 2's notify function);
+// notifications are always also retrievable from Controller.Notifications.
+type Notifier interface {
+	Notify(n Notification)
+}
+
+// AuthzRequest carries everything an application's Authorize needs.
+type AuthzRequest struct {
+	// Kind is the repair operation: replace, delete, create, or
+	// replace_response.
+	Kind warp.OutKind
+	// From is the transport-authenticated sender of the repair message.
+	From string
+	// OriginalFrom is the transport-authenticated sender of the original
+	// request being repaired ("" for external clients or create).
+	OriginalFrom string
+	// Original is the request being repaired (zero for create).
+	Original wire.Request
+	// OriginalResp is its logged response (zero for create).
+	OriginalResp wire.Response
+	// Repaired is the corrected request (replace/create).
+	Repaired wire.Request
+	// RepairedResp is the corrected response (replace_response).
+	RepairedResp wire.Response
+	// Carrier is the repair API request itself; its headers and form carry
+	// the repair credentials.
+	Carrier wire.Request
+	// Snapshot reads the database as of the original request's execution
+	// time (§4: "read-only access to a snapshot of Aire's versioned
+	// database at the time when the original request executed").
+	Snapshot *orm.Tx
+	// Now reads the database at the present time, for policies that check
+	// currently-valid credentials (§7.2: expired tokens reject repair until
+	// refreshed).
+	Now *orm.Tx
+}
+
+// Notification reports a repair problem to the application (Table 2 notify).
+type Notification struct {
+	// MsgID identifies the queued repair message ("" for local notices).
+	MsgID string
+	// Kind classifies the problem: "unreachable", "unauthorized", "gone",
+	// "no-propagation", "compensation", or "leak".
+	Kind string
+	// Target is the peer service involved.
+	Target string
+	// RepairType is the repair operation involved.
+	RepairType string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// Caller abstracts the transport (the in-memory bus or the HTTP adapter).
+type Caller interface {
+	Call(from, to string, req wire.Request) (wire.Response, error)
+}
+
+// Config tunes a controller.
+type Config struct {
+	// Engine configures the local repair engine.
+	Engine warp.Config
+	// MaxAttempts is how many failed delivery attempts a queued repair
+	// message endures before it is parked and the application notified
+	// (it can still be revived with Retry).
+	MaxAttempts int
+	// BatchIncoming, when true, queues incoming repair requests and applies
+	// them together on ProcessIncoming (§3.2: "Aire also aggregates
+	// incoming repair messages in an incoming queue"). When false, each
+	// incoming repair is applied immediately.
+	BatchIncoming bool
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{Engine: warp.DefaultConfig(), MaxAttempts: 3}
+}
+
+// PendingMsg is a repair message in the outgoing queue.
+type PendingMsg struct {
+	// MsgID identifies the message for notify/retry.
+	MsgID string
+	// Msg is the repair operation to deliver.
+	Msg warp.OutMsg
+	// Attempts counts failed delivery attempts.
+	Attempts int
+	// Held marks a message parked after repeated failure or an
+	// authorization error; only Retry revives it.
+	Held bool
+	// LastErr describes the most recent failure.
+	LastErr string
+	// token is the response-repair token minted for a replace_response
+	// (reused across delivery attempts).
+	token string
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Requests      int64
+	RepairsRun    int64
+	MsgsQueued    int64
+	MsgsDelivered int64
+	MsgsFailed    int64
+}
+
+type tokenEntry struct {
+	audience string // service allowed to fetch the payload
+	payload  []byte
+}
+
+// Controller is the Aire runtime for one service.
+type Controller struct {
+	Svc     *web.Service
+	AppImpl App
+	Net     Caller
+	Cfg     Config
+	Engine  *warp.Engine
+
+	qmu    sync.Mutex
+	queue  []*PendingMsg
+	nextID int
+
+	tokmu     sync.Mutex
+	tokens    map[string]tokenEntry
+	mailboxes map[string][]string // polling client -> undelivered tokens
+
+	inmu  sync.Mutex
+	inbox []warp.Action
+
+	nmu           sync.Mutex
+	notifications []Notification
+
+	smu   sync.Mutex
+	stats Stats
+
+	events eventHub
+
+	rmu            sync.Mutex
+	repairedReqs   int
+	repairedOps    int
+	lastTotalReqs  int
+	lastTotalOps   int
+	repairDuration time.Duration
+}
+
+// NewController builds the Aire runtime for app, delivering over net.
+func NewController(app App, net Caller, cfg Config) *Controller {
+	svc := web.NewService(app.Name())
+	app.Register(svc)
+	c := &Controller{
+		Svc:       svc,
+		AppImpl:   app,
+		Net:       net,
+		Cfg:       cfg,
+		Engine:    &warp.Engine{Svc: svc, Cfg: cfg.Engine},
+		tokens:    make(map[string]tokenEntry),
+		mailboxes: make(map[string][]string),
+	}
+	return c
+}
+
+// HandleWire implements transport.Handler: repair API paths are handled by
+// the controller itself; everything else is normal application traffic.
+func (c *Controller) HandleWire(from string, req wire.Request) wire.Response {
+	switch req.Path {
+	case "/aire/repair":
+		return c.handleRepair(from, req)
+	case "/aire/notify":
+		return c.handleNotify(from, req)
+	case "/aire/fetch_repair":
+		return c.handleFetchRepair(from, req)
+	case "/aire/poll":
+		return c.handlePoll(from, req)
+	default:
+		return c.handleNormal(from, req)
+	}
+}
+
+var _ transport.Handler = (*Controller)(nil)
+
+// handleNormal executes one live request: assign identifiers, run the
+// handler with full interception, commit the record and effects.
+func (c *Controller) handleNormal(from string, req wire.Request) wire.Response {
+	c.Svc.Mu.Lock()
+	defer c.Svc.Mu.Unlock()
+	c.smu.Lock()
+	c.stats.Requests++
+	c.smu.Unlock()
+
+	rec := &repairlog.Record{
+		ID:           c.Svc.IDs.Request(),
+		TS:           c.Svc.Clock.Next(),
+		From:         from,
+		ClientRespID: req.Header[wire.HdrResponseID],
+		NotifierURL:  req.Header[wire.HdrNotifierURL],
+		Req:          req,
+	}
+	exec := &web.Exec{Svc: c.Svc, Rec: rec, Mode: web.Normal, Outbound: c.outboundNormal}
+	resp := exec.Run()
+	if resp.Header == nil {
+		resp.Header = map[string]string{}
+	}
+	resp.Header[wire.HdrRequestID] = rec.ID
+	rec.Resp = resp
+	if err := c.Svc.Log.Append(rec); err != nil {
+		return wire.NewResponse(500, "aire: "+err.Error())
+	}
+	for _, ef := range rec.Effects {
+		c.Svc.PerformEffect(ef)
+	}
+	c.emit(EvRequest, rec.ID, "%s %s from=%q -> %d", req.Method, req.Path, from, resp.Status)
+	return resp
+}
+
+// outboundNormal sends a live outgoing call with Aire headers attached
+// (§3.1) and records the identifiers both sides assigned.
+func (c *Controller) outboundNormal(seq int, target string, req wire.Request) (wire.Response, repairlog.Call) {
+	respID := c.Svc.IDs.Response()
+	out := req.WithHeader(
+		wire.HdrResponseID, respID,
+		wire.HdrNotifierURL, transport.NotifierURL(c.Svc.Name),
+	)
+	call := repairlog.Call{Target: target, RespID: respID, Req: req.Clone()}
+	resp, err := c.Net.Call(c.Svc.Name, target, out)
+	if err != nil {
+		resp = wire.NewResponse(wire.StatusTimeout, "aire: peer unavailable: "+err.Error())
+		call.Failed = true
+	} else {
+		call.RemoteReqID = resp.Header[wire.HdrRequestID]
+	}
+	call.Resp = resp
+	return resp.Clone(), call
+}
+
+// handleRepair services the repair API of Table 1 (replace, delete, create
+// arrive here; replace_response uses the notify/fetch handshake).
+func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
+	op := warp.OutKind(req.Header[wire.HdrRepair])
+	targetID := req.Header[wire.HdrRequestID]
+
+	var action warp.Action
+	var ac AuthzRequest
+	ac.Kind = op
+	ac.From = from
+	ac.Carrier = req
+	ac.Now = orm.Snapshot(c.Svc.Store, c.Svc.Schema, c.Svc.Clock.Now())
+
+	switch op {
+	case warp.OutReplace, warp.OutDelete:
+		rec, ok := c.Svc.Log.Get(targetID)
+		if !ok {
+			if gc := c.Svc.Log.GCBefore(); gc > 0 {
+				return wire.NewResponse(410, "aire: request log garbage-collected; repair permanently unavailable")
+			}
+			return wire.NewResponse(404, "aire: no such request "+targetID)
+		}
+		ac.Original = rec.Req
+		ac.OriginalResp = rec.Resp
+		ac.OriginalFrom = rec.From
+		ac.Snapshot = orm.Snapshot(c.Svc.Store, c.Svc.Schema, rec.TS)
+		if op == warp.OutDelete {
+			action = warp.Action{Kind: warp.CancelReq, ReqID: targetID}
+		} else {
+			newReq, err := wire.DecodeRequest(req.Body)
+			if err != nil {
+				return wire.NewResponse(400, "aire: bad replace payload: "+err.Error())
+			}
+			ac.Repaired = newReq
+			action = warp.Action{
+				Kind: warp.ReplaceReq, ReqID: targetID, NewReq: newReq,
+				From: from, ClientRespID: req.Header[wire.HdrResponseID], NotifierURL: req.Header[wire.HdrNotifierURL],
+			}
+		}
+
+	case warp.OutCreate:
+		newReq, err := wire.DecodeRequest(req.Body)
+		if err != nil {
+			return wire.NewResponse(400, "aire: bad create payload: "+err.Error())
+		}
+		ac.Repaired = newReq
+		ac.Snapshot = orm.Snapshot(c.Svc.Store, c.Svc.Schema, c.Svc.Clock.Now())
+		action = warp.Action{
+			Kind: warp.CreateReq, NewReq: newReq,
+			BeforeID: req.Form["before_id"], AfterID: req.Form["after_id"],
+			From: from, ClientRespID: req.Header[wire.HdrResponseID], NotifierURL: req.Header[wire.HdrNotifierURL],
+		}
+
+	default:
+		return wire.NewResponse(400, "aire: unknown repair operation "+string(op))
+	}
+
+	// Access control is the application's decision (§4).
+	if !c.AppImpl.Authorize(ac) {
+		c.emit(EvRepairDenied, targetID, "%s from %q denied by policy", op, from)
+		return wire.NewResponse(403, "aire: repair not authorized")
+	}
+
+	if c.Cfg.BatchIncoming {
+		c.inmu.Lock()
+		c.inbox = append(c.inbox, action)
+		c.inmu.Unlock()
+		return wire.NewResponse(202, "aire: repair queued")
+	}
+
+	res, err := c.applyActions([]warp.Action{action})
+	if err != nil {
+		if errors.Is(err, warp.ErrGarbageCollected) {
+			return wire.NewResponse(410, "aire: "+err.Error())
+		}
+		return wire.NewResponse(400, "aire: "+err.Error())
+	}
+
+	resp := wire.NewResponse(200, fmt.Sprintf("aire: repaired %d/%d requests", res.RepairedRequests, res.TotalRequests))
+	// Tell the sender which local request the repair settled on: for create
+	// that is the freshly minted request ID; for replace/delete the
+	// existing one. The sender records it for future repairs.
+	if len(res.CreatedIDs) > 0 {
+		resp.Header[wire.HdrRequestID] = res.CreatedIDs[0]
+	} else {
+		resp.Header[wire.HdrRequestID] = targetID
+	}
+	return resp
+}
+
+// handleNotify receives a response-repair token (§3.1): the client fetches
+// the actual replace_response from the server named in the token delivery,
+// authenticating the server in the process (on the bus, by name resolution;
+// over TLS, by certificate).
+func (c *Controller) handleNotify(from string, req wire.Request) wire.Response {
+	token := req.Form["token"]
+	server := req.Form["server"]
+	if token == "" || server == "" {
+		return wire.NewResponse(400, "aire: notify requires token and server")
+	}
+	fetch := wire.NewRequest("POST", "/aire/fetch_repair").WithForm("token", token)
+	fresp, err := c.Net.Call(c.Svc.Name, server, fetch)
+	if err != nil {
+		return wire.NewResponse(503, "aire: cannot fetch repair from "+server)
+	}
+	if !fresp.OK() {
+		return wire.NewResponse(502, "aire: fetch_repair failed: "+string(fresp.Body))
+	}
+	var payload respRepairPayload
+	if err := json.Unmarshal(fresp.Body, &payload); err != nil {
+		return wire.NewResponse(502, "aire: bad fetch_repair payload")
+	}
+
+	rec, i, ok := c.Svc.Log.FindByCallRespID(payload.RespID)
+	if !ok {
+		return wire.NewResponse(404, "aire: unknown response "+payload.RespID)
+	}
+	// The server may only repair responses it itself produced.
+	if rec.Calls[i].Target != server {
+		return wire.NewResponse(403, "aire: response "+payload.RespID+" was not produced by "+server)
+	}
+	newResp, err := wire.DecodeResponse(payload.Resp)
+	if err != nil {
+		return wire.NewResponse(400, "aire: bad replace_response body")
+	}
+	ac := AuthzRequest{
+		Kind:         warp.OutReplaceResponse,
+		From:         server,
+		Original:     rec.Calls[i].Req,
+		OriginalResp: rec.Calls[i].Resp,
+		RepairedResp: newResp,
+		Carrier:      req,
+		Snapshot:     orm.Snapshot(c.Svc.Store, c.Svc.Schema, rec.TS),
+		Now:          orm.Snapshot(c.Svc.Store, c.Svc.Schema, c.Svc.Clock.Now()),
+	}
+	if !c.AppImpl.Authorize(ac) {
+		return wire.NewResponse(403, "aire: replace_response not authorized")
+	}
+
+	action := warp.Action{
+		Kind: warp.ReplaceCallResp, RespID: payload.RespID,
+		NewResp: newResp, RemoteReqID: payload.RemoteReqID,
+	}
+	if c.Cfg.BatchIncoming {
+		c.inmu.Lock()
+		c.inbox = append(c.inbox, action)
+		c.inmu.Unlock()
+		return wire.NewResponse(202, "aire: repair queued")
+	}
+	if _, err := c.applyActions([]warp.Action{action}); err != nil {
+		return wire.NewResponse(400, "aire: "+err.Error())
+	}
+	return wire.NewResponse(200, "aire: response repaired")
+}
+
+type respRepairPayload struct {
+	RespID      string `json:"resp_id"`
+	RemoteReqID string `json:"remote_req_id"`
+	Resp        []byte `json:"resp"`
+}
+
+// handleFetchRepair serves a queued replace_response to the client that was
+// notified (§3.1's second step). Tokens with an empty audience were parked
+// for a polling client and act as bearer capabilities.
+func (c *Controller) handleFetchRepair(from string, req wire.Request) wire.Response {
+	token := req.Form["token"]
+	c.tokmu.Lock()
+	entry, ok := c.tokens[token]
+	if ok && entry.audience == from || ok && entry.audience == "" {
+		delete(c.tokens, token)
+	}
+	c.tokmu.Unlock()
+	if !ok {
+		return wire.NewResponse(404, "aire: unknown repair token")
+	}
+	if entry.audience != "" && entry.audience != from {
+		return wire.NewResponse(403, "aire: token not addressed to "+from)
+	}
+	return wire.Response{Status: 200, Header: map[string]string{}, Body: entry.payload}
+}
+
+// handlePoll returns (and clears) the response-repair tokens parked for a
+// browser-style client that supplied a poll:// notifier URL. The client
+// fetches each token's payload via /aire/fetch_repair.
+func (c *Controller) handlePoll(from string, req wire.Request) wire.Response {
+	clientID := req.Form["client_id"]
+	if clientID == "" {
+		return wire.NewResponse(400, "aire: poll requires client_id")
+	}
+	c.tokmu.Lock()
+	tokens := c.mailboxes[clientID]
+	delete(c.mailboxes, clientID)
+	c.tokmu.Unlock()
+	body, err := json.Marshal(tokens)
+	if err != nil {
+		return wire.NewResponse(500, "aire: "+err.Error())
+	}
+	return wire.Response{Status: 200, Header: map[string]string{}, Body: body}
+}
+
+// applyActions runs local repair and queues the resulting repair messages.
+func (c *Controller) applyActions(actions []warp.Action) (*warp.Result, error) {
+	c.Svc.Mu.Lock()
+	res, err := c.Engine.Repair(actions)
+	c.Svc.Mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	c.smu.Lock()
+	c.stats.RepairsRun++
+	c.smu.Unlock()
+	c.rmu.Lock()
+	c.repairedReqs += res.RepairedRequests
+	c.repairedOps += res.RepairedModelOps
+	c.lastTotalReqs = res.TotalRequests
+	c.lastTotalOps = res.TotalModelOps
+	c.repairDuration += res.Duration
+	c.rmu.Unlock()
+	c.enqueue(res.Msgs)
+	for _, n := range res.Notices {
+		c.notify(Notification{Kind: string(n.Kind), Detail: n.Detail, RepairType: "local"})
+	}
+	c.emit(EvRepairApplied, fmt.Sprintf("%d action(s)", len(actions)),
+		"re-executed %d/%d requests, queued %d message(s)", res.RepairedRequests, res.TotalRequests, len(res.Msgs))
+	return res, nil
+}
+
+// ApplyLocal lets a local administrator (or application code) initiate
+// repair directly — e.g. cancelling the attack request that started an
+// intrusion (§2: "asks Aire to cancel the attacker's request").
+func (c *Controller) ApplyLocal(actions ...warp.Action) (*warp.Result, error) {
+	return c.applyActions(actions)
+}
+
+// ProcessIncoming applies all batched incoming repair actions as one local
+// repair (§3.2) and returns the result (nil if the inbox was empty).
+func (c *Controller) ProcessIncoming() (*warp.Result, error) {
+	c.inmu.Lock()
+	actions := c.inbox
+	c.inbox = nil
+	c.inmu.Unlock()
+	if len(actions) == 0 {
+		return nil, nil
+	}
+	return c.applyActions(actions)
+}
+
+// InboxLen reports how many incoming repair actions are waiting (batch mode).
+func (c *Controller) InboxLen() int {
+	c.inmu.Lock()
+	defer c.inmu.Unlock()
+	return len(c.inbox)
+}
+
+// notify records a notification and forwards it to the application if it
+// implements Notifier (Table 2).
+func (c *Controller) notify(n Notification) {
+	c.nmu.Lock()
+	c.notifications = append(c.notifications, n)
+	c.nmu.Unlock()
+	if an, ok := c.AppImpl.(Notifier); ok {
+		an.Notify(n)
+	}
+}
+
+// Notifications returns all recorded notifications.
+func (c *Controller) Notifications() []Notification {
+	c.nmu.Lock()
+	defer c.nmu.Unlock()
+	return append([]Notification(nil), c.notifications...)
+}
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	return c.stats
+}
+
+// RepairCounts reports cumulative repair work (the first two rows of
+// Table 5): requests and model operations repaired across all local repairs,
+// against the totals observed at the most recent repair.
+func (c *Controller) RepairCounts() (repairedReqs, totalReqs, repairedOps, totalOps int) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return c.repairedReqs, c.lastTotalReqs, c.repairedOps, c.lastTotalOps
+}
+
+// RepairDuration reports the cumulative wall time spent in local repair
+// (Table 5's "Local repair time").
+func (c *Controller) RepairDuration() time.Duration {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return c.repairDuration
+}
+
+// AuditGraph builds the cross-request dependency graph of this service's
+// repair log — the tooling an administrator uses to find what an intrusion
+// touched before invoking repair (§2).
+func (c *Controller) AuditGraph() *audit.Graph {
+	c.Svc.Mu.Lock()
+	defer c.Svc.Mu.Unlock()
+	return audit.Build(c.Svc.Log)
+}
+
+// BlastRadius lists every local request and remote call transitively
+// influenced by reqID, per the audit dependency graph.
+func (c *Controller) BlastRadius(reqID string) []string {
+	return c.AuditGraph().Descendants(reqID)
+}
+
+// GC garbage-collects repair logs and database versions older than beforeTS
+// (§9). Repairs naming garbage-collected requests are afterwards refused
+// with status 410 and the requesting peer notifies its administrator.
+func (c *Controller) GC(beforeTS int64) {
+	c.Svc.Mu.Lock()
+	defer c.Svc.Mu.Unlock()
+	c.Svc.Log.GC(beforeTS)
+	c.Svc.Store.GC(beforeTS)
+}

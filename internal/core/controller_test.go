@@ -1,0 +1,273 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+func TestNormalOperationLogsAndHeaders(t *testing.T) {
+	tb := newTestbed()
+	c := tb.add(&kvApp{name: "store"}, DefaultConfig())
+
+	resp := tb.call("store", put("x", "a"))
+	if !resp.OK() {
+		t.Fatalf("put failed: %+v", resp)
+	}
+	reqID := resp.Header[wire.HdrRequestID]
+	if reqID == "" {
+		t.Fatal("response must carry Aire-Request-Id (§3.1)")
+	}
+	rec, ok := c.Svc.Log.Get(reqID)
+	if !ok {
+		t.Fatal("request not logged")
+	}
+	if len(rec.Writes) != 1 {
+		t.Fatalf("write deps = %d, want 1", len(rec.Writes))
+	}
+	if got := tb.call("store", get("x")); string(got.Body) != "a" {
+		t.Fatalf("get = %q", got.Body)
+	}
+}
+
+func TestLocalRepairCancelsAttack(t *testing.T) {
+	tb := newTestbed()
+	c := tb.add(&kvApp{name: "store"}, DefaultConfig())
+
+	tb.call("store", put("x", "good"))
+	attack := tb.call("store", put("x", "evil"))
+	tb.call("store", put("y", "other"))
+	if string(tb.call("store", get("x")).Body) != "evil" {
+		t.Fatal("attack write missing")
+	}
+
+	res, err := c.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: attack.Header[wire.HdrRequestID]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled attack plus the probing get(x) that read the attack
+	// value; put(y) is untouched (selective re-execution).
+	if res.RepairedRequests != 2 {
+		t.Fatalf("repaired %d requests, want 2", res.RepairedRequests)
+	}
+	if got := string(tb.call("store", get("x")).Body); got != "good" {
+		t.Fatalf("after repair x = %q, want good", got)
+	}
+	if got := string(tb.call("store", get("y")).Body); got != "other" {
+		t.Fatalf("legitimate write lost: y = %q", got)
+	}
+}
+
+func TestRepairReexecutesAffectedReaders(t *testing.T) {
+	tb := newTestbed()
+	c := tb.add(&kvApp{name: "store"}, DefaultConfig())
+
+	tb.call("store", put("x", "good"))
+	attack := tb.call("store", put("x", "evil"))
+	sum := tb.call("store", wire.NewRequest("GET", "/sum")) // scans all keys: affected
+	unrelatedGet := tb.call("store", get("x"))              // read of x: affected
+	if !strings.Contains(string(sum.Body), "evil") {
+		t.Fatal("scan should have seen attack value")
+	}
+
+	res, err := c.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: attack.Header[wire.HdrRequestID]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// attack cancelled + sum re-executed + get re-executed.
+	if res.RepairedRequests != 3 {
+		t.Fatalf("repaired %d requests, want 3", res.RepairedRequests)
+	}
+	sumRec, _ := c.Svc.Log.Get(sum.Header[wire.HdrRequestID])
+	if strings.Contains(string(sumRec.Resp.Body), "evil") {
+		t.Fatalf("repaired scan response still mentions attack: %q", sumRec.Resp.Body)
+	}
+	getRec, _ := c.Svc.Log.Get(unrelatedGet.Header[wire.HdrRequestID])
+	if string(getRec.Resp.Body) != "good" {
+		t.Fatalf("repaired get response = %q, want good", getRec.Resp.Body)
+	}
+}
+
+func TestPreciseReadCheckSkipsUnaffected(t *testing.T) {
+	tb := newTestbed()
+	c := tb.add(&kvApp{name: "store"}, DefaultConfig())
+
+	tb.call("store", put("x", "good"))
+	attack := tb.call("store", put("y", "evil")) // different key
+	tb.call("store", get("x"))                   // reads only x: unaffected
+	tb.call("store", get("y"))                   // reads y: affected
+
+	res, err := c.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: attack.Header[wire.HdrRequestID]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepairedRequests != 2 { // cancel + get(y)
+		t.Fatalf("repaired %d requests, want 2", res.RepairedRequests)
+	}
+}
+
+func TestReplaceRequest(t *testing.T) {
+	tb := newTestbed()
+	c := tb.add(&kvApp{name: "store"}, DefaultConfig())
+
+	bad := tb.call("store", put("x", "typo"))
+	tb.call("store", get("x"))
+
+	_, err := c.ApplyLocal(warp.Action{
+		Kind:   warp.ReplaceReq,
+		ReqID:  bad.Header[wire.HdrRequestID],
+		NewReq: put("x", "fixed"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(tb.call("store", get("x")).Body); got != "fixed" {
+		t.Fatalf("x = %q after replace", got)
+	}
+}
+
+func TestCrossServiceDeletePropagates(t *testing.T) {
+	tb := newTestbed()
+	a := tb.add(&kvApp{name: "a", mirror: "b"}, DefaultConfig())
+	tb.add(&kvApp{name: "b"}, DefaultConfig())
+
+	tb.call("a", put("x", "good"))
+	attack := tb.call("a", put("x", "evil"))
+	tb.settle(10)
+	if got := string(tb.call("b", get("x")).Body); got != "evil" {
+		t.Fatalf("mirror should hold attack value, got %q", got)
+	}
+
+	if _, err := a.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: attack.Header[wire.HdrRequestID]}); err != nil {
+		t.Fatal(err)
+	}
+	tb.settle(10)
+
+	if got := string(tb.call("a", get("x")).Body); got != "good" {
+		t.Fatalf("a repaired to %q", got)
+	}
+	if got := string(tb.call("b", get("x")).Body); got != "good" {
+		t.Fatalf("repair did not propagate to mirror: %q", got)
+	}
+}
+
+func TestReplaceResponsePropagatesToCachingClient(t *testing.T) {
+	// The Figure 2 flow: reader caches a value read from store; store
+	// repairs the attack write; the reader's cached copy is fixed via
+	// replace_response.
+	tb := newTestbed()
+	store := tb.add(&kvApp{name: "store"}, DefaultConfig())
+	tb.add(&kvApp{name: "reader", upstream: "store"}, DefaultConfig())
+
+	tb.call("store", put("x", "a"))
+	attack := tb.call("store", put("x", "b"))
+	tb.call("reader", wire.NewRequest("POST", "/fetch").WithForm("key", "x"))
+	if got := string(tb.call("reader", get("x")).Body); got != "" {
+		_ = got // reader's kv is empty; cache holds the fetched value
+	}
+	o, ok := readCache(tb, "reader", "x")
+	if !ok || o != "b" {
+		t.Fatalf("reader cache = %q, %v; want b", o, ok)
+	}
+
+	if _, err := store.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: attack.Header[wire.HdrRequestID]}); err != nil {
+		t.Fatal(err)
+	}
+	tb.settle(10)
+
+	o, ok = readCache(tb, "reader", "x")
+	if !ok || o != "a" {
+		t.Fatalf("after replace_response reader cache = %q, %v; want a", o, ok)
+	}
+}
+
+func readCache(tb *testbed, svc, key string) (string, bool) {
+	c := tb.ctrls[svc]
+	v, ok := c.Svc.Store.Get(cacheKey(key))
+	if !ok {
+		return "", false
+	}
+	return v.Fields["val"], true
+}
+
+func TestRepairCreatesNewRemoteRequest(t *testing.T) {
+	// A replace that un-suppresses mirroring: the replayed request makes a
+	// call it never made originally, so a create repair flows to the mirror
+	// (§3.2: "issue a new HTTP request that it did not issue during the
+	// original execution").
+	tb := newTestbed()
+	a := tb.add(&kvApp{name: "a", mirror: "b"}, DefaultConfig())
+	b := tb.add(&kvApp{name: "b"}, DefaultConfig())
+
+	// "local:" prefix suppresses the mirror call.
+	bad := tb.call("a", put("x", "local:oops"))
+	tb.settle(10)
+	if _, ok := b.Svc.Store.Get(kvKey("x")); ok {
+		t.Fatal("precondition: mirror must not have x yet")
+	}
+
+	if _, err := a.ApplyLocal(warp.Action{
+		Kind:   warp.ReplaceReq,
+		ReqID:  bad.Header[wire.HdrRequestID],
+		NewReq: put("x", "shared"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tb.settle(10)
+
+	if got := string(tb.call("b", get("x")).Body); got != "shared" {
+		t.Fatalf("mirror after create = %q, want shared", got)
+	}
+	// The tentative timeout response recorded for the created call must
+	// have been replaced by the mirror's real response.
+	recs := a.Svc.Log.All()
+	var found bool
+	for _, r := range recs {
+		for _, call := range r.Calls {
+			if call.Target == "b" && !call.Tentative && call.Resp.OK() {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("created call's tentative response was never replaced")
+	}
+	// And the call record must have learned the peer-assigned request ID so
+	// future repairs can name it (delete after create must work).
+	rec, _ := a.Svc.Log.Get(bad.Header[wire.HdrRequestID])
+	if len(rec.Calls) != 1 || rec.Calls[0].RemoteReqID == "" {
+		t.Fatalf("call record did not learn RemoteReqID: %+v", rec.Calls)
+	}
+}
+
+func TestRepairDeletesDroppedRemoteCall(t *testing.T) {
+	// The inverse: replacing a mirrored write with a suppressed one makes
+	// re-execution skip the call, so a delete flows to the mirror.
+	tb := newTestbed()
+	a := tb.add(&kvApp{name: "a", mirror: "b"}, DefaultConfig())
+	tb.add(&kvApp{name: "b"}, DefaultConfig())
+
+	bad := tb.call("a", put("x", "mirrored"))
+	tb.settle(10)
+	if got := string(tb.call("b", get("x")).Body); got != "mirrored" {
+		t.Fatalf("precondition: mirror holds %q", got)
+	}
+
+	if _, err := a.ApplyLocal(warp.Action{
+		Kind:   warp.ReplaceReq,
+		ReqID:  bad.Header[wire.HdrRequestID],
+		NewReq: put("x", "local:private"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tb.settle(10)
+
+	if resp := tb.call("b", get("x")); resp.Status != 404 {
+		t.Fatalf("mirror copy should be deleted, got %d %q", resp.Status, resp.Body)
+	}
+	if got := string(tb.call("a", get("x")).Body); got != "local:private" {
+		t.Fatalf("a = %q", got)
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"aire/internal/repairlog"
+	"aire/internal/transport"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+// enqueue adds repair messages to the outgoing queue, collapsing messages
+// that target the same request or response (§3.2: "If multiple repair
+// messages refer to the same request or the same response, Aire can
+// collapse them, by keeping only the most recent repair message").
+func (c *Controller) enqueue(msgs []warp.OutMsg) {
+	if len(msgs) == 0 {
+		return
+	}
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for _, m := range msgs {
+		c.smu.Lock()
+		c.stats.MsgsQueued++
+		c.smu.Unlock()
+		if key := collapseKey(m); key != "" {
+			replaced := false
+			for _, p := range c.queue {
+				if collapseKey(p.Msg) == key {
+					p.Msg = m // keep the newest content, the oldest position
+					p.Held = false
+					p.Attempts = 0
+					replaced = true
+					break
+				}
+			}
+			if replaced {
+				continue
+			}
+		}
+		c.nextID++
+		p := &PendingMsg{
+			MsgID: fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID),
+			Msg:   m,
+		}
+		c.queue = append(c.queue, p)
+		c.emit(EvMsgQueued, p.MsgID, "%s -> %s (req=%s resp=%s)", m.Kind, m.Target, m.RemoteReqID, m.RespID)
+	}
+}
+
+// collapseKey identifies the request/response a repair message is about;
+// messages with equal keys supersede one another. Creates are never
+// collapsed (each denotes a distinct new request).
+func collapseKey(m warp.OutMsg) string {
+	switch m.Kind {
+	case warp.OutReplace, warp.OutDelete:
+		return "req|" + m.Target + "|" + m.RemoteReqID
+	case warp.OutReplaceResponse:
+		return "resp|" + m.NotifierURL + "|" + m.RespID
+	}
+	return ""
+}
+
+// Pending returns a snapshot of the outgoing queue, including held messages
+// awaiting Retry; applications surface these to users so stale credentials
+// can be refreshed (§7.2).
+func (c *Controller) Pending() []PendingMsg {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	out := make([]PendingMsg, len(c.queue))
+	for i, p := range c.queue {
+		out[i] = *p
+	}
+	return out
+}
+
+// QueueLen returns how many repair messages are queued (held or not).
+func (c *Controller) QueueLen() int {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	return len(c.queue)
+}
+
+// Retry revives a held repair message, optionally merging updated
+// credential headers into its payload (Table 2's retry function: the
+// application obtained fresh credentials and asks Aire to resend).
+func (c *Controller) Retry(msgID string, updatedHeaders map[string]string) error {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for _, p := range c.queue {
+		if p.MsgID != msgID {
+			continue
+		}
+		if p.Msg.Req.Header == nil {
+			p.Msg.Req.Header = map[string]string{}
+		}
+		for k, v := range updatedHeaders {
+			p.Msg.Req.Header[k] = v
+		}
+		p.Held = false
+		p.Attempts = 0
+		p.LastErr = ""
+		return nil
+	}
+	return fmt.Errorf("core: no pending message %s", msgID)
+}
+
+// Drop abandons a queued repair message (the user chose not to pursue the
+// repair, §4: "ask if the message should be dropped altogether").
+func (c *Controller) Drop(msgID string) error {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for i, p := range c.queue {
+		if p.MsgID == msgID {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: no pending message %s", msgID)
+}
+
+// ExportQueue returns the outgoing queue for persistence.
+func (c *Controller) ExportQueue() []PendingMsg {
+	return c.Pending()
+}
+
+// ImportQueue restores a persisted outgoing queue (appended to any current
+// contents, re-collapsed by message identity).
+func (c *Controller) ImportQueue(msgs []PendingMsg) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for _, m := range msgs {
+		p := m
+		c.nextID++
+		if p.MsgID == "" {
+			p.MsgID = fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID)
+		}
+		c.queue = append(c.queue, &p)
+	}
+}
+
+// Flush attempts one delivery pass over the outgoing queue and reports how
+// many messages were delivered and how many remain. Messages to unavailable
+// peers stay queued (§3: asynchronous repair); messages refused as
+// unauthorized or permanently unavailable are parked or dropped with an
+// application notification.
+func (c *Controller) Flush() (delivered, remaining int) {
+	c.qmu.Lock()
+	pending := make([]*PendingMsg, 0, len(c.queue))
+	for _, p := range c.queue {
+		if !p.Held {
+			pending = append(pending, p)
+		}
+	}
+	c.qmu.Unlock()
+
+	done := make(map[*PendingMsg]bool)
+	for _, p := range pending {
+		switch c.deliver(p) {
+		case deliverOK:
+			done[p] = true
+			c.smu.Lock()
+			c.stats.MsgsDelivered++
+			c.smu.Unlock()
+			c.emit(EvMsgDelivered, p.MsgID, "%s delivered to %s", p.Msg.Kind, p.Msg.Target)
+		case deliverGone:
+			done[p] = true
+			c.smu.Lock()
+			c.stats.MsgsFailed++
+			c.smu.Unlock()
+			c.notify(Notification{
+				MsgID: p.MsgID, Kind: "gone", Target: p.Msg.Target, RepairType: string(p.Msg.Kind),
+				Detail: "peer reports the request's logs were garbage-collected; repair is permanently unavailable: " + p.LastErr,
+			})
+		case deliverDenied:
+			p.Held = true
+			c.emit(EvMsgHeld, p.MsgID, "%s to %s held: unauthorized", p.Msg.Kind, p.Msg.Target)
+			c.notify(Notification{
+				MsgID: p.MsgID, Kind: "unauthorized", Target: p.Msg.Target, RepairType: string(p.Msg.Kind),
+				Detail: "peer rejected repair message as unauthorized; refresh credentials and Retry: " + p.LastErr,
+			})
+		case deliverRetry:
+			p.Attempts++
+			if p.Attempts >= c.Cfg.MaxAttempts {
+				p.Held = true
+				c.emit(EvMsgHeld, p.MsgID, "%s to %s held: unreachable after %d attempts", p.Msg.Kind, p.Msg.Target, p.Attempts)
+				c.notify(Notification{
+					MsgID: p.MsgID, Kind: "unreachable", Target: p.Msg.Target, RepairType: string(p.Msg.Kind),
+					Detail: fmt.Sprintf("peer unreachable after %d attempts; message held for Retry: %s", p.Attempts, p.LastErr),
+				})
+			}
+		}
+	}
+
+	c.qmu.Lock()
+	kept := c.queue[:0]
+	for _, p := range c.queue {
+		if !done[p] {
+			kept = append(kept, p)
+		} else {
+			delivered++
+		}
+	}
+	c.queue = kept
+	remaining = len(c.queue)
+	c.qmu.Unlock()
+	return delivered, remaining
+}
+
+// parkForPolling places a response-repair token in the named client's
+// mailbox. The token itself is the fetch capability (bearer semantics),
+// since an unauthenticated polling client has no transport identity.
+func (c *Controller) parkForPolling(p *PendingMsg, clientID string) deliverStatus {
+	m := &p.Msg
+	if p.token == "" {
+		p.token = c.Svc.IDs.Token()
+	}
+	payload, err := json.Marshal(respRepairPayload{
+		RespID:      m.RespID,
+		RemoteReqID: m.LocalReqID,
+		Resp:        m.Resp.Encode(),
+	})
+	if err != nil {
+		p.LastErr = err.Error()
+		return deliverGone
+	}
+	c.tokmu.Lock()
+	c.tokens[p.token] = tokenEntry{payload: payload} // empty audience = bearer
+	c.mailboxes[clientID] = append(c.mailboxes[clientID], p.token)
+	c.tokmu.Unlock()
+	return deliverOK
+}
+
+type deliverStatus int
+
+const (
+	deliverOK deliverStatus = iota
+	deliverRetry
+	deliverDenied
+	deliverGone
+)
+
+// deliver attempts one repair message.
+func (c *Controller) deliver(p *PendingMsg) deliverStatus {
+	m := &p.Msg
+	switch m.Kind {
+	case warp.OutReplace, warp.OutDelete, warp.OutCreate:
+		return c.deliverRepairCall(p)
+	case warp.OutReplaceResponse:
+		return c.deliverReplaceResponse(p)
+	}
+	p.LastErr = "unknown repair kind " + string(m.Kind)
+	return deliverGone
+}
+
+// deliverRepairCall sends replace/delete/create through the peer's repair
+// API. The repaired request itself is encoded in the body, the operation in
+// the Aire-Repair header — the encoding §3.1 describes.
+func (c *Controller) deliverRepairCall(p *PendingMsg) deliverStatus {
+	m := &p.Msg
+	req := wire.NewRequest("POST", "/aire/repair")
+	req.Header[wire.HdrRepair] = string(m.Kind)
+	if m.RemoteReqID != "" {
+		req.Header[wire.HdrRequestID] = m.RemoteReqID
+	}
+	if m.Kind != warp.OutDelete {
+		req.Header[wire.HdrResponseID] = m.RespID
+		req.Header[wire.HdrNotifierURL] = transport.NotifierURL(c.Svc.Name)
+		req.Body = m.Req.Encode()
+	}
+	if m.Kind == warp.OutCreate {
+		req.Form["before_id"] = m.BeforeID
+		req.Form["after_id"] = m.AfterID
+	}
+	// Credentials ride on the repaired request's own headers; for delete
+	// (which has no payload) copy them onto the carrier so the peer's
+	// authorize can check the issuing principal (§4).
+	for k, v := range m.Req.Header {
+		if k != wire.HdrRequestID && k != wire.HdrResponseID && k != wire.HdrNotifierURL && k != wire.HdrRepair {
+			req.Header[k] = v
+		}
+	}
+
+	resp, err := c.Net.Call(c.Svc.Name, m.Target, req)
+	if err != nil {
+		p.LastErr = err.Error()
+		return deliverRetry
+	}
+	switch {
+	case resp.OK():
+		// Learn the peer-assigned request ID for the repaired/created
+		// request so future repairs can name it.
+		if m.CallRespID != "" {
+			if newID := resp.Header[wire.HdrRequestID]; newID != "" {
+				if rec, i, ok := c.Svc.Log.FindByCallRespID(m.CallRespID); ok {
+					_ = c.Svc.Log.Update(rec.ID, func(r *repairlog.Record) {
+						r.Calls[i].RemoteReqID = newID
+					})
+				}
+			}
+		}
+		return deliverOK
+	case resp.Status == 401 || resp.Status == 403:
+		p.LastErr = string(resp.Body)
+		return deliverDenied
+	case resp.Status == 410:
+		p.LastErr = string(resp.Body)
+		return deliverGone
+	default:
+		p.LastErr = fmt.Sprintf("peer returned %d: %s", resp.Status, resp.Body)
+		return deliverRetry
+	}
+}
+
+// deliverReplaceResponse runs the two-step token handshake of §3.1: mint a
+// token naming the corrected response, send only the token to the client's
+// notifier URL, and let the client fetch (and authenticate) the payload.
+// Browser-style clients with poll:// notifier URLs cannot accept inbound
+// connections; their tokens are parked in a mailbox they poll.
+func (c *Controller) deliverReplaceResponse(p *PendingMsg) deliverStatus {
+	m := &p.Msg
+	if clientID, ok := transport.ParsePollNotifierURL(m.NotifierURL); ok {
+		return c.parkForPolling(p, clientID)
+	}
+	audience, path, err := transport.ParseNotifierURL(m.NotifierURL)
+	if err != nil {
+		p.LastErr = err.Error()
+		return deliverGone
+	}
+	if p.token == "" {
+		p.token = c.Svc.IDs.Token()
+	}
+	payload, err := json.Marshal(respRepairPayload{
+		RespID:      m.RespID,
+		RemoteReqID: m.LocalReqID,
+		Resp:        m.Resp.Encode(),
+	})
+	if err != nil {
+		p.LastErr = err.Error()
+		return deliverGone
+	}
+	c.tokmu.Lock()
+	c.tokens[p.token] = tokenEntry{audience: audience, payload: payload}
+	c.tokmu.Unlock()
+
+	req := wire.NewRequest("POST", path).WithForm("token", p.token, "server", c.Svc.Name)
+	resp, err := c.Net.Call(c.Svc.Name, audience, req)
+	if err != nil {
+		p.LastErr = err.Error()
+		return deliverRetry
+	}
+	switch {
+	case resp.OK():
+		return deliverOK
+	case resp.Status == 401 || resp.Status == 403:
+		p.LastErr = string(resp.Body)
+		return deliverDenied
+	default:
+		p.LastErr = fmt.Sprintf("notifier returned %d: %s", resp.Status, resp.Body)
+		return deliverRetry
+	}
+}

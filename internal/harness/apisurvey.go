@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SurveyEntry classifies one popular web-service API for Table 3: every
+// service offers a simple last-writer-wins CRUD interface, and half also
+// expose a versioning API (which, per §5.2, needs branching to support
+// partially repaired states).
+type SurveyEntry struct {
+	Service     string
+	SimpleCRUD  bool
+	Versioned   bool
+	Description string
+}
+
+// APISurvey is the paper's Table 3.
+var APISurvey = []SurveyEntry{
+	{"Amazon S3", true, true, "Simple file storage"},
+	{"Google Docs", true, true, "Office applications"},
+	{"Google Drive", true, true, "File hosting"},
+	{"Dropbox", true, true, "File hosting"},
+	{"Github", true, true, "Project hosting"},
+	{"Facebook", true, false, "Social networking"},
+	{"Twitter", true, false, "Social microblogging"},
+	{"Flickr", true, false, "Photo sharing"},
+	{"Salesforce", true, false, "Web-based CRM"},
+	{"Heroku", true, false, "Cloud apps platform"},
+}
+
+// FormatAPISurvey renders Table 3 as text.
+func FormatAPISurvey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-7s %-10s %s\n", "Service", "CRUD", "Versioned", "Description")
+	for _, e := range APISurvey {
+		mark := func(v bool) string {
+			if v {
+				return "yes"
+			}
+			return "-"
+		}
+		fmt.Fprintf(&b, "%-14s %-7s %-10s %s\n", e.Service, mark(e.SimpleCRUD), mark(e.Versioned), e.Description)
+	}
+	return b.String()
+}

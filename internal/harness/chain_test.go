@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aire/internal/apps/spreadsheet"
+	"aire/internal/core"
+	"aire/internal/wire"
+)
+
+// TestThreeHopSyncChain extends the corrupt-data-sync scenario to a chain
+// A → B → C: sync scripts on A and B relay cell changes two hops. Repair of
+// the attack on A must cascade delete → delete across both hops.
+func TestThreeHopSyncChain(t *testing.T) {
+	tb := NewTestbed()
+	a := tb.Add(spreadsheet.New("hopA", BootstrapToken), core.DefaultConfig())
+	tb.Add(spreadsheet.New("hopB", BootstrapToken), core.DefaultConfig())
+	tb.Add(spreadsheet.New("hopC", BootstrapToken), core.DefaultConfig())
+	tb.FreezeTime(1_380_000_000)
+
+	seed := func(svc, path string, kv ...string) {
+		tb.MustCall(svc, wire.NewRequest("POST", path).WithForm(kv...).
+			WithHeader("X-Bootstrap", BootstrapToken))
+	}
+	for _, svc := range []string{"hopA", "hopB", "hopC"} {
+		seed(svc, "/seed/token", "user", LegitUser, "value", LegitToken)
+		seed(svc, "/seed/acl", "user", LegitUser, "perms", "rw")
+	}
+	seed("hopA", "/seed/script", "id", "sync-ab", "trigger", "shared:",
+		"action", "sync", "target", "hopB", "owner", LegitUser, "token", LegitToken)
+	seed("hopB", "/seed/script", "id", "sync-bc", "trigger", "shared:",
+		"action", "sync", "target", "hopC", "owner", LegitUser, "token", LegitToken)
+
+	// A legitimate value flows A -> B -> C.
+	tb.MustCall("hopA", setCell("shared:doc", "v1", LegitUser, LegitToken))
+	for _, svc := range []string{"hopA", "hopB", "hopC"} {
+		if got := string(tb.Call(svc, getCell("shared:doc")).Body); got != "v1" {
+			t.Fatalf("%s = %q before attack", svc, got)
+		}
+	}
+
+	// The "attack": an unwanted overwrite (user mistake per §1) that also
+	// propagates two hops.
+	bad := tb.MustCall("hopA", setCell("shared:doc", "CORRUPT", LegitUser, LegitToken))
+	if got := string(tb.Call("hopC", getCell("shared:doc")).Body); got != "CORRUPT" {
+		t.Fatalf("hopC = %q, corruption should have reached it", got)
+	}
+
+	// Cancel on A; repair must cascade A -> B -> C.
+	if _, err := a.ApplyLocal(cancelAction(bad.Header[wire.HdrRequestID])); err != nil {
+		t.Fatal(err)
+	}
+	tb.Settle(20)
+	for _, svc := range []string{"hopA", "hopB", "hopC"} {
+		if got := string(tb.Call(svc, getCell("shared:doc")).Body); got != "v1" {
+			t.Fatalf("%s = %q after repair, want v1", svc, got)
+		}
+	}
+	// Each hop ran a repair.
+	for _, svc := range []string{"hopB", "hopC"} {
+		if tb.Ctrls[svc].Stats().RepairsRun == 0 {
+			t.Fatalf("%s never repaired", svc)
+		}
+	}
+}
+
+// TestConcurrentNormalOperation hammers one service from many goroutines;
+// the per-service lock serializes execution (like the paper's prototype)
+// and nothing corrupts. Run under -race.
+func TestConcurrentNormalOperation(t *testing.T) {
+	tb := NewTestbed()
+	tb.Add(&KVApp{ServiceName: "a"}, core.DefaultConfig())
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("k%d", w)
+				resp := tb.Call("a", wire.NewRequest("POST", "/put").
+					WithForm("key", key, "val", fmt.Sprintf("%d", i)))
+				if !resp.OK() {
+					t.Errorf("worker %d put %d: %+v", w, i, resp)
+					return
+				}
+				tb.Call("a", wire.NewRequest("GET", "/get").WithForm("key", key))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ctrl := tb.Ctrls["a"]
+	if got := ctrl.Svc.Log.Len(); got != workers*perWorker*2 {
+		t.Fatalf("log has %d records, want %d", got, workers*perWorker*2)
+	}
+	// Every worker's final value is its last write.
+	for w := 0; w < workers; w++ {
+		resp := tb.Call("a", wire.NewRequest("GET", "/get").WithForm("key", fmt.Sprintf("k%d", w)))
+		if string(resp.Body) != fmt.Sprintf("%d", perWorker-1) {
+			t.Fatalf("worker %d final value = %q", w, resp.Body)
+		}
+	}
+}
+
+// TestConcurrentRepairAndTraffic repairs while other goroutines keep
+// sending traffic; the service lock makes repair atomic with respect to
+// normal requests. Run under -race.
+func TestConcurrentRepairAndTraffic(t *testing.T) {
+	tb := NewTestbed()
+	a := tb.Add(&KVApp{ServiceName: "a"}, core.DefaultConfig())
+	attack := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "hot", "val", "evil"))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			tb.Call("a", wire.NewRequest("POST", "/put").WithForm("key", fmt.Sprintf("bg%d", i%7), "val", fmt.Sprint(i)))
+			tb.Call("a", wire.NewRequest("GET", "/sum"))
+		}
+	}()
+
+	if _, err := a.ApplyLocal(cancelAction(attack.Header[wire.HdrRequestID])); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if resp := tb.Call("a", wire.NewRequest("GET", "/get").WithForm("key", "hot")); resp.Status != 404 {
+		t.Fatalf("attack value survived concurrent repair: %d %q", resp.Status, resp.Body)
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+// TestRepairOverRealHTTP runs the mirror-repair flow over real net/http
+// sockets (httptest servers), proving that Aire's headers, repair API, and
+// notify/fetch handshake survive a genuine HTTP round trip — the deployment
+// model of cmd/aireserve.
+func TestRepairOverRealHTTP(t *testing.T) {
+	caller := &transport.HTTPCaller{BaseURLs: map[string]string{}}
+	ctrlA := core.NewController(&KVApp{ServiceName: "a", Mirror: "b"}, caller, core.DefaultConfig())
+	ctrlB := core.NewController(&KVApp{ServiceName: "b"}, caller, core.DefaultConfig())
+
+	srvA := httptest.NewServer(transport.NewHTTPHandler(ctrlA))
+	defer srvA.Close()
+	srvB := httptest.NewServer(transport.NewHTTPHandler(ctrlB))
+	defer srvB.Close()
+	caller.BaseURLs["a"] = srvA.URL
+	caller.BaseURLs["b"] = srvB.URL
+
+	call := func(svc string, req wire.Request) wire.Response {
+		resp, err := caller.Call("", svc, req)
+		if err != nil {
+			t.Fatalf("%s: %v", svc, err)
+		}
+		return resp
+	}
+
+	// Write through A; it mirrors to B over HTTP.
+	put := call("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "good"))
+	if !put.OK() {
+		t.Fatalf("put: %+v", put)
+	}
+	attack := call("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "evil"))
+	if got := string(call("b", wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != "evil" {
+		t.Fatalf("b = %q", got)
+	}
+
+	// Repair through the public HTTP repair API (what a curl user would do).
+	del := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "delete",
+		wire.HdrRequestID, attack.Header[wire.HdrRequestID],
+	)
+	if resp := call("a", del); !resp.OK() {
+		t.Fatalf("repair call failed: %d %s", resp.Status, resp.Body)
+	}
+	// Drain outgoing queues (aireserve does this on a timer).
+	for i := 0; i < 5; i++ {
+		ctrlA.Flush()
+		ctrlB.Flush()
+	}
+
+	if got := string(call("a", wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != "good" {
+		t.Fatalf("a after repair = %q", got)
+	}
+	if got := string(call("b", wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != "good" {
+		t.Fatalf("b after repair = %q (repair did not cross real HTTP)", got)
+	}
+}

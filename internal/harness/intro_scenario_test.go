@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/apps/crm"
+	"aire/internal/apps/permsvc"
+	"aire/internal/core"
+	"aire/internal/wire"
+)
+
+const permAdminToken = "perm-admin"
+
+// introWorld stands up the paper's §1 motivating example: a customer
+// management service (Salesforce-like) and an employee management service
+// (Workday-like), both pulling permissions from a centralized
+// access-control service.
+func introWorld(t *testing.T) (*Testbed, *core.Controller) {
+	t.Helper()
+	tb := NewTestbed()
+	perms := tb.Add(permsvc.New(permAdminToken), core.DefaultConfig())
+	crmApp := crm.New("perms")
+	tb.Add(crmApp, core.DefaultConfig())
+	hr := crm.New("perms")
+	hr.ServiceName = "workday"
+	tb.Add(hr, core.DefaultConfig())
+	tb.FreezeTime(1_380_000_000)
+
+	grant := func(svc, user, level string) {
+		tb.MustCall("perms", wire.NewRequest("POST", "/grant").
+			WithForm("svc", svc, "user", user, "level", level).
+			WithHeader("X-Admin-Token", permAdminToken))
+	}
+	grant("crm", "alice", "rw")
+	grant("workday", "alice", "rw")
+	grant("crm", "bob", "r")
+	return tb, perms
+}
+
+// TestIntroScenario reproduces §1 end to end: the attacker gains write
+// access through the access-control service, corrupts both dependent
+// services, and a single repair of the bad grant unwinds everything —
+// propagated purely through replace_response messages, since the
+// dependents *pull* permissions per request.
+func TestIntroScenario(t *testing.T) {
+	tb, perms := introWorld(t)
+
+	// Legitimate records.
+	custID := string(tb.MustCall("crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "ACME Corp", "notes", "renewal due Q3")).Body)
+	empID := string(tb.MustCall("workday", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "Jo Engineer", "notes", "L5")).Body)
+
+	// The attack: mallory obtains write grants on both services (the §1
+	// "exploits a bug in the access control service" — modeled as the bad
+	// grant requests themselves, which repair will cancel).
+	g1 := tb.MustCall("perms", wire.NewRequest("POST", "/grant").
+		WithForm("svc", "crm", "user", "mallory", "level", "rw").
+		WithHeader("X-Admin-Token", permAdminToken))
+	g2 := tb.MustCall("perms", wire.NewRequest("POST", "/grant").
+		WithForm("svc", "workday", "user", "mallory", "level", "rw").
+		WithHeader("X-Admin-Token", permAdminToken))
+
+	// Mallory corrupts records on both services.
+	tb.MustCall("crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "id", custID, "name", "ACME Corp", "notes", "OWNED"))
+	tb.MustCall("workday", wire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "id", empID, "name", "Jo Engineer", "notes", "FIRED lol"))
+	// And creates a fake customer.
+	fakeID := string(tb.MustCall("crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "name", "Shell Co", "notes", "wire money here")).Body)
+
+	// Interleaved legitimate traffic that must survive.
+	tb.MustCall("crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "id", custID, "name", "ACME Corp", "notes", "renewal due Q3; called them"))
+
+	if got := string(tb.Call("workday", wire.NewRequest("GET", "/customer").
+		WithForm("user", "alice", "id", empID)).Body); !strings.Contains(got, "FIRED") {
+		t.Fatalf("precondition: corruption missing: %q", got)
+	}
+
+	// Recovery: the perms administrator cancels the two bad grants.
+	for _, g := range []wire.Response{g1, g2} {
+		if _, err := perms.ApplyLocal(cancelAction(g.Header[wire.HdrRequestID])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.Settle(30)
+
+	// Corruption gone everywhere; legitimate edits preserved.
+	if got := string(tb.Call("crm", wire.NewRequest("GET", "/customer").
+		WithForm("user", "alice", "id", custID)).Body); !strings.Contains(got, "called them") {
+		t.Fatalf("crm legitimate edit lost: %q", got)
+	}
+	if got := string(tb.Call("workday", wire.NewRequest("GET", "/customer").
+		WithForm("user", "alice", "id", empID)).Body); strings.Contains(got, "FIRED") {
+		t.Fatalf("workday still corrupted: %q", got)
+	}
+	if resp := tb.Call("crm", wire.NewRequest("GET", "/customer").
+		WithForm("user", "alice", "id", fakeID)); resp.Status != 404 {
+		t.Fatalf("fake customer survived: %d %q", resp.Status, resp.Body)
+	}
+	// Mallory has no access anymore.
+	if resp := tb.Call("crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "name", "again")); resp.OK() {
+		t.Fatal("mallory still has write access")
+	}
+	// The repair reached the dependents via replace_response (no repair
+	// calls ever target crm/workday requests directly in this scenario).
+	for _, svc := range []string{"crm", "workday"} {
+		if tb.Ctrls[svc].Stats().RepairsRun == 0 {
+			t.Fatalf("%s never repaired", svc)
+		}
+	}
+}
+
+// TestIntroScenarioDependentOffline repairs the grants while the CRM is
+// down: the perm service and Workday recover immediately; the CRM catches
+// up when it returns (§3's asynchrony on the pull path).
+func TestIntroScenarioDependentOffline(t *testing.T) {
+	tb, perms := introWorld(t)
+	custID := string(tb.MustCall("crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "alice", "name", "ACME", "notes", "ok")).Body)
+	g := tb.MustCall("perms", wire.NewRequest("POST", "/grant").
+		WithForm("svc", "crm", "user", "mallory", "level", "rw").
+		WithHeader("X-Admin-Token", permAdminToken))
+	tb.MustCall("crm", wire.NewRequest("POST", "/customer").
+		WithForm("user", "mallory", "id", custID, "name", "ACME", "notes", "OWNED"))
+
+	tb.SetOffline("crm", true)
+	if _, err := perms.ApplyLocal(cancelAction(g.Header[wire.HdrRequestID])); err != nil {
+		t.Fatal(err)
+	}
+	tb.Settle(2)
+	// The grant is gone centrally even though the CRM hasn't heard yet.
+	if got := string(tb.Call("perms", wire.NewRequest("GET", "/check").
+		WithForm("svc", "crm", "user", "mallory")).Body); got != "" {
+		t.Fatalf("grant survived on perms: %q", got)
+	}
+	if perms.QueueLen() == 0 {
+		t.Fatal("replace_response for crm should be queued")
+	}
+
+	tb.SetOffline("crm", false)
+	tb.Settle(20)
+	if got := string(tb.Call("crm", wire.NewRequest("GET", "/customer").
+		WithForm("user", "alice", "id", custID)).Body); strings.Contains(got, "OWNED") {
+		t.Fatalf("crm still corrupted after catching up: %q", got)
+	}
+}

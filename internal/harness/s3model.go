@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"fmt"
+
+	"aire/internal/core"
+	"aire/internal/orm"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// s3App is the Amazon-S3 stand-in of Figure 2: a simple PUT/GET object
+// store with last-writer-wins semantics.
+type s3App struct{ name string }
+
+func (a *s3App) Name() string                        { return a.name }
+func (a *s3App) Authorize(ac core.AuthzRequest) bool { return true }
+
+func (a *s3App) Register(svc *web.Service) {
+	svc.Schema.Register("object")
+	svc.Router.Handle("POST", "/put", func(c *web.Ctx) wire.Response {
+		if err := c.DB.Put("object", c.Form("key"), orm.Fields("val", c.Form("val"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK("ok")
+	})
+	svc.Router.Handle("GET", "/get", func(c *web.Ctx) wire.Response {
+		o, ok := c.DB.Get("object", c.Form("key"))
+		if !ok {
+			return c.Error(404, "no such object")
+		}
+		return c.OK(o.Get("val"))
+	})
+}
+
+// s3Client is client A of Figure 2: each /observe call reads object x from
+// the S3 service and appends what it saw to a local observation list.
+type s3Client struct {
+	name     string
+	upstream string
+}
+
+func (a *s3Client) Name() string                        { return a.name }
+func (a *s3Client) Authorize(ac core.AuthzRequest) bool { return true }
+
+func (a *s3Client) Register(svc *web.Service) {
+	svc.Schema.Register("obs")
+	svc.Router.Handle("POST", "/observe", func(c *web.Ctx) wire.Response {
+		resp := c.Call(a.upstream, wire.NewRequest("GET", "/get").WithForm("key", c.Form("key")))
+		obsID := c.NewID()
+		if err := c.DB.Put("obs", obsID, orm.Fields(
+			"key", c.Form("key"), "val", string(resp.Body), "status", fmt.Sprint(resp.Status))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		return c.OK(string(resp.Body))
+	})
+}

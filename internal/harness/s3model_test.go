@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/vdb"
+	"aire/internal/wire"
+)
+
+// TestFigure2S3Model reproduces the partially-repaired-state contract of §5
+// (Figure 2): object X holds a, the attacker writes b, client A observes b;
+// after S3 deletes the attacker's put, A's next read returns a — a state a
+// concurrent repair client could have produced — and A's *first* read is
+// later corrected by replace_response.
+func TestFigure2S3Model(t *testing.T) {
+	tb := NewTestbed()
+	s3 := tb.Add(&s3App{name: "s3"}, core.DefaultConfig())
+	client := tb.Add(&s3Client{name: "clientA", upstream: "s3"}, core.DefaultConfig())
+
+	// t0: X = a. t1: attacker writes b.
+	tb.MustCall("s3", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "a"))
+	attack := tb.MustCall("s3", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "b"))
+
+	// t2: client A reads X and sees b.
+	op2 := tb.MustCall("clientA", wire.NewRequest("POST", "/observe").WithForm("key", "x"))
+	if string(op2.Body) != "b" {
+		t.Fatalf("op2 observed %q, want b", op2.Body)
+	}
+
+	// Between t2 and t3: S3 deletes the attacker's put (local repair only —
+	// no propagation yet, modeling the window of partial repair).
+	if _, err := s3.ApplyLocal(cancelAction(attack.Header[wire.HdrRequestID])); err != nil {
+		t.Fatal(err)
+	}
+
+	// t3: client A reads again and sees a — valid under the concurrent
+	// repair-client model even though A has not yet received any repair.
+	op3 := tb.MustCall("clientA", wire.NewRequest("POST", "/observe").WithForm("key", "x"))
+	if string(op3.Body) != "a" {
+		t.Fatalf("op3 observed %q, want a", op3.Body)
+	}
+
+	// A's first observation is still the stale b: partially repaired state.
+	obs2, ok := client.Svc.Store.Get(vdb.Key{Model: "obs", ID: firstObsID(client)})
+	if !ok || obs2.Fields["val"] != "b" {
+		t.Fatalf("pre-propagation eager check failed: %+v %v", obs2, ok)
+	}
+
+	// Eventually S3's replace_response reaches A and corrects the logged
+	// response — and A's local state that depended on it.
+	tb.Settle(10)
+	obs2, ok = client.Svc.Store.Get(vdb.Key{Model: "obs", ID: firstObsID(client)})
+	if !ok || obs2.Fields["val"] != "a" {
+		t.Fatalf("after replace_response first observation = %+v, want a", obs2)
+	}
+}
+
+// firstObsID returns the ID of the first observation object created by the
+// client's first /observe request.
+func firstObsID(client *core.Controller) string {
+	for _, r := range client.Svc.Log.All() {
+		if r.Req.Path == "/observe" {
+			return r.ID + ".0"
+		}
+	}
+	return ""
+}
+
+func TestAPISurveyShape(t *testing.T) {
+	// Table 3's two claims: every surveyed service offers simple CRUD, and
+	// exactly half offer a versioning API.
+	versioned := 0
+	for _, e := range APISurvey {
+		if !e.SimpleCRUD {
+			t.Errorf("%s should offer simple CRUD", e.Service)
+		}
+		if e.Versioned {
+			versioned++
+		}
+	}
+	if len(APISurvey) != 10 || versioned != 5 {
+		t.Fatalf("survey = %d services, %d versioned; want 10 and 5", len(APISurvey), versioned)
+	}
+	if FormatAPISurvey() == "" {
+		t.Fatal("empty survey rendering")
+	}
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/wire"
+)
+
+// TestCancelScriptInstallationUnwindsItsActions cancels the request that
+// *installed* the directory's distribution script. Every ACL distribution
+// the script ever performed was a side effect of later /set requests
+// re-reading the script model, so repair re-executes those /sets without
+// the script — and deletes the distributions on the sheets.
+func TestCancelScriptInstallationUnwindsItsActions(t *testing.T) {
+	tb := NewTestbed()
+	dir := tb.Add(newSheet("dir"), core.DefaultConfig())
+	tb.Add(newSheet("sheetA"), core.DefaultConfig())
+	tb.FreezeTime(1_380_000_000)
+
+	seed := func(svc, path string, kv ...string) wire.Response {
+		return tb.MustCall(svc, wire.NewRequest("POST", path).WithForm(kv...).
+			WithHeader("X-Bootstrap", BootstrapToken))
+	}
+	for _, svc := range []string{"dir", "sheetA"} {
+		seed(svc, "/seed/token", "user", DirectorUser, "value", DirectorToken)
+		seed(svc, "/seed/token", "user", AdminUser, "value", AdminToken)
+		seed(svc, "/seed/acl", "user", DirectorUser, "perms", "rwa")
+	}
+	seed("dir", "/seed/acl", "user", AdminUser, "perms", "rw")
+
+	// Install the distribution script — this request is the repair target.
+	install := seed("dir", "/seed/script", "id", "dist-a", "trigger", "acl:sheetA:",
+		"action", "distribute", "target", "sheetA", "owner", DirectorUser, "token", DirectorToken)
+
+	// The admin grants bob access via the master list; the script
+	// distributes it.
+	tb.MustCall("dir", setCell("acl:sheetA:bob", "rw", AdminUser, AdminToken))
+	if resp := tb.Call("sheetA", wire.NewRequest("GET", "/acl").WithForm("user", "bob")); string(resp.Body) != "rw" {
+		t.Fatalf("distribution failed: %+v", resp)
+	}
+
+	// Cancel the script installation itself.
+	if _, err := dir.ApplyLocal(cancelAction(install.Header[wire.HdrRequestID])); err != nil {
+		t.Fatal(err)
+	}
+	tb.Settle(20)
+
+	// The master cell remains (the admin's write is legitimate), but the
+	// distribution it triggered is unwound on sheetA.
+	if resp := tb.Call("dir", getCell("acl:sheetA:bob")); string(resp.Body) != "rw" {
+		t.Fatalf("master ACL cell lost: %+v", resp)
+	}
+	if resp := tb.Call("sheetA", wire.NewRequest("GET", "/acl").WithForm("user", "bob")); resp.Status != 404 {
+		t.Fatalf("distribution not unwound: %d %q", resp.Status, resp.Body)
+	}
+}
+
+// TestCreateScriptInPast is the paper's §3.1 motivating case for create:
+// the administrator forgot to install the script before the ACL update;
+// repair creates the installation request in the past, and re-execution of
+// the later /set performs the distribution that should have happened.
+func TestCreateScriptInPast(t *testing.T) {
+	tb := NewTestbed()
+	dir := tb.Add(newSheet("dir"), core.DefaultConfig())
+	tb.Add(newSheet("sheetA"), core.DefaultConfig())
+	tb.FreezeTime(1_380_000_000)
+
+	seed := func(svc, path string, kv ...string) wire.Response {
+		return tb.MustCall(svc, wire.NewRequest("POST", path).WithForm(kv...).
+			WithHeader("X-Bootstrap", BootstrapToken))
+	}
+	for _, svc := range []string{"dir", "sheetA"} {
+		seed(svc, "/seed/token", "user", DirectorUser, "value", DirectorToken)
+		seed(svc, "/seed/token", "user", AdminUser, "value", AdminToken)
+		seed(svc, "/seed/acl", "user", DirectorUser, "perms", "rwa")
+	}
+	lastSeed := seed("dir", "/seed/acl", "user", AdminUser, "perms", "rw")
+
+	// The ACL update runs with no script installed: nothing distributed.
+	set := tb.MustCall("dir", setCell("acl:sheetA:bob", "rw", AdminUser, AdminToken))
+	if resp := tb.Call("sheetA", wire.NewRequest("GET", "/acl").WithForm("user", "bob")); resp.Status != 404 {
+		t.Fatal("precondition: nothing should be distributed yet")
+	}
+
+	// Create the forgotten installation between the last seed and the set.
+	installReq := wire.NewRequest("POST", "/seed/script").WithForm(
+		"id", "dist-a", "trigger", "acl:sheetA:", "action", "distribute",
+		"target", "sheetA", "owner", DirectorUser, "token", DirectorToken).
+		WithHeader("X-Bootstrap", BootstrapToken)
+	cre := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrRepair, "create", "X-Bootstrap", BootstrapToken)
+	cre.Form["before_id"] = lastSeed.Header[wire.HdrRequestID]
+	cre.Form["after_id"] = set.Header[wire.HdrRequestID]
+	cre.Body = installReq.Encode()
+	if resp := tb.Call("dir", cre); !resp.OK() {
+		t.Fatalf("create: %d %s", resp.Status, resp.Body)
+	}
+	tb.Settle(20)
+
+	// The /set re-executed with the script present: distribution created on
+	// sheetA "in the past".
+	if resp := tb.Call("sheetA", wire.NewRequest("GET", "/acl").WithForm("user", "bob")); string(resp.Body) != "rw" {
+		t.Fatalf("distribution not created by repair: %d %q", resp.Status, resp.Body)
+	}
+	_ = dir
+}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"fmt"
+
+	"aire/internal/apps/spreadsheet"
+	"aire/internal/core"
+	"aire/internal/wire"
+)
+
+// Principals and tokens used by the spreadsheet scenarios (Figure 5).
+const (
+	BootstrapToken = "sheet-bootstrap"
+	DirectorUser   = "director"
+	DirectorToken  = "tok-director"
+	AdminUser      = "admin"
+	AdminToken     = "tok-admin"
+	AttackerUser   = "mallory"
+	AttackerToken  = "tok-mallory"
+	LegitUser      = "alice"
+	LegitToken     = "tok-alice"
+)
+
+// SheetScenario is the three-service spreadsheet setup of Figure 5: an ACL
+// directory holding the master access-control list, and two spreadsheet
+// services whose ACLs the directory's script keeps in sync.
+type SheetScenario struct {
+	TB   *Testbed
+	Dir  *core.Controller
+	A, B *core.Controller
+
+	// AdminMistakeReqID is the request the administrator later cancels
+	// (the ACL mistake, or the world-writable misconfiguration).
+	AdminMistakeReqID string
+	// AdminMistakeReqID2 is the second ACL mistake (sheetB's entry) in the
+	// lax-permission scenario.
+	AdminMistakeReqID2 string
+	// CorruptReqIDs are the attacker's corrupting /set requests.
+	CorruptReqIDs []string
+	// ExpectedBudgetA is the legitimate value Verify expects in sheetA's
+	// "budget" cell after repair (default "100"; tests that write later
+	// legitimate values update it).
+	ExpectedBudgetA string
+}
+
+// NewSheetScenario stands up the directory and spreadsheets A and B,
+// seeding ACLs, service tokens, the distribution scripts on the directory,
+// and (optionally) a sync script on A for the corrupt-data scenario.
+func NewSheetScenario(withSync bool, cfg core.Config) *SheetScenario {
+	tb := NewTestbed()
+	s := &SheetScenario{
+		TB:  tb,
+		Dir: tb.Add(spreadsheet.New("dir", BootstrapToken), cfg),
+		A:   tb.Add(spreadsheet.New("sheetA", BootstrapToken), cfg),
+		B:   tb.Add(spreadsheet.New("sheetB", BootstrapToken), cfg),
+	}
+	tb.FreezeTime(1_380_000_000)
+
+	seed := func(svc, path string, kv ...string) {
+		tb.MustCall(svc, wire.NewRequest("POST", path).WithForm(kv...).
+			WithHeader("X-Bootstrap", BootstrapToken))
+	}
+	for _, svc := range []string{"dir", "sheetA", "sheetB"} {
+		// The director may administer ACLs everywhere; the admin may write
+		// the directory; alice may write the sheets.
+		seed(svc, "/seed/token", "user", DirectorUser, "value", DirectorToken)
+		seed(svc, "/seed/token", "user", AdminUser, "value", AdminToken)
+		seed(svc, "/seed/token", "user", AttackerUser, "value", AttackerToken)
+		seed(svc, "/seed/token", "user", LegitUser, "value", LegitToken)
+		seed(svc, "/seed/acl", "user", DirectorUser, "perms", "rwa")
+	}
+	seed("dir", "/seed/acl", "user", AdminUser, "perms", "rw")
+	for _, svc := range []string{"sheetA", "sheetB"} {
+		seed(svc, "/seed/acl", "user", LegitUser, "perms", "rw")
+	}
+	// Distribution scripts: a change to cell "acl:sheetA:<user>" on the
+	// directory updates sheetA's ACL for <user> (same for sheetB).
+	seed("dir", "/seed/script", "id", "dist-a", "trigger", "acl:sheetA:",
+		"action", "distribute", "target", "sheetA", "owner", DirectorUser, "token", DirectorToken)
+	seed("dir", "/seed/script", "id", "dist-b", "trigger", "acl:sheetB:",
+		"action", "distribute", "target", "sheetB", "owner", DirectorUser, "token", DirectorToken)
+	if withSync {
+		// Sync script: changes to "shared:*" cells on A replicate to B.
+		seed("sheetA", "/seed/script", "id", "sync-b", "trigger", "shared:",
+			"action", "sync", "target", "sheetB", "owner", LegitUser, "token", LegitToken)
+	}
+	return s
+}
+
+// RunLegitTraffic writes some legitimate cells on both sheets.
+func (s *SheetScenario) RunLegitTraffic() {
+	s.TB.MustCall("sheetA", setCell("budget", "100", LegitUser, LegitToken))
+	s.TB.MustCall("sheetB", setCell("headcount", "7", LegitUser, LegitToken))
+	s.ExpectedBudgetA = "100"
+}
+
+// RunLaxPermissionAttack performs the first §7.1 spreadsheet scenario: the
+// administrator mistakenly grants the attacker write access in the master
+// ACL; the directory's script distributes it; the attacker corrupts cells
+// on both sheets.
+func (s *SheetScenario) RunLaxPermissionAttack() error {
+	for _, target := range []string{"sheetA", "sheetB"} {
+		resp := s.TB.Call("dir", setCell("acl:"+target+":"+AttackerUser, "rw", AdminUser, AdminToken))
+		if !resp.OK() {
+			return fmt.Errorf("admin ACL update: %s", resp.Body)
+		}
+		// The administrator made two mistakes (one per sheet); both are
+		// cancelled at repair time.
+		if s.AdminMistakeReqID == "" {
+			s.AdminMistakeReqID = resp.Header[wire.HdrRequestID]
+		} else {
+			s.AdminMistakeReqID2 = resp.Header[wire.HdrRequestID]
+		}
+	}
+	// The attacker exploits the distributed permission.
+	for _, target := range []string{"sheetA", "sheetB"} {
+		resp := s.TB.Call(target, setCell("budget", "0wned", AttackerUser, AttackerToken))
+		if !resp.OK() {
+			return fmt.Errorf("attacker write to %s should have succeeded: %s", target, resp.Body)
+		}
+		s.CorruptReqIDs = append(s.CorruptReqIDs, resp.Header[wire.HdrRequestID])
+	}
+	return nil
+}
+
+// RunWorldWritableAttack performs the second scenario: the directory itself
+// is misconfigured world-writable, and the attacker adds *themselves* to
+// the master ACL before corrupting the sheets.
+func (s *SheetScenario) RunWorldWritableAttack() error {
+	resp := s.TB.Call("dir", wire.NewRequest("POST", "/seed/config").
+		WithForm("key", "world_writable", "value", "true").
+		WithHeader("X-Bootstrap", BootstrapToken))
+	if !resp.OK() {
+		return fmt.Errorf("misconfig: %s", resp.Body)
+	}
+	s.AdminMistakeReqID = resp.Header[wire.HdrRequestID]
+
+	for _, target := range []string{"sheetA", "sheetB"} {
+		r := s.TB.Call("dir", setCell("acl:"+target+":"+AttackerUser, "rw", AttackerUser, AttackerToken))
+		if !r.OK() {
+			return fmt.Errorf("attacker ACL self-grant on %s: %s", target, r.Body)
+		}
+	}
+	for _, target := range []string{"sheetA", "sheetB"} {
+		r := s.TB.Call(target, setCell("budget", "0wned", AttackerUser, AttackerToken))
+		if !r.OK() {
+			return fmt.Errorf("attacker write to %s: %s", target, r.Body)
+		}
+		s.CorruptReqIDs = append(s.CorruptReqIDs, r.Header[wire.HdrRequestID])
+	}
+	return nil
+}
+
+// RunCorruptSyncAttack performs the third scenario: as in the lax-permission
+// attack, but the attacker corrupts only a synced cell on A, and A's sync
+// script spreads the corruption to B.
+func (s *SheetScenario) RunCorruptSyncAttack() error {
+	s.TB.MustCall("sheetA", setCell("shared:plan", "Q3 roadmap", LegitUser, LegitToken))
+	resp := s.TB.Call("dir", setCell("acl:sheetA:"+AttackerUser, "rw", AdminUser, AdminToken))
+	if !resp.OK() {
+		return fmt.Errorf("admin ACL update: %s", resp.Body)
+	}
+	s.AdminMistakeReqID = resp.Header[wire.HdrRequestID]
+
+	r := s.TB.Call("sheetA", setCell("shared:plan", "0wned plan", AttackerUser, AttackerToken))
+	if !r.OK() {
+		return fmt.Errorf("attacker write: %s", r.Body)
+	}
+	s.CorruptReqIDs = append(s.CorruptReqIDs, r.Header[wire.HdrRequestID])
+	if v, _ := s.cellValue("sheetB", "shared:plan"); v != "0wned plan" {
+		return fmt.Errorf("sync should have spread corruption to B, got %q", v)
+	}
+	return nil
+}
+
+// Repair cancels the administrator's mistake on the directory and settles
+// repair propagation.
+func (s *SheetScenario) Repair() error {
+	if _, err := s.Dir.ApplyLocal(cancelAction(s.AdminMistakeReqID)); err != nil {
+		return err
+	}
+	if s.AdminMistakeReqID2 != "" {
+		if _, err := s.Dir.ApplyLocal(cancelAction(s.AdminMistakeReqID2)); err != nil {
+			return err
+		}
+	}
+	s.TB.Settle(20)
+	return nil
+}
+
+func (s *SheetScenario) cellValue(svc, cell string) (string, bool) {
+	resp := s.TB.Call(svc, getCell(cell))
+	if !resp.OK() {
+		return "", false
+	}
+	return string(resp.Body), true
+}
+
+// Verify checks that the attacker's privileges and corruption are gone from
+// every online service while legitimate state survives.
+func (s *SheetScenario) Verify() []string {
+	var problems []string
+	for _, svc := range []string{"sheetA", "sheetB"} {
+		if s.TB.Bus.Offline(svc) {
+			continue
+		}
+		if _, ok := s.TB.Ctrls[svc].Svc.Store.Get(aclKey(AttackerUser)); ok {
+			problems = append(problems, svc+": attacker still in ACL")
+		}
+		if v, ok := s.cellValue(svc, "budget"); ok && v == "0wned" {
+			problems = append(problems, svc+": budget still corrupted")
+		}
+		if v, ok := s.cellValue(svc, "shared:plan"); ok && v == "0wned plan" {
+			problems = append(problems, svc+": synced cell still corrupted")
+		}
+	}
+	if v, ok := s.cellValue("sheetA", "budget"); ok && v != s.ExpectedBudgetA && v != "0wned" {
+		problems = append(problems, "sheetA: legitimate budget value lost: "+v)
+	}
+	return problems
+}

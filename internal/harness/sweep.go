@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aire/internal/core"
+)
+
+// SweepPoint is one measurement of repair cost as workload size grows.
+type SweepPoint struct {
+	Users            int
+	TotalRequests    int
+	RepairedRequests int
+	RepairTime       time.Duration
+	NormalTime       time.Duration
+}
+
+// SweepRepair measures Askbot repair time across user counts — the scaling
+// series behind Table 5: repair cost should track the *affected* slice of
+// the log (dominated by the per-user question-list views), not its total
+// size.
+func SweepRepair(userCounts []int, posts int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, users := range userCounts {
+		s, err := NewAskbotScenario(users, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := s.PreRegister(users); err != nil {
+			return nil, err
+		}
+		if err := s.RunAttack(); err != nil {
+			return nil, err
+		}
+		if err := s.RunLegitTraffic(users, posts); err != nil {
+			return nil, err
+		}
+		normal := time.Since(start)
+		if err := s.Repair(); err != nil {
+			return nil, err
+		}
+		if problems := s.Verify(); len(problems) > 0 {
+			return nil, fmt.Errorf("users=%d: repair incomplete: %v", users, problems)
+		}
+		rr, tr, _, _ := s.Askbot.RepairCounts()
+		out = append(out, SweepPoint{
+			Users:            users,
+			TotalRequests:    tr,
+			RepairedRequests: rr,
+			RepairTime:       s.Askbot.RepairDuration(),
+			NormalTime:       normal,
+		})
+	}
+	return out, nil
+}
+
+// FormatSweep renders the sweep as an aligned text series.
+func FormatSweep(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %12s %12s %14s %14s\n", "users", "total reqs", "repaired", "repair time", "normal time")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %12d %12d %14s %14s\n",
+			p.Users, p.TotalRequests, p.RepairedRequests,
+			p.RepairTime.Round(time.Microsecond), p.NormalTime.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"testing"
+
+	"aire/internal/core"
+)
+
+func TestMeasureOverheadSmoke(t *testing.T) {
+	for _, wl := range []string{"read", "write"} {
+		row, err := MeasureOverhead(wl, 30, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if row.BaseThroughput <= 0 || row.AireThroughput <= 0 {
+			t.Fatalf("%s: zero throughput: %+v", wl, row)
+		}
+		// Aire must cost something but not be absurd (paper: 19-30%).
+		if row.AireThroughput > row.BaseThroughput {
+			t.Logf("%s: Aire faster than baseline (%.0f vs %.0f req/s) — noise at small n", wl, row.AireThroughput, row.BaseThroughput)
+		}
+		if row.LogKBPerReq <= 0 {
+			t.Fatalf("%s: no log growth recorded: %+v", wl, row)
+		}
+		t.Logf("%s: base=%.0f req/s aire=%.0f req/s overhead=%.1f%% log=%.2f KB/req db=%.2f KB/req",
+			wl, row.BaseThroughput, row.AireThroughput, row.OverheadPct, row.LogKBPerReq, row.DBKBPerReq)
+	}
+}
+
+func TestMeasureRepairSmoke(t *testing.T) {
+	res, err := MeasureRepair(10, 3, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-8s repaired %d/%d requests, %d/%d model ops, %d msgs, repair %v",
+			r.Service, r.RepairedRequests, r.TotalRequests, r.RepairedModelOps, r.TotalModelOps, r.MsgsSent, r.RepairTime)
+		if r.TotalRequests == 0 {
+			t.Fatalf("%s: no requests logged", r.Service)
+		}
+		// Selective re-execution: strictly fewer repaired than total.
+		if r.RepairedRequests >= r.TotalRequests {
+			t.Fatalf("%s: repair not selective (%d/%d)", r.Service, r.RepairedRequests, r.TotalRequests)
+		}
+	}
+	// Messages flowed: oauth -> askbot (replace_response), askbot -> dpaste
+	// (delete).
+	var oauthMsgs, askbotMsgs int64
+	for _, r := range res.Rows {
+		switch r.Service {
+		case "oauth":
+			oauthMsgs = r.MsgsSent
+		case "askbot":
+			askbotMsgs = r.MsgsSent
+		}
+	}
+	if oauthMsgs == 0 || askbotMsgs == 0 {
+		t.Fatalf("expected repair messages from oauth (%d) and askbot (%d)", oauthMsgs, askbotMsgs)
+	}
+}

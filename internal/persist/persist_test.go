@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/harness"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+// buildState runs traffic on a mirrored pair and takes a (queued) repair:
+// a writes to b, b goes offline, a repairs locally with a pending delete.
+func buildState(t *testing.T) (*harness.Testbed, *core.Controller, string) {
+	t.Helper()
+	tb := harness.NewTestbed()
+	a := tb.Add(&harness.KVApp{ServiceName: "a", Mirror: "b"}, core.DefaultConfig())
+	tb.Add(&harness.KVApp{ServiceName: "b"}, core.DefaultConfig())
+
+	tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "good"))
+	attack := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "evil"))
+	tb.Settle(5)
+	tb.SetOffline("b", true)
+	if _, err := a.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: attack.Header[wire.HdrRequestID]}); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	return tb, a, attack.Header[wire.HdrRequestID]
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	_, a, _ := buildState(t)
+	snap := Capture(a)
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Service != "a" {
+		t.Fatalf("service = %q", got.Service)
+	}
+	if len(got.Records) != len(snap.Records) || len(got.Objects) != len(snap.Objects) || len(got.Queue) != len(snap.Queue) {
+		t.Fatalf("round trip mismatch: %d/%d records, %d/%d objects, %d/%d queue",
+			len(got.Records), len(snap.Records), len(got.Objects), len(snap.Objects), len(got.Queue), len(snap.Queue))
+	}
+	if got.ClockNow != snap.ClockNow || got.IDCounter != snap.IDCounter {
+		t.Fatalf("clock/counter mismatch: %d/%d %d/%d", got.ClockNow, snap.ClockNow, got.IDCounter, snap.IDCounter)
+	}
+}
+
+// TestRestartPreservesQueuedRepair is the headline durability property: a
+// service restarts from its snapshot and still delivers the repair message
+// that was queued for an offline peer.
+func TestRestartPreservesQueuedRepair(t *testing.T) {
+	tb, a, _ := buildState(t)
+	path := filepath.Join(t.TempDir(), "a.snap")
+	if err := SaveFile(a, path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh controller for the same app, same bus.
+	a2 := core.NewController(&harness.KVApp{ServiceName: "a", Mirror: "b"}, tb.Bus, core.DefaultConfig())
+	if err := LoadFile(a2, path); err != nil {
+		t.Fatal(err)
+	}
+	tb.Bus.Register("a", a2) // replaces the old instance
+	tb.Ctrls["a"] = a2
+
+	if a2.QueueLen() != 1 {
+		t.Fatalf("restored queue = %d, want 1", a2.QueueLen())
+	}
+	// State restored.
+	if got := string(tb.Call("a", wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != "good" {
+		t.Fatalf("restored a = %q", got)
+	}
+
+	// The peer returns; before the queue drains it still holds the attack
+	// value; after, it rolls back to the legitimate mirrored value.
+	tb.SetOffline("b", false)
+	if got := string(tb.Call("b", wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != "evil" {
+		t.Fatalf("precondition: b should hold the attack value, got %q", got)
+	}
+	tb.Settle(10)
+	if got := string(tb.Call("b", wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != "good" {
+		t.Fatalf("b not repaired from restored queue: %q", got)
+	}
+}
+
+// TestRestartRemainsRepairable: a restored service can still repair its
+// pre-restart requests (the log and versioned store survived).
+func TestRestartRemainsRepairable(t *testing.T) {
+	tb := harness.NewTestbed()
+	a := tb.Add(&harness.KVApp{ServiceName: "a"}, core.DefaultConfig())
+	good := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "k", "val", "v1"))
+	tb.MustCall("a", wire.NewRequest("GET", "/get").WithForm("key", "k"))
+
+	path := filepath.Join(t.TempDir(), "a.snap")
+	if err := SaveFile(a, path); err != nil {
+		t.Fatal(err)
+	}
+	a2 := core.NewController(&harness.KVApp{ServiceName: "a"}, tb.Bus, core.DefaultConfig())
+	if err := LoadFile(a2, path); err != nil {
+		t.Fatal(err)
+	}
+	tb.Bus.Register("a", a2)
+	tb.Ctrls["a"] = a2
+
+	// New traffic mints non-colliding IDs and timestamps.
+	fresh := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "k2", "val", "v2"))
+	if fresh.Header[wire.HdrRequestID] == good.Header[wire.HdrRequestID] {
+		t.Fatal("restored ID generator reissued an old request ID")
+	}
+
+	// Repair a pre-restart request post-restart.
+	if _, err := a2.ApplyLocal(warp.Action{
+		Kind: warp.ReplaceReq, ReqID: good.Header[wire.HdrRequestID],
+		NewReq: wire.NewRequest("POST", "/put").WithForm("key", "k", "val", "fixed"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(tb.Call("a", wire.NewRequest("GET", "/get").WithForm("key", "k")).Body); got != "fixed" {
+		t.Fatalf("post-restart repair: k = %q", got)
+	}
+}
+
+func TestApplyGuards(t *testing.T) {
+	_, a, _ := buildState(t)
+	snap := Capture(a)
+
+	wrong := core.NewController(&harness.KVApp{ServiceName: "other"}, harness.NewTestbed().Bus, core.DefaultConfig())
+	if err := Apply(wrong, snap); err == nil {
+		t.Fatal("snapshot for another service must be rejected")
+	}
+	if err := Apply(a, snap); err == nil {
+		t.Fatal("restore into a non-empty controller must be rejected")
+	}
+}

@@ -1,0 +1,370 @@
+// Package repairlog implements Aire's per-service repair log (§2.1, §2.2).
+//
+// During normal operation the log records every handled request together
+// with its response, the database versions it read and wrote, the outgoing
+// HTTP calls it made (and the Aire identifiers exchanged on them), and its
+// recorded sources of nondeterminism. Local repair walks this log to find
+// requests affected by an attack, re-executes them, and updates their
+// records in place so that an already-repaired request can be repaired again
+// (§2.2: "a future repair can perform recovery on an already repaired
+// request").
+package repairlog
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"aire/internal/vdb"
+	"aire/internal/wire"
+)
+
+// ReadDep records one object read: the key, the timestamp of the version
+// observed (0 when the read missed), and a fingerprint of the value read.
+// Repair re-evaluates the read against the current store: the reader is
+// affected only if the fingerprint changed.
+type ReadDep struct {
+	Key  vdb.Key `json:"key"`
+	TS   int64   `json:"ts"`
+	Hash uint64  `json:"hash"`
+}
+
+// ScanDep records one list query over a model: a fingerprint of the set of
+// live objects (IDs and values) visible at read time.
+type ScanDep struct {
+	Model string `json:"model"`
+	Hash  uint64 `json:"hash"`
+}
+
+// WriteDep records one object write: the key and the version timestamp.
+type WriteDep struct {
+	Key vdb.Key `json:"key"`
+	TS  int64   `json:"ts"`
+}
+
+// Nondet records one consumed source of nondeterminism (kind "now" or
+// "rand"), replayed in order during re-execution so local repair is stable
+// (§3.3).
+type Nondet struct {
+	Kind  string `json:"kind"`
+	Value int64  `json:"value"`
+}
+
+// Call records one outgoing HTTP call made while handling a request.
+type Call struct {
+	// Seq is the call's position within the handling request.
+	Seq int `json:"seq"`
+	// Target is the peer service the call was sent to.
+	Target string `json:"target"`
+	// RespID is the Aire-Response-Id this service assigned; it names the
+	// peer's response for a later replace_response (§3.1).
+	RespID string `json:"resp_id"`
+	// RemoteReqID is the Aire-Request-Id the peer assigned; it names our
+	// request on the peer for later replace/delete repair calls.
+	RemoteReqID string `json:"remote_req_id"`
+	// Req and Resp are the call's current (possibly repaired) payloads.
+	Req  wire.Request  `json:"req"`
+	Resp wire.Response `json:"resp"`
+	// Tentative marks a response that is a placeholder timeout produced
+	// during repair (§3.2); the true response arrives later via
+	// replace_response.
+	Tentative bool `json:"tentative,omitempty"`
+	// Failed marks a call whose delivery failed during normal operation.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Effect records one external side effect (e.g. sending email). Effects
+// cannot be undone by rollback; when re-execution changes an effect's
+// payload, the repair engine runs a compensating action (§7.1: the daily
+// summary email notifies the administrator of the new contents).
+type Effect struct {
+	Seq     int    `json:"seq"`
+	Kind    string `json:"kind"`
+	Payload string `json:"payload"`
+}
+
+// Record is the log entry for one handled request.
+type Record struct {
+	// ID is the Aire-Request-Id this service assigned to the request.
+	ID string `json:"id"`
+	// TS is the request's position on the service's logical timeline.
+	TS int64 `json:"ts"`
+	// From is the authenticated peer service name ("" for an external
+	// client such as a browser).
+	From string `json:"from,omitempty"`
+	// ClientRespID is the Aire-Response-Id supplied by the client; it names
+	// our response on the client for replace_response ("" if the client is
+	// not Aire-enabled).
+	ClientRespID string `json:"client_resp_id,omitempty"`
+	// NotifierURL is where a response-repair token for this request's
+	// response should be sent ("" if the client did not supply one).
+	NotifierURL string `json:"notifier_url,omitempty"`
+
+	// Req and Resp are the current (possibly repaired) request and response.
+	Req  wire.Request  `json:"req"`
+	Resp wire.Response `json:"resp"`
+
+	Reads   []ReadDep  `json:"reads,omitempty"`
+	Scans   []ScanDep  `json:"scans,omitempty"`
+	Writes  []WriteDep `json:"writes,omitempty"`
+	Calls   []Call     `json:"calls,omitempty"`
+	Nondet  []Nondet   `json:"nondet,omitempty"`
+	Effects []Effect   `json:"effects,omitempty"`
+
+	// Skipped marks a request cancelled by a delete repair: its effects are
+	// rolled back and it is not re-executed, but the record remains so the
+	// repair is itself repairable.
+	Skipped bool `json:"skipped,omitempty"`
+	// Synthetic marks a request created "in the past" by a create repair.
+	Synthetic bool `json:"synthetic,omitempty"`
+	// RepairGen counts how many times the request has been re-executed;
+	// versioned-API applications fold it into fresh version IDs (§5.2).
+	RepairGen int `json:"repair_gen,omitempty"`
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	c := *r
+	c.Req = r.Req.Clone()
+	c.Resp = r.Resp.Clone()
+	c.Reads = append([]ReadDep(nil), r.Reads...)
+	c.Scans = append([]ScanDep(nil), r.Scans...)
+	c.Writes = append([]WriteDep(nil), r.Writes...)
+	c.Calls = make([]Call, len(r.Calls))
+	for i, cl := range r.Calls {
+		cl.Req = cl.Req.Clone()
+		cl.Resp = cl.Resp.Clone()
+		c.Calls[i] = cl
+	}
+	c.Nondet = append([]Nondet(nil), r.Nondet...)
+	c.Effects = append([]Effect(nil), r.Effects...)
+	return &c
+}
+
+// Log is the per-service repair log. Create one with New. Log is safe for
+// concurrent use; records handed out are owned by the log and must only be
+// mutated through Update.
+type Log struct {
+	mu       sync.RWMutex
+	byID     map[string]*Record
+	order    []*Record // sorted by TS ascending
+	gcBefore int64
+
+	compress    bool
+	sampleEvery int64
+	rawBytes    int64 // cumulative raw JSON size of all records
+	samples     int64
+	sampleRaw   int64 // raw bytes of the compression-sampled records
+	sampleGz    int64 // gzip bytes of the compression-sampled records
+}
+
+// New returns an empty log. If compress is true, per-record size accounting
+// reports gzip-compressed JSON, matching the paper's Table 4 methodology
+// ("per-request storage required for Aire's logs (compressed)").
+// Compression happens off the request's critical path in a real deployment,
+// so the log gzips only every 16th record and scales the raw size by the
+// observed compression ratio; use SetSampleRate(1) for exact accounting.
+func New(compress bool) *Log {
+	return &Log{byID: make(map[string]*Record), compress: compress, sampleEvery: 16}
+}
+
+// SetSampleRate controls how often a record is actually gzipped for size
+// accounting (1 = every record).
+func (l *Log) SetSampleRate(n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	l.sampleEvery = n
+}
+
+// Append adds a record. Records may arrive with any timestamp (repair
+// creates requests in the past); ordering is maintained by insertion.
+func (l *Log) Append(r *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.byID[r.ID]; dup {
+		return fmt.Errorf("repairlog: duplicate record id %s", r.ID)
+	}
+	l.byID[r.ID] = r
+	i := sort.Search(len(l.order), func(i int) bool { return l.order[i].TS > r.TS })
+	l.order = append(l.order, nil)
+	copy(l.order[i+1:], l.order[i:])
+	l.order[i] = r
+	l.accountSize(r)
+	return nil
+}
+
+func (l *Log) accountSize(r *Record) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	l.rawBytes += int64(len(b))
+	if l.compress && l.samples%l.sampleEvery == 0 {
+		var cw countingWriter
+		zw := gzPool.Get().(*gzip.Writer)
+		zw.Reset(&cw)
+		zw.Write(b)
+		zw.Close()
+		gzPool.Put(zw)
+		l.sampleRaw += int64(len(b))
+		l.sampleGz += cw.n
+	}
+	l.samples++
+}
+
+// gzPool recycles gzip writers: their ~1 MB of internal tables dominate the
+// logging path if allocated per record.
+var gzPool = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return zw
+	},
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// Get returns the record with the given ID.
+func (l *Log) Get(id string) (*Record, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	r, ok := l.byID[id]
+	return r, ok
+}
+
+// Update applies fn to the record with the given ID under the log's lock.
+func (l *Log) Update(id string, fn func(*Record)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.byID[id]
+	if !ok {
+		return fmt.Errorf("repairlog: no record %s", id)
+	}
+	fn(r)
+	return nil
+}
+
+// From returns the records with TS >= ts, oldest first.
+func (l *Log) From(ts int64) []*Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	i := sort.Search(len(l.order), func(i int) bool { return l.order[i].TS >= ts })
+	return append([]*Record(nil), l.order[i:]...)
+}
+
+// All returns every record, oldest first.
+func (l *Log) All() []*Record {
+	return l.From(0)
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.order)
+}
+
+// FindByCallRespID locates the record containing the outgoing call that
+// assigned the given Aire-Response-Id, along with the call's index. Used to
+// apply an incoming replace_response.
+func (l *Log) FindByCallRespID(respID string) (*Record, int, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, r := range l.order {
+		for i, c := range r.Calls {
+			if c.RespID == respID {
+				return r, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// NeighborCalls returns the Aire-Request-Ids (as assigned by the peer) of
+// the latest call to target strictly before ts and the earliest call at or
+// after ts. They anchor a create repair's before_id/after_id (§3.1): the
+// client orders the new request relative to messages it itself exchanged
+// with the service.
+func (l *Log) NeighborCalls(target string, ts int64) (beforeID, afterID string) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, r := range l.order {
+		for _, c := range r.Calls {
+			if c.Target != target || c.RemoteReqID == "" {
+				continue
+			}
+			if r.TS < ts {
+				beforeID = c.RemoteReqID
+			} else if afterID == "" {
+				afterID = c.RemoteReqID
+				return beforeID, afterID
+			}
+		}
+	}
+	return beforeID, afterID
+}
+
+// TSOf returns the timestamp of the record with the given ID (0, false if
+// absent or garbage-collected).
+func (l *Log) TSOf(id string) (int64, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	r, ok := l.byID[id]
+	if !ok {
+		return 0, false
+	}
+	return r.TS, true
+}
+
+// GC discards records with TS < beforeTS (§9). After GC, repairs that name a
+// discarded request report the service as permanently unavailable.
+func (l *Log) GC(beforeTS int64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if beforeTS > l.gcBefore {
+		l.gcBefore = beforeTS
+	}
+	i := sort.Search(len(l.order), func(i int) bool { return l.order[i].TS >= beforeTS })
+	for _, r := range l.order[:i] {
+		delete(l.byID, r.ID)
+	}
+	l.order = append([]*Record(nil), l.order[i:]...)
+	return i
+}
+
+// GCBefore returns the garbage-collection horizon (0 if GC never ran).
+func (l *Log) GCBefore() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.gcBefore
+}
+
+// AppBytes returns the cumulative (compressed, if enabled) encoded size of
+// all records appended, for Table 4's per-request log storage accounting.
+// With compression enabled, the value is the raw size scaled by the
+// compression ratio observed on sampled records.
+func (l *Log) AppBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if !l.compress || l.sampleRaw == 0 {
+		return l.rawBytes
+	}
+	return int64(float64(l.rawBytes) * float64(l.sampleGz) / float64(l.sampleRaw))
+}
+
+// Samples returns how many records have contributed to AppBytes.
+func (l *Log) Samples() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.samples
+}

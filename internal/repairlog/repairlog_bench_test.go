@@ -1,0 +1,62 @@
+package repairlog
+
+import (
+	"fmt"
+	"testing"
+
+	"aire/internal/vdb"
+	"aire/internal/wire"
+)
+
+func benchRecord(i int) *Record {
+	r := &Record{
+		ID:  fmt.Sprintf("svc-req-%d", i),
+		TS:  int64(i+1) * 1000,
+		Req: wire.NewRequest("POST", "/ask").WithForm("title", "benchmark question", "body", "some body text that is fairly typical in length for a post"),
+	}
+	r.Resp = wire.NewResponse(200, "q-svc-req-1.0")
+	for j := 0; j < 6; j++ {
+		r.Reads = append(r.Reads, ReadDep{Key: vdb.Key{Model: "question", ID: fmt.Sprintf("q%d", j)}, TS: int64(j), Hash: uint64(j) + 1})
+	}
+	r.Writes = []WriteDep{{Key: vdb.Key{Model: "question", ID: "q1"}, TS: int64(i+1) * 1000}}
+	r.Nondet = []Nondet{{Kind: "now", Value: 12345}}
+	return r
+}
+
+// BenchmarkAppendCompressed measures the per-request logging cost with
+// compression-ratio sampling (the production configuration).
+func BenchmarkAppendCompressed(b *testing.B) {
+	l := New(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(l.AppBytes())/float64(l.Samples()), "bytes/rec")
+}
+
+// BenchmarkAppendExact gzips every record — the worst-case inline cost.
+func BenchmarkAppendExact(b *testing.B) {
+	l := New(true)
+	l.SetSampleRate(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindByCallRespID(b *testing.B) {
+	l := New(false)
+	for i := 0; i < 2000; i++ {
+		r := benchRecord(i)
+		r.Calls = []Call{{Target: "peer", RespID: fmt.Sprintf("svc-resp-%d", i)}}
+		l.Append(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.FindByCallRespID("svc-resp-1999")
+	}
+}

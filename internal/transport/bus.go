@@ -1,0 +1,157 @@
+// Package transport connects Aire services to one another.
+//
+// The primary transport is an in-memory Bus: deterministic, fast, and able
+// to inject the failures the paper's partial-repair experiments need (§7.2)
+// — offline services, delivery timeouts, and unreachable notifier URLs. The
+// bus authenticates the *callee* by name (the moral equivalent of the
+// server's X.509 certificate in §3.1) and reports the caller's registered
+// name to the callee (services layer their own credential checks on top, as
+// §4 requires).
+//
+// An adapter in httpadapter.go runs the same services over real net/http
+// sockets for the runnable examples.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aire/internal/wire"
+)
+
+// Handler processes one request addressed to a service. from is the
+// transport-authenticated name of the calling service ("" for an external,
+// unauthenticated client such as a browser).
+type Handler interface {
+	HandleWire(from string, req wire.Request) wire.Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from string, req wire.Request) wire.Response
+
+// HandleWire calls f.
+func (f HandlerFunc) HandleWire(from string, req wire.Request) wire.Response {
+	return f(from, req)
+}
+
+// ErrUnavailable is returned when the destination service is offline or the
+// delivery timed out. Aire treats both identically: the repair message stays
+// queued for a later attempt (§3).
+var ErrUnavailable = errors.New("transport: service unavailable")
+
+// ErrUnknownService is returned when no service with the given name exists.
+var ErrUnknownService = errors.New("transport: unknown service")
+
+// Bus is an in-memory service fabric. The zero value is not usable; create
+// one with NewBus. Bus is safe for concurrent use.
+type Bus struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	offline  map[string]bool
+
+	calls atomic.Int64
+	drops atomic.Int64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{handlers: make(map[string]Handler), offline: make(map[string]bool)}
+}
+
+// Register attaches a service to the bus under the given name.
+func (b *Bus) Register(name string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers[name] = h
+}
+
+// SetOffline marks a service offline (true) or online (false). Calls to an
+// offline service fail with ErrUnavailable, exactly the condition Aire's
+// outgoing queues are designed to ride out (§3.2).
+func (b *Bus) SetOffline(name string, off bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.offline[name] = off
+}
+
+// Offline reports whether the named service is currently offline.
+func (b *Bus) Offline(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.offline[name]
+}
+
+// Call delivers req to service `to`, reporting `from` as the authenticated
+// caller identity.
+func (b *Bus) Call(from, to string, req wire.Request) (wire.Response, error) {
+	b.mu.RLock()
+	h, ok := b.handlers[to]
+	off := b.offline[to]
+	b.mu.RUnlock()
+	if !ok {
+		b.drops.Add(1)
+		return wire.Response{}, fmt.Errorf("%w: %s", ErrUnknownService, to)
+	}
+	if off {
+		b.drops.Add(1)
+		return wire.Response{}, fmt.Errorf("%w: %s is offline", ErrUnavailable, to)
+	}
+	b.calls.Add(1)
+	return h.HandleWire(from, req), nil
+}
+
+// Stats returns the number of delivered and dropped calls.
+func (b *Bus) Stats() (delivered, dropped int64) {
+	return b.calls.Load(), b.drops.Load()
+}
+
+// Services returns the names of all registered services.
+func (b *Bus) Services() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.handlers))
+	for n := range b.handlers {
+		names = append(names, n)
+	}
+	return names
+}
+
+// NotifierURL builds the notifier URL for a service (§3.1): the address a
+// server contacts to deliver a response-repair token.
+func NotifierURL(service string) string {
+	return "aire://" + service + "/aire/notify"
+}
+
+// PollNotifierURL builds a polling notifier URL for a client that cannot
+// accept inbound connections (a browser-style client): instead of pushing
+// the token, the server parks it in a mailbox the client polls.
+func PollNotifierURL(clientID string) string {
+	return "poll://" + clientID
+}
+
+// ParseNotifierURL extracts the service name and path from a notifier URL.
+func ParseNotifierURL(u string) (service, path string, err error) {
+	const scheme = "aire://"
+	if !strings.HasPrefix(u, scheme) {
+		return "", "", fmt.Errorf("transport: bad notifier URL %q", u)
+	}
+	rest := u[len(scheme):]
+	i := strings.IndexByte(rest, '/')
+	if i < 0 {
+		return rest, "/", nil
+	}
+	return rest[:i], rest[i:], nil
+}
+
+// ParsePollNotifierURL extracts the client ID from a poll:// notifier URL;
+// ok is false if u uses another scheme.
+func ParsePollNotifierURL(u string) (clientID string, ok bool) {
+	const scheme = "poll://"
+	if !strings.HasPrefix(u, scheme) {
+		return "", false
+	}
+	return u[len(scheme):], true
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"aire/internal/wire"
+)
+
+// HTTPHeaderFrom carries the caller's claimed service identity across real
+// HTTP. On the in-memory bus the fabric vouches for the caller; over plain
+// HTTP in the examples we trust this header the way a deployment would trust
+// a TLS client certificate. Production use would bind it to mTLS.
+const HTTPHeaderFrom = "Aire-From-Service"
+
+// NewHTTPHandler exposes a wire Handler as an http.Handler, folding query
+// string and form body into wire.Request.Form.
+func NewHTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req := wire.NewRequest(r.Method, r.URL.Path)
+		for k, vs := range r.Header {
+			if len(vs) > 0 {
+				req.Header[http.CanonicalHeaderKey(k)] = vs[0]
+			}
+		}
+		// ParseForm folds the query string plus (for urlencoded posts) the
+		// body into r.Form; an opaque body (e.g. the encoded request inside
+		// a repair call) is preserved separately.
+		ct := r.Header.Get("Content-Type")
+		if err := r.ParseForm(); err == nil {
+			for k, vs := range r.Form {
+				if len(vs) > 0 {
+					req.Form[k] = vs[0]
+				}
+			}
+		}
+		if r.Body != nil && !strings.HasPrefix(ct, "application/x-www-form-urlencoded") {
+			if body, err := io.ReadAll(r.Body); err == nil && len(body) > 0 {
+				req.Body = body
+			}
+		}
+		from := r.Header.Get(HTTPHeaderFrom)
+		resp := h.HandleWire(from, req)
+		for k, v := range resp.Header {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body)
+	})
+}
+
+// HTTPCaller delivers wire requests over real HTTP. It implements the same
+// Call contract as Bus for use by the controller's outgoing queues.
+type HTTPCaller struct {
+	// BaseURLs maps service names to base URLs, e.g. "askbot" ->
+	// "http://127.0.0.1:8031".
+	BaseURLs map[string]string
+	// Client is the HTTP client to use (http.DefaultClient if nil).
+	Client *http.Client
+}
+
+// Call sends req to the named service over HTTP.
+func (c *HTTPCaller) Call(from, to string, req wire.Request) (wire.Response, error) {
+	base, ok := c.BaseURLs[to]
+	if !ok {
+		return wire.Response{}, fmt.Errorf("%w: %s", ErrUnknownService, to)
+	}
+	form := url.Values{}
+	for k, v := range req.Form {
+		form.Set(k, v)
+	}
+	// GET and HEAD carry form values in the query string (ParseForm ignores
+	// bodies on those methods); other methods use a form-encoded body
+	// unless the request has an opaque payload.
+	target := base + req.Path
+	var body io.Reader
+	bodyIsForm := false
+	switch {
+	case req.Method == http.MethodGet || req.Method == http.MethodHead:
+		if len(form) > 0 {
+			target += "?" + form.Encode()
+		}
+		if len(req.Body) > 0 {
+			body = strings.NewReader(string(req.Body))
+		}
+	case len(req.Body) > 0:
+		if len(form) > 0 {
+			target += "?" + form.Encode()
+		}
+		body = strings.NewReader(string(req.Body))
+	default:
+		body = strings.NewReader(form.Encode())
+		bodyIsForm = true
+	}
+	hreq, err := http.NewRequest(req.Method, target, body)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if bodyIsForm {
+		hreq.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	for k, v := range req.Header {
+		hreq.Header.Set(k, v)
+	}
+	if from != "" {
+		hreq.Header.Set(HTTPHeaderFrom, from)
+	}
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	hresp, err := client.Do(hreq)
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer hresp.Body.Close()
+	rb, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	resp := wire.Response{Status: hresp.StatusCode, Header: map[string]string{}, Body: rb}
+	for k, vs := range hresp.Header {
+		if len(vs) > 0 && strings.HasPrefix(k, "Aire-") {
+			resp.Header[k] = vs[0]
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"aire/internal/wire"
+)
+
+func echo(name string) HandlerFunc {
+	return func(from string, req wire.Request) wire.Response {
+		return wire.NewResponse(200, name+" saw "+from+" "+req.Form["msg"])
+	}
+}
+
+func TestBusDelivery(t *testing.T) {
+	b := NewBus()
+	b.Register("b", echo("b"))
+	resp, err := b.Call("a", "b", wire.NewRequest("POST", "/x").WithForm("msg", "hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "b saw a hi" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+}
+
+func TestBusUnknownService(t *testing.T) {
+	b := NewBus()
+	if _, err := b.Call("a", "nope", wire.NewRequest("GET", "/")); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("want ErrUnknownService, got %v", err)
+	}
+}
+
+func TestBusOffline(t *testing.T) {
+	b := NewBus()
+	b.Register("b", echo("b"))
+	b.SetOffline("b", true)
+	if _, err := b.Call("a", "b", wire.NewRequest("GET", "/")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if !b.Offline("b") {
+		t.Fatal("Offline not reported")
+	}
+	b.SetOffline("b", false)
+	if _, err := b.Call("a", "b", wire.NewRequest("GET", "/")); err != nil {
+		t.Fatalf("service back online should accept calls: %v", err)
+	}
+	delivered, dropped := b.Stats()
+	if delivered != 1 || dropped != 1 {
+		t.Fatalf("stats = %d delivered, %d dropped", delivered, dropped)
+	}
+}
+
+func TestNotifierURLRoundTrip(t *testing.T) {
+	u := NotifierURL("askbot")
+	svc, path, err := ParseNotifierURL(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc != "askbot" || path != "/aire/notify" {
+		t.Fatalf("parsed %q %q", svc, path)
+	}
+	if _, _, err := ParseNotifierURL("http://x/y"); err == nil {
+		t.Fatal("non-aire URL must be rejected")
+	}
+}
+
+func TestHTTPAdapterRoundTrip(t *testing.T) {
+	h := HandlerFunc(func(from string, req wire.Request) wire.Response {
+		resp := wire.NewResponse(200, "from="+from+" k="+req.Form["k"]+" hdr="+req.Header[wire.HdrResponseID])
+		resp.Header[wire.HdrRequestID] = "srv-req-1"
+		return resp
+	})
+	ts := httptest.NewServer(NewHTTPHandler(h))
+	defer ts.Close()
+
+	caller := &HTTPCaller{BaseURLs: map[string]string{"srv": ts.URL}}
+	req := wire.NewRequest("POST", "/op").WithForm("k", "v").WithHeader(wire.HdrResponseID, "cli-resp-1")
+	resp, err := caller.Call("cli", "srv", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "from=cli k=v hdr=cli-resp-1" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if resp.Header[wire.HdrRequestID] != "srv-req-1" {
+		t.Fatal("Aire response headers must survive the HTTP adapter")
+	}
+}
+
+func TestHTTPCallerUnknownAndUnavailable(t *testing.T) {
+	caller := &HTTPCaller{BaseURLs: map[string]string{"gone": "http://127.0.0.1:1"}}
+	if _, err := caller.Call("cli", "nope", wire.NewRequest("GET", "/")); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("want ErrUnknownService, got %v", err)
+	}
+	if _, err := caller.Call("cli", "gone", wire.NewRequest("GET", "/")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+// Package vclock provides the per-service logical timeline on which Aire
+// orders requests.
+//
+// Services do not share a global clock (§3.1), so each service orders its
+// own requests on a private logical timeline. Timestamps are spaced by a
+// large stride so that a repair `create` operation — which must execute a
+// new request "in the past", between two existing requests named by
+// before_id and after_id — can claim a fresh timestamp strictly between two
+// existing ones by midpoint insertion.
+package vclock
+
+import (
+	"errors"
+	"sync"
+)
+
+// Stride is the gap between consecutive normally-allocated timestamps.
+// With 2^20 between requests, a given interval supports 20 generations of
+// midpoint insertion before exhaustion, far beyond what repair produces in
+// practice (repairs between the same pair of requests are collapsed, §3.2).
+const Stride = 1 << 20
+
+// ErrExhausted is returned by Between when no integer timestamp remains
+// strictly between the two bounds.
+var ErrExhausted = errors.New("vclock: no timestamp available between bounds")
+
+// Clock allocates monotonically increasing logical timestamps.
+// The zero value is ready to use and starts at Stride. Clock is safe for
+// concurrent use.
+type Clock struct {
+	mu   sync.Mutex
+	last int64
+}
+
+// Next returns a fresh timestamp later than every previously returned one.
+func (c *Clock) Next() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last += Stride
+	return c.last
+}
+
+// Observe tells the clock that timestamp ts exists (e.g. loaded from a log);
+// subsequent Next calls will return values after it.
+func (c *Clock) Observe(ts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts > c.last {
+		c.last = ts
+	}
+}
+
+// Now returns the most recently allocated timestamp without advancing.
+func (c *Clock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Between returns a timestamp strictly inside (before, after). It is used to
+// place a created request between its before_id and after_id anchors (§3.1).
+// Pass after = 0 to mean "after the end of the timeline", in which case a
+// fresh Next value is returned.
+func (c *Clock) Between(before, after int64) (int64, error) {
+	if after == 0 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if before >= c.last {
+			c.last = before + Stride
+			return c.last, nil
+		}
+		// Insert after `before` but before the next existing timestamp is
+		// unknown here; fall back to midpoint toward last+Stride.
+		c.last += Stride
+		return c.last, nil
+	}
+	if after-before < 2 {
+		return 0, ErrExhausted
+	}
+	return before + (after-before)/2, nil
+}

@@ -1,0 +1,97 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNextMonotonic(t *testing.T) {
+	var c Clock
+	prev := int64(0)
+	for i := 0; i < 1000; i++ {
+		ts := c.Next()
+		if ts <= prev {
+			t.Fatalf("Next not monotonic: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestBetweenMidpoint(t *testing.T) {
+	var c Clock
+	a, b := c.Next(), c.Next()
+	mid, err := c.Between(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid <= a || mid >= b {
+		t.Fatalf("Between(%d,%d) = %d not strictly inside", a, b, mid)
+	}
+}
+
+func TestBetweenRepeatedInsertion(t *testing.T) {
+	var c Clock
+	a, b := c.Next(), c.Next()
+	lo := a
+	// The stride guarantees ~20 generations of midpoint insertion.
+	for i := 0; i < 19; i++ {
+		mid, err := c.Between(lo, b)
+		if err != nil {
+			t.Fatalf("insertion %d failed: %v", i, err)
+		}
+		if mid <= lo || mid >= b {
+			t.Fatalf("insertion %d out of range", i)
+		}
+		lo = mid
+	}
+}
+
+func TestBetweenExhaustion(t *testing.T) {
+	var c Clock
+	if _, err := c.Between(5, 6); err != ErrExhausted {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+}
+
+func TestBetweenOpenEnd(t *testing.T) {
+	var c Clock
+	a := c.Next()
+	ts, err := c.Between(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= a {
+		t.Fatalf("open-ended Between must exceed before anchor: %d <= %d", ts, a)
+	}
+	if nxt := c.Next(); nxt <= ts {
+		t.Fatalf("clock must advance past open-ended insertion: %d <= %d", nxt, ts)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	var c Clock
+	c.Observe(10 * Stride)
+	if ts := c.Next(); ts <= 10*Stride {
+		t.Fatalf("Next after Observe must exceed observed value, got %d", ts)
+	}
+	c.Observe(1) // lower than current: no effect
+	if c.Now() <= 10*Stride {
+		t.Fatal("Observe of older timestamp must not rewind the clock")
+	}
+}
+
+func TestBetweenPropertyStrict(t *testing.T) {
+	f := func(a, gap uint16) bool {
+		var c Clock
+		lo := int64(a)
+		hi := lo + int64(gap)
+		mid, err := c.Between(lo, hi)
+		if hi-lo < 2 {
+			return err == ErrExhausted
+		}
+		return err == nil && mid > lo && mid < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

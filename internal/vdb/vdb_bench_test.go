@@ -1,0 +1,74 @@
+package vdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(nKeys, versionsPerKey int) *Store {
+	s := NewStore()
+	ts := int64(0)
+	for v := 0; v < versionsPerKey; v++ {
+		for k := 0; k < nKeys; k++ {
+			ts += 10
+			s.Put(Key{"kv", fmt.Sprintf("k%04d", k)}, fields(fmt.Sprintf("v%d", v)), ts, fmt.Sprintf("r%d", ts))
+		}
+	}
+	return s
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := NewStore()
+	f := fields("value")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(Key{"kv", "x"}, f, int64(i+1)*10, fmt.Sprintf("r%d", i))
+	}
+}
+
+func BenchmarkGetAt(b *testing.B) {
+	s := benchStore(100, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GetAt(Key{"kv", "k0050"}, int64(i%25000)+1)
+	}
+}
+
+func BenchmarkHashAtExcluding(b *testing.B) {
+	s := benchStore(100, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.HashAtExcluding(Key{"kv", "k0050"}, 1<<40, "r123")
+	}
+}
+
+func BenchmarkScanHashAt(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			s := benchStore(n, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ScanHashAt("kv", 1<<40)
+			}
+		})
+	}
+}
+
+func BenchmarkRollbackRedo(b *testing.B) {
+	s := benchStore(1, 100)
+	k := Key{"kv", "k0000"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Roll back half the history, then restore it.
+		b.StopTimer()
+		saved := s.Versions(k)
+		b.StartTimer()
+		s.Rollback(k, saved[len(saved)/2].TS)
+		b.StopTimer()
+		for _, v := range saved[len(saved)/2+1:] {
+			s.Put(k, v.Fields, v.TS, v.ReqID)
+		}
+		b.StartTimer()
+	}
+}

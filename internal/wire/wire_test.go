@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalKeyIgnoresAireHeaders(t *testing.T) {
+	a := NewRequest("POST", "/put").WithForm("k", "x").WithHeader("Cookie", "abc")
+	b := a.WithHeader(HdrRequestID, "r1", HdrResponseID, "s1", HdrNotifierURL, "aire://x/aire/notify", HdrRepair, "replace")
+	if !a.Equal(b) {
+		t.Fatalf("requests differing only in Aire headers must be equal:\n%q\n%q", a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+func TestCanonicalKeySensitivity(t *testing.T) {
+	base := NewRequest("POST", "/put").WithForm("k", "x")
+	cases := map[string]Request{
+		"method": {Method: "GET", Path: "/put", Form: map[string]string{"k": "x"}},
+		"path":   base.Clone().WithForm(), // same, then change path below
+		"form":   base.WithForm("k", "y"),
+		"header": base.WithHeader("Cookie", "z"),
+		"body":   func() Request { r := base.Clone(); r.Body = []byte("b"); return r }(),
+	}
+	cases["path"] = Request{Method: "POST", Path: "/other", Form: map[string]string{"k": "x"}}
+	for name, r := range cases {
+		if base.Equal(r) {
+			t.Errorf("%s change should make requests differ", name)
+		}
+	}
+}
+
+func TestResponseEqual(t *testing.T) {
+	a := NewResponse(200, "hello")
+	b := a.Clone()
+	b.Header[HdrRequestID] = "r9"
+	if !a.Equal(b) {
+		t.Fatal("Aire headers must not affect response equality")
+	}
+	c := NewResponse(404, "hello")
+	if a.Equal(c) {
+		t.Fatal("status must affect response equality")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := NewRequest("POST", "/x").WithForm("a", "1", "b", "2").WithHeader("Cookie", "u")
+	r.Body = []byte{0, 1, 2, 255}
+	got, err := DecodeRequest(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) || got.Header["Cookie"] != "u" {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+
+	resp := NewResponse(201, "made")
+	resp.Header["X-Extra"] = "1"
+	got2, err := DecodeResponse(resp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(resp) || got2.Header["X-Extra"] != "1" {
+		t.Fatalf("response round trip mismatch: %+v vs %+v", got2, resp)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := NewRequest("POST", "/x").WithForm("a", "1")
+	c := r.Clone()
+	c.Form["a"] = "2"
+	c.Header["H"] = "v"
+	if r.Form["a"] != "1" || r.Header["H"] != "" {
+		t.Fatal("clone shares maps with original")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	f := func(a, b, v1, v2 string) bool {
+		r := NewRequest("POST", "/p").WithForm(a, v1).WithForm(b, v2)
+		return string(r.Encode()) == string(r.Clone().Encode())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithFormDoesNotMutateReceiver(t *testing.T) {
+	r := NewRequest("GET", "/g")
+	_ = r.WithForm("k", "v")
+	if len(r.Form) != 0 {
+		t.Fatal("WithForm mutated receiver")
+	}
+}
+
+func TestOK(t *testing.T) {
+	if !NewResponse(204, "").OK() || NewResponse(404, "").OK() || NewResponse(199, "").OK() {
+		t.Fatal("OK boundary conditions wrong")
+	}
+}
