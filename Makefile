@@ -1,0 +1,37 @@
+# Aire — asynchronous intrusion recovery for interconnected web services.
+# CI (.github/workflows/ci.yml) runs exactly these targets; run `make ci`
+# locally to reproduce the full gate.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-fix vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: compile and run every benchmark once (no timing fidelity —
+# catches rot, not regressions). Full runs: go test -bench . -benchmem
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test race bench

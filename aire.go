@@ -44,6 +44,8 @@
 package aire
 
 import (
+	"context"
+
 	"aire/internal/core"
 	"aire/internal/orm"
 	"aire/internal/transport"
@@ -104,6 +106,9 @@ type (
 	Action = warp.Action
 	// PendingMsg is a queued outgoing repair message.
 	PendingMsg = core.PendingMsg
+	// Backoff is the exponential retry schedule the repair pump applies to
+	// unreachable peers (zero value: legacy park-after-MaxAttempts).
+	Backoff = core.Backoff
 	// Bus is the in-memory service fabric used to connect services.
 	Bus = transport.Bus
 )
@@ -118,6 +123,12 @@ func NewBus() *Bus { return transport.NewBus() }
 // DefaultConfig returns the controller configuration used in the paper
 // reproduction experiments.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultBackoff returns the exponential backoff schedule used by the
+// production repair pump (50ms doubling to a 5s cap). Assign it to
+// Config.Backoff to keep repair messages to unreachable peers live and
+// retried on a schedule instead of parked after Config.MaxAttempts.
+func DefaultBackoff() Backoff { return core.DefaultBackoff() }
 
 // NewService builds the Aire runtime for app, delivering outgoing calls and
 // repair messages over net. The caller must still register the returned
@@ -149,10 +160,21 @@ func CreateInPast(req Request, beforeID, afterID string) Action {
 	return Action{Kind: warp.CreateReq, NewReq: req, BeforeID: beforeID, AfterID: afterID}
 }
 
-// Settle pumps the outgoing repair queues of all given controllers until
-// the system quiesces or maxRounds passes elapse, returning the number of
-// productive rounds. Use it in tests and demos; a production deployment
-// pumps queues continuously in the background.
+// Settle drives the repair pump of all given controllers synchronously
+// until the system quiesces or maxRounds passes elapse, returning the
+// number of productive rounds. Each round runs one deterministic pump pass
+// per controller (Controller.Flush — per-peer batches delivered in queue
+// order) plus incoming-queue processing. Use it in tests and demos; a
+// production deployment instead pumps queues continuously in the background
+// with StartPumps (or Controller.StartPump), which delivers to distinct
+// peers concurrently and retries unreachable peers with backoff.
+//
+// Settle returns at the first round that makes no progress. With
+// Config.Backoff enabled, a round also skips peers inside their retry
+// window, so Settle can return while such messages are still queued; drive
+// controllers with StartPumps (or keep calling Flush as real time passes)
+// to drain them. Backoff-enabled configs are meant for the background
+// pump.
 func Settle(maxRounds int, ctrls ...*Controller) int {
 	rounds := 0
 	for i := 0; i < maxRounds; i++ {
@@ -171,4 +193,13 @@ func Settle(maxRounds int, ctrls ...*Controller) int {
 		rounds++
 	}
 	return rounds
+}
+
+// StartPumps starts the background repair pump of every given controller
+// and returns a stop function that shuts them all down again (waiting for
+// in-flight deliveries to reconcile). If any pump fails to start — it is
+// already running — the pumps started so far are stopped and the error
+// returned.
+func StartPumps(ctx context.Context, ctrls ...*Controller) (stop func(), err error) {
+	return core.StartPumps(ctx, ctrls...)
 }

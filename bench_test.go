@@ -20,8 +20,10 @@
 package aire_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"aire/internal/core"
 	"aire/internal/harness"
@@ -199,6 +201,78 @@ func BenchmarkAblationQueueCollapsing(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(a.QueueLen()), "queued-msgs") // stays 1 regardless of b.N
+}
+
+// Fan-out delivery benchmarks: one repairing hub service propagates repair
+// to N peers while one peer is stalled — offline, and hanging callers for
+// stallLatency before failing. The metric that matters is
+// reachable-repair-ms: how long until every *healthy* peer is repaired.
+//
+// The serial baseline (synchronous Settle rounds, i.e. the old
+// Flush-in-a-loop deployment mode) pays the stalled peer's timeout inline
+// on every round, so healthy peers wait on it. The background pump delivers
+// to distinct peers concurrently with per-peer backoff, so the reachable
+// repair time stays flat — bounded by the healthy deliveries alone — no
+// matter how slow the stalled peer is or how many peers ride in the queue
+// behind it.
+//
+// Run with: go test -bench Fanout -benchtime 10x
+const fanoutStallLatency = 10 * time.Millisecond
+
+func benchFanout(b *testing.B, peers int, pump bool) {
+	cfg := core.DefaultConfig()
+	if pump {
+		cfg.PumpWorkers = 8
+		cfg.PumpInterval = time.Millisecond
+		cfg.Backoff = core.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2}
+	}
+	var reachableNanos float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := harness.NewFanoutScenario(peers, cfg)
+		if err := s.RunAttack(); err != nil {
+			b.Fatal(err)
+		}
+		s.StallPeer("peer1", fanoutStallLatency)
+		b.StartTimer()
+		if err := s.Repair(); err != nil {
+			b.Fatal(err)
+		}
+		var elapsed time.Duration
+		var ok bool
+		if pump {
+			stop, err := s.TB.StartPumps(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			elapsed, ok = s.WaitReachableRepaired(10 * time.Second)
+			stop()
+		} else {
+			elapsed, ok = s.SettleUntilReachableRepaired(core.DefaultConfig().MaxAttempts + 2)
+		}
+		b.StopTimer()
+		if !ok {
+			b.Fatalf("reachable peers not repaired (pump=%v peers=%d)", pump, peers)
+		}
+		reachableNanos += float64(elapsed.Nanoseconds())
+	}
+	b.ReportMetric(reachableNanos/float64(b.N)/1e6, "reachable-repair-ms")
+}
+
+func BenchmarkFanoutSerialFlush(b *testing.B) {
+	for _, peers := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			benchFanout(b, peers, false)
+		})
+	}
+}
+
+func BenchmarkFanoutPump(b *testing.B) {
+	for _, peers := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			benchFanout(b, peers, true)
+		})
+	}
 }
 
 // BenchmarkRepairScalingByLogSize shows how local repair cost grows with

@@ -11,16 +11,23 @@
 //	# repair: delete the put on A using the Aire-Request-Id header it returned
 //	curl -XPOST http://localhost:8031/aire/repair \
 //	     -H 'Aire-Repair: delete' -H "Aire-Request-Id: $ID"
-//	curl 'http://localhost:8032/get?key=x'                    # gone after flush
+//	curl 'http://localhost:8032/get?key=x'                    # gone within -pump-interval
 //
-// Outgoing repair queues are flushed every -flush interval.
+// Outgoing repair queues are pumped continuously in the background (§3):
+// each service's pump delivers to distinct peers concurrently, batches
+// consecutive messages to the same peer, and retries unreachable peers with
+// exponential backoff instead of parking their messages.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"aire"
@@ -31,15 +38,27 @@ import (
 func main() {
 	addrA := flag.String("a", "127.0.0.1:8031", "listen address for service a")
 	addrB := flag.String("b", "127.0.0.1:8032", "listen address for service b")
-	flush := flag.Duration("flush", time.Second, "outgoing repair queue flush interval")
+	workers := flag.Int("pump-workers", 4, "concurrent per-peer repair deliveries")
+	batch := flag.Int("batch", 16, "max repair messages batched to one peer per pass")
+	interval := flag.Duration("pump-interval", 100*time.Millisecond, "pacing of background pump passes")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry delay for unreachable peers (0 = park after max attempts)")
+	backoffMax := flag.Duration("backoff-max", 5*time.Second, "cap on the exponential retry delay")
 	flag.Parse()
+
+	cfg := aire.DefaultConfig()
+	cfg.PumpWorkers = *workers
+	cfg.BatchSize = *batch
+	cfg.PumpInterval = *interval
+	if *backoff > 0 {
+		cfg.Backoff = aire.Backoff{Base: *backoff, Max: *backoffMax, Factor: 2}
+	}
 
 	caller := &transport.HTTPCaller{BaseURLs: map[string]string{
 		"a": "http://" + *addrA,
 		"b": "http://" + *addrB,
 	}}
-	ctrlA := aire.NewService(&harness.KVApp{ServiceName: "a", Mirror: "b"}, caller)
-	ctrlB := aire.NewService(&harness.KVApp{ServiceName: "b"}, caller)
+	ctrlA := aire.NewServiceWithConfig(&harness.KVApp{ServiceName: "a", Mirror: "b"}, caller, cfg)
+	ctrlB := aire.NewServiceWithConfig(&harness.KVApp{ServiceName: "b"}, caller, cfg)
 
 	go func() {
 		log.Fatal(http.ListenAndServe(*addrA, transport.NewHTTPHandler(ctrlA)))
@@ -47,16 +66,21 @@ func main() {
 	go func() {
 		log.Fatal(http.ListenAndServe(*addrB, transport.NewHTTPHandler(ctrlB)))
 	}()
-	go func() {
-		for range time.Tick(*flush) {
-			ctrlA.Flush()
-			ctrlB.Flush()
-		}
-	}()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	stopPumps, err := aire.StartPumps(ctx, ctrlA, ctrlB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopPumps()
 
 	fmt.Printf("aire: service a (mirrors to b) on http://%s\n", *addrA)
 	fmt.Printf("aire: service b on http://%s\n", *addrB)
+	fmt.Printf("aire: background repair pumps running (workers=%d batch=%d interval=%v backoff=%v)\n",
+		*workers, *batch, *interval, *backoff)
 	fmt.Println("aire: try POST /put?key=x&val=hello on a, then GET /get?key=x on b,")
 	fmt.Println("aire: then POST /aire/repair with Aire-Repair: delete + Aire-Request-Id headers")
-	select {}
+	<-ctx.Done()
+	fmt.Println("aire: shutting down, draining repair pumps")
 }

@@ -1,0 +1,3 @@
+module aire
+
+go 1.22

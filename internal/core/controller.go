@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,7 +40,10 @@ type App interface {
 	// application inspects the original and repaired payloads, the carrier
 	// request (which holds the repair message's credentials), and a
 	// read-only snapshot of the database at the original request's
-	// execution time (§4).
+	// execution time (§4). Authorize runs under the service lock so the
+	// snapshots it reads are consistent even while repair or the pump is
+	// active: it must be fast and must not call back into the service or
+	// controller (no requests, no ApplyLocal) — read only from ac.
 	Authorize(ac AuthzRequest) bool
 }
 
@@ -85,8 +89,8 @@ type AuthzRequest struct {
 type Notification struct {
 	// MsgID identifies the queued repair message ("" for local notices).
 	MsgID string
-	// Kind classifies the problem: "unreachable", "unauthorized", "gone",
-	// "no-propagation", "compensation", or "leak".
+	// Kind classifies the problem: "unreachable", "rejected",
+	// "unauthorized", "gone", "no-propagation", "compensation", or "leak".
 	Kind string
 	// Target is the peer service involved.
 	Target string
@@ -114,6 +118,28 @@ type Config struct {
 	// incoming repair messages in an incoming queue"). When false, each
 	// incoming repair is applied immediately.
 	BatchIncoming bool
+	// PumpWorkers bounds how many peers the background pump delivers to
+	// concurrently (0 means a small default). Batches to the same peer are
+	// never concurrent: per-peer FIFO order is preserved.
+	PumpWorkers int
+	// BatchSize caps how many consecutive messages to one peer a single
+	// background pump pass carries (0 means a default). Flush is not
+	// capped: one synchronous pass attempts every deliverable message.
+	BatchSize int
+	// PumpInterval paces the background pump's periodic passes — the ones
+	// that retry peers whose backoff delay has elapsed (0 means a default).
+	PumpInterval time.Duration
+	// Backoff, when enabled, retries unreachable peers on an exponential
+	// schedule instead of parking their messages after MaxAttempts. The
+	// zero value keeps the legacy park-and-Retry behavior. Backoff is a
+	// background-pump feature: synchronous Flush/Settle passes also honor
+	// the schedule, skipping peers whose retry window has not elapsed, so
+	// serial deployments that enable Backoff must keep flushing past a
+	// no-progress pass (or run StartPump) to drain those peers.
+	Backoff Backoff
+	// Clock supplies the time used for backoff scheduling (nil means
+	// time.Now). Tests inject a fake clock for deterministic backoff.
+	Clock func() time.Time
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -137,6 +163,15 @@ type PendingMsg struct {
 	// token is the response-repair token minted for a replace_response
 	// (reused across delivery attempts).
 	token string
+	// gen counts content changes (queue collapsing, Retry). A delivery in
+	// flight reconciles only against the generation it claimed, so a
+	// message superseded mid-flight stays queued for another pass.
+	gen uint64
+	// inflight marks a message claimed by a delivery pass; guarded by qmu.
+	inflight bool
+	// queued marks a live queue entry (cleared on delivery and Drop), so
+	// reconciliation checks membership in O(1); guarded by qmu.
+	queued bool
 }
 
 // Stats counts controller activity.
@@ -163,7 +198,14 @@ type Controller struct {
 
 	qmu    sync.Mutex
 	queue  []*PendingMsg
+	qlive  int // entries with queued=true (the queue slice may briefly hold dead ones)
 	nextID int
+	peers  map[string]*peerState // per-peer delivery health, guarded by qmu
+
+	pumpMu     sync.Mutex
+	pumpCancel context.CancelFunc
+	pumpDone   chan struct{}
+	pumpWake   chan struct{}
 
 	tokmu     sync.Mutex
 	tokens    map[string]tokenEntry
@@ -200,6 +242,8 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 		Engine:    &warp.Engine{Svc: svc, Cfg: cfg.Engine},
 		tokens:    make(map[string]tokenEntry),
 		mailboxes: make(map[string][]string),
+		peers:     make(map[string]*peerState),
+		pumpWake:  make(chan struct{}, 1),
 	}
 	return c
 }
@@ -288,19 +332,27 @@ func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
 	ac.Kind = op
 	ac.From = from
 	ac.Carrier = req
+
+	// Svc.Mu is held from the log lookup through Authorize: local repair
+	// mutates log records and rolls the store back under this lock, and
+	// repair messages arrive concurrently with it once the peer pumps in
+	// the background — the policy must not observe a mid-repair store.
+	c.Svc.Mu.Lock()
 	ac.Now = orm.Snapshot(c.Svc.Store, c.Svc.Schema, c.Svc.Clock.Now())
 
 	switch op {
 	case warp.OutReplace, warp.OutDelete:
 		rec, ok := c.Svc.Log.Get(targetID)
 		if !ok {
-			if gc := c.Svc.Log.GCBefore(); gc > 0 {
+			gc := c.Svc.Log.GCBefore()
+			c.Svc.Mu.Unlock()
+			if gc > 0 {
 				return wire.NewResponse(410, "aire: request log garbage-collected; repair permanently unavailable")
 			}
 			return wire.NewResponse(404, "aire: no such request "+targetID)
 		}
-		ac.Original = rec.Req
-		ac.OriginalResp = rec.Resp
+		ac.Original = rec.Req.Clone()
+		ac.OriginalResp = rec.Resp.Clone()
 		ac.OriginalFrom = rec.From
 		ac.Snapshot = orm.Snapshot(c.Svc.Store, c.Svc.Schema, rec.TS)
 		if op == warp.OutDelete {
@@ -308,6 +360,7 @@ func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
 		} else {
 			newReq, err := wire.DecodeRequest(req.Body)
 			if err != nil {
+				c.Svc.Mu.Unlock()
 				return wire.NewResponse(400, "aire: bad replace payload: "+err.Error())
 			}
 			ac.Repaired = newReq
@@ -320,6 +373,7 @@ func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
 	case warp.OutCreate:
 		newReq, err := wire.DecodeRequest(req.Body)
 		if err != nil {
+			c.Svc.Mu.Unlock()
 			return wire.NewResponse(400, "aire: bad create payload: "+err.Error())
 		}
 		ac.Repaired = newReq
@@ -331,11 +385,14 @@ func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
 		}
 
 	default:
+		c.Svc.Mu.Unlock()
 		return wire.NewResponse(400, "aire: unknown repair operation "+string(op))
 	}
 
 	// Access control is the application's decision (§4).
-	if !c.AppImpl.Authorize(ac) {
+	authorized := c.AppImpl.Authorize(ac)
+	c.Svc.Mu.Unlock()
+	if !authorized {
 		c.emit(EvRepairDenied, targetID, "%s from %q denied by policy", op, from)
 		return wire.NewResponse(403, "aire: repair not authorized")
 	}
@@ -390,29 +447,37 @@ func (c *Controller) handleNotify(from string, req wire.Request) wire.Response {
 		return wire.NewResponse(502, "aire: bad fetch_repair payload")
 	}
 
-	rec, i, ok := c.Svc.Log.FindByCallRespID(payload.RespID)
-	if !ok {
-		return wire.NewResponse(404, "aire: unknown response "+payload.RespID)
-	}
-	// The server may only repair responses it itself produced.
-	if rec.Calls[i].Target != server {
-		return wire.NewResponse(403, "aire: response "+payload.RespID+" was not produced by "+server)
-	}
 	newResp, err := wire.DecodeResponse(payload.Resp)
 	if err != nil {
 		return wire.NewResponse(400, "aire: bad replace_response body")
 	}
+	// Svc.Mu is held from the log lookup through Authorize: see
+	// handleRepair — local repair mutates records and the store under this
+	// lock, concurrently with incoming notify deliveries.
+	c.Svc.Mu.Lock()
+	rec, i, ok := c.Svc.Log.FindByCallRespID(payload.RespID)
+	if !ok {
+		c.Svc.Mu.Unlock()
+		return wire.NewResponse(404, "aire: unknown response "+payload.RespID)
+	}
+	// The server may only repair responses it itself produced.
+	if rec.Calls[i].Target != server {
+		c.Svc.Mu.Unlock()
+		return wire.NewResponse(403, "aire: response "+payload.RespID+" was not produced by "+server)
+	}
 	ac := AuthzRequest{
 		Kind:         warp.OutReplaceResponse,
 		From:         server,
-		Original:     rec.Calls[i].Req,
-		OriginalResp: rec.Calls[i].Resp,
+		Original:     rec.Calls[i].Req.Clone(),
+		OriginalResp: rec.Calls[i].Resp.Clone(),
 		RepairedResp: newResp,
 		Carrier:      req,
 		Snapshot:     orm.Snapshot(c.Svc.Store, c.Svc.Schema, rec.TS),
 		Now:          orm.Snapshot(c.Svc.Store, c.Svc.Schema, c.Svc.Clock.Now()),
 	}
-	if !c.AppImpl.Authorize(ac) {
+	authorized := c.AppImpl.Authorize(ac)
+	c.Svc.Mu.Unlock()
+	if !authorized {
 		return wire.NewResponse(403, "aire: replace_response not authorized")
 	}
 

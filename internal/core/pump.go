@@ -1,0 +1,603 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"aire/internal/transport"
+	"aire/internal/warp"
+)
+
+// This file implements the repair pump: the delivery engine behind the
+// outgoing queue. A production deployment pumps queues continuously in the
+// background (§3: repair propagates asynchronously and must ride out slow
+// and offline peers), so delivery is organized around three ideas:
+//
+//   - Partitioning. The queue is partitioned by destination peer. Messages
+//     to the same peer form one batch, delivered in FIFO order on a single
+//     worker (the paper's per-service ordering requirement); batches to
+//     distinct peers are independent and may run concurrently.
+//
+//   - Claim/reconcile. A delivery pass claims messages under qmu, delivers
+//     against private snapshots with no locks held, and reconciles each
+//     outcome under qmu. Retry, Drop, and queue collapsing may run at any
+//     point in between: each PendingMsg carries a generation counter, and a
+//     reconcile only applies to the generation it claimed — a message whose
+//     content was superseded mid-flight simply stays queued for another
+//     pass.
+//
+//   - Backoff. With Config.Backoff enabled, an unreachable peer is retried
+//     on an exponential schedule read from an injectable clock instead of
+//     parking its messages after MaxAttempts. Messages stay live; the
+//     administrator is still notified once per outage.
+//
+// Flush runs exactly one synchronous pass, delivering batches serially in
+// queue order — deterministic, for tests and Settle. StartPump runs passes
+// continuously with a bounded worker pool, fanning batches out to distinct
+// peers concurrently.
+
+// Backoff configures the exponential retry schedule for unreachable peers.
+// The zero value disables backoff, restoring the legacy behavior: each
+// message is attempted every pass and parked (Held) after
+// Config.MaxAttempts failures.
+type Backoff struct {
+	// Base is the delay after a peer's first failed delivery. Base > 0
+	// enables backoff.
+	Base time.Duration
+	// Max caps the delay (0 means no cap).
+	Max time.Duration
+	// Factor multiplies the delay after each consecutive failure
+	// (values < 1 are treated as 2).
+	Factor float64
+}
+
+// Enabled reports whether backoff gating is active.
+func (b Backoff) Enabled() bool { return b.Base > 0 }
+
+// Delay returns the retry delay after n consecutive failures (n >= 1).
+func (b Backoff) Delay(n int) time.Duration {
+	if !b.Enabled() || n < 1 {
+		return 0
+	}
+	f := b.Factor
+	if f < 1 {
+		f = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < n; i++ {
+		d *= f
+		if b.Max > 0 && d >= float64(b.Max) {
+			return b.Max
+		}
+		if d >= float64(math.MaxInt64) {
+			// Uncapped schedules must not overflow time.Duration into a
+			// negative delay that would disable the gate.
+			return time.Duration(math.MaxInt64)
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		return b.Max
+	}
+	return time.Duration(d)
+}
+
+// DefaultBackoff returns the backoff schedule used by the production pump:
+// 50ms doubling to a 5s cap. Pair it with StartPump — synchronous
+// Settle/Flush loops honor the retry windows and may quiesce early while a
+// peer backs off (see Settle's doc).
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 50 * time.Millisecond, Max: 5 * time.Second, Factor: 2}
+}
+
+// Pump tuning defaults (Config fields left zero).
+const (
+	defaultPumpWorkers  = 4
+	defaultBatchSize    = 16
+	defaultPumpInterval = 25 * time.Millisecond
+)
+
+func (c *Controller) pumpWorkers() int {
+	if c.Cfg.PumpWorkers > 0 {
+		return c.Cfg.PumpWorkers
+	}
+	return defaultPumpWorkers
+}
+
+func (c *Controller) batchSize() int {
+	if c.Cfg.BatchSize > 0 {
+		return c.Cfg.BatchSize
+	}
+	return defaultBatchSize
+}
+
+func (c *Controller) pumpInterval() time.Duration {
+	if c.Cfg.PumpInterval > 0 {
+		return c.Cfg.PumpInterval
+	}
+	return defaultPumpInterval
+}
+
+// now reads the controller's clock (Config.Clock, or the wall clock).
+func (c *Controller) now() time.Time {
+	if c.Cfg.Clock != nil {
+		return c.Cfg.Clock()
+	}
+	return time.Now()
+}
+
+// peerState tracks delivery health for one destination peer. Guarded by qmu.
+type peerState struct {
+	// inflight marks a claimed batch not yet reconciled; at most one batch
+	// per peer is in flight, which is what preserves per-peer FIFO order.
+	inflight bool
+	// failures counts consecutive retryable delivery failures.
+	failures int
+	// nextTry gates delivery attempts while backing off.
+	nextTry time.Time
+	// notified marks that the administrator was told about this outage
+	// (reset when the peer becomes reachable again).
+	notified bool
+}
+
+// peerKey names the destination a repair message is delivered to: the target
+// service for repair calls, the notifier's host service (or polling client)
+// for replace_response.
+func peerKey(m warp.OutMsg) string {
+	if m.Kind == warp.OutReplaceResponse {
+		if clientID, ok := transport.ParsePollNotifierURL(m.NotifierURL); ok {
+			return "poll://" + clientID
+		}
+		if svc, _, err := transport.ParseNotifierURL(m.NotifierURL); err == nil {
+			return svc
+		}
+		return m.NotifierURL
+	}
+	return m.Target
+}
+
+// claimedBatch is one peer's slice of the queue, claimed for delivery.
+type claimedBatch struct {
+	peer string
+	ptrs []*PendingMsg // live queue entries (reconciled under qmu)
+	snap []PendingMsg  // private copies delivered without locks
+	gens []uint64      // generation of each entry at claim time
+}
+
+// claimBatches partitions the deliverable queue by peer and claims up to
+// limit messages per peer (0 = unbounded), preserving queue (FIFO) order
+// within each batch. Held messages, messages already in flight, peers with
+// a batch in flight, and peers still backing off are skipped. Batches are
+// returned in queue order of their first message.
+func (c *Controller) claimBatches(limit int) []*claimedBatch {
+	now := c.now()
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	var order []*claimedBatch
+	byPeer := map[string]*claimedBatch{}
+	skipPeer := map[string]bool{}
+	for _, p := range c.queue {
+		if !p.queued || p.Held || p.inflight {
+			continue
+		}
+		peer := peerKey(p.Msg)
+		if skipPeer[peer] {
+			continue
+		}
+		cl, ok := byPeer[peer]
+		if !ok {
+			ps := c.peers[peer]
+			if ps == nil {
+				ps = &peerState{}
+				c.peers[peer] = ps
+			}
+			if ps.inflight || (c.Cfg.Backoff.Enabled() && now.Before(ps.nextTry)) {
+				skipPeer[peer] = true
+				continue
+			}
+			ps.inflight = true
+			cl = &claimedBatch{peer: peer}
+			byPeer[peer] = cl
+			order = append(order, cl)
+		}
+		if limit > 0 && len(cl.ptrs) >= limit {
+			continue
+		}
+		p.inflight = true
+		cl.ptrs = append(cl.ptrs, p)
+		cl.snap = append(cl.snap, *p)
+		cl.gens = append(cl.gens, p.gen)
+	}
+	return order
+}
+
+// peerHasQueuedLocked reports whether any live queue entry is bound for the
+// named peer.
+func (c *Controller) peerHasQueuedLocked(peer string) bool {
+	for _, q := range c.queue {
+		if q.queued && peerKey(q.Msg) == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// compactLocked drops dead entries (queued=false: delivered, gone) from the
+// queue slice in one pass. Reconciliation only clears the flag, so a
+// delivery pass costs one compaction per batch rather than one O(n) splice
+// per delivered message.
+func (c *Controller) compactLocked() {
+	kept := c.queue[:0]
+	for _, q := range c.queue {
+		if q.queued {
+			kept = append(kept, q)
+		}
+	}
+	for i := len(kept); i < len(c.queue); i++ {
+		c.queue[i] = nil
+	}
+	c.queue = kept
+}
+
+// deliverBatch delivers one claimed batch in FIFO order and reconciles each
+// outcome. A peer-level failure (transport error: the peer is unreachable,
+// so later messages would only repeat it) aborts the remainder of the batch
+// and either advances the peer's backoff schedule or, with backoff
+// disabled, charges a failed attempt to every remaining claimed message,
+// parking those that exhaust MaxAttempts. A message-level failure (the peer
+// answered, but with an unexpected status for this one message) charges
+// only that message and the batch continues — one poisoned message must not
+// block the peer's queue. Returns how many messages were delivered and
+// removed.
+func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
+	var notes []Notification
+	var heldMsgs []PendingMsg // parked in the final reconcile; emitted unlocked
+	removed := 0              // dead entries this batch left in the queue slice
+	failedAt := -1
+	var failErr string
+
+	for i := range cl.ptrs {
+		snap := cl.snap[i] // private copy; deliver mutates LastErr/token
+		st := c.deliver(&snap)
+		heldAttempts := 0
+
+		c.qmu.Lock()
+		p := cl.ptrs[i]
+		// p.queued: still a live entry (it may have been Dropped since it
+		// was claimed). fresh: the delivered content is still the queued
+		// content. If a collapse or Retry replaced it mid-flight, the new
+		// content must still go out, so the entry stays queued whatever
+		// happened to the old one — and its reset LastErr is preserved.
+		live := p.queued
+		fresh := live && p.gen == cl.gens[i]
+		if live {
+			// Tokens are per-response and deliberately reused across
+			// attempts and content revisions.
+			p.token = snap.token
+		}
+		if fresh {
+			p.LastErr = snap.LastErr
+		}
+		switch st {
+		case deliverOK:
+			if fresh {
+				p.queued = false
+				c.qlive--
+				removed++
+				delivered++
+			} else if live {
+				p.inflight = false
+			}
+		case deliverGone:
+			if fresh {
+				p.queued = false
+				c.qlive--
+				removed++
+			} else if live {
+				p.inflight = false
+			}
+		case deliverDenied:
+			if live {
+				if fresh {
+					p.Held = true
+				}
+				p.inflight = false
+			}
+		case deliverRetryMsg:
+			// The peer is up but rejected this one message; charge it alone
+			// and keep the batch going.
+			if live {
+				if fresh {
+					p.Attempts++
+					if p.Attempts >= c.Cfg.MaxAttempts {
+						p.Held = true
+						heldAttempts = p.Attempts
+					}
+				}
+				p.inflight = false
+			}
+		case deliverRetry:
+			failedAt = i
+			failErr = snap.LastErr
+		}
+		c.qmu.Unlock()
+
+		switch st {
+		case deliverOK:
+			// Stale (superseded-in-flight) deliveries stay queued and land
+			// again; count only the fresh one so stats match queue
+			// accounting and the delivered return value.
+			if fresh {
+				c.smu.Lock()
+				c.stats.MsgsDelivered++
+				c.smu.Unlock()
+				c.emit(EvMsgDelivered, snap.MsgID, "%s delivered to %s", snap.Msg.Kind, snap.Msg.Target)
+			}
+		case deliverGone:
+			// Superseded-in-flight content stays queued for redelivery —
+			// only a fresh outcome is terminal and worth reporting.
+			if fresh {
+				c.smu.Lock()
+				c.stats.MsgsFailed++
+				c.smu.Unlock()
+				notes = append(notes, Notification{
+					MsgID: snap.MsgID, Kind: "gone", Target: snap.Msg.Target, RepairType: string(snap.Msg.Kind),
+					Detail: "peer reports the request's logs were garbage-collected; repair is permanently unavailable: " + snap.LastErr,
+				})
+			}
+		case deliverDenied:
+			if fresh {
+				c.emit(EvMsgHeld, snap.MsgID, "%s to %s held: unauthorized", snap.Msg.Kind, snap.Msg.Target)
+				notes = append(notes, Notification{
+					MsgID: snap.MsgID, Kind: "unauthorized", Target: snap.Msg.Target, RepairType: string(snap.Msg.Kind),
+					Detail: "peer rejected repair message as unauthorized; refresh credentials and Retry: " + snap.LastErr,
+				})
+			}
+		case deliverRetryMsg:
+			if heldAttempts > 0 {
+				// The peer is up; it rejected this one message. Distinct
+				// from "unreachable" so the administrator debugs the
+				// message, not connectivity.
+				c.emit(EvMsgHeld, snap.MsgID, "%s to %s held: rejected after %d attempts", snap.Msg.Kind, snap.Msg.Target, heldAttempts)
+				notes = append(notes, Notification{
+					MsgID: snap.MsgID, Kind: "rejected", Target: snap.Msg.Target, RepairType: string(snap.Msg.Kind),
+					Detail: fmt.Sprintf("peer rejected this message %d times; message held for Retry: %s", heldAttempts, snap.LastErr),
+				})
+			}
+		}
+		if st == deliverRetry {
+			break
+		}
+	}
+
+	c.qmu.Lock()
+	if removed > 0 {
+		c.compactLocked()
+	}
+	ps := c.peers[cl.peer]
+	if failedAt >= 0 {
+		ps.failures++
+		if c.Cfg.Backoff.Enabled() {
+			// Unreachable peers back off; their messages stay live. The
+			// outage is tracked per peer (ps.failures), not charged to each
+			// message's Attempts — otherwise a long outage would exhaust
+			// every message's MaxAttempts budget and the first message-level
+			// failure after recovery would park it instantly.
+			ps.nextTry = c.now().Add(c.Cfg.Backoff.Delay(ps.failures))
+			for j := failedAt; j < len(cl.ptrs); j++ {
+				p := cl.ptrs[j]
+				if !p.queued {
+					continue
+				}
+				p.inflight = false
+				if p.gen == cl.gens[j] {
+					p.LastErr = failErr
+				}
+			}
+			if ps.failures >= c.Cfg.MaxAttempts && !ps.notified {
+				ps.notified = true
+				notes = append(notes, Notification{
+					Kind: "unreachable", Target: cl.peer, RepairType: string(cl.snap[failedAt].Msg.Kind),
+					Detail: fmt.Sprintf("peer unreachable after %d attempts; retrying with backoff: %s", ps.failures, failErr),
+				})
+			}
+		} else {
+			// Legacy behavior: every remaining claimed message is charged a
+			// failed attempt and parked once it exhausts MaxAttempts.
+			for j := failedAt; j < len(cl.ptrs); j++ {
+				p := cl.ptrs[j]
+				if !p.queued {
+					continue
+				}
+				p.inflight = false
+				if p.gen != cl.gens[j] {
+					continue
+				}
+				p.Attempts++
+				p.LastErr = failErr
+				if p.Attempts >= c.Cfg.MaxAttempts {
+					p.Held = true
+					heldMsgs = append(heldMsgs, *p)
+					notes = append(notes, Notification{
+						MsgID: p.MsgID, Kind: "unreachable", Target: p.Msg.Target, RepairType: string(p.Msg.Kind),
+						Detail: fmt.Sprintf("peer unreachable after %d attempts; message held for Retry: %s", p.Attempts, failErr),
+					})
+				}
+			}
+		}
+		ps.inflight = false
+		// Backoff state is only meaningful while the peer still has
+		// messages; if everything it had was dropped or terminated, drop
+		// the bookkeeping too.
+		if !c.peerHasQueuedLocked(cl.peer) {
+			delete(c.peers, cl.peer)
+		}
+	} else {
+		// The peer is healthy and its batch reconciled: the zero state is
+		// equivalent to no entry, so drop it rather than let per-peer
+		// bookkeeping (e.g. one-shot poll:// clients) accumulate forever.
+		delete(c.peers, cl.peer)
+	}
+	c.qmu.Unlock()
+
+	for _, h := range heldMsgs {
+		c.emit(EvMsgHeld, h.MsgID, "%s to %s held: unreachable after %d attempts", h.Msg.Kind, h.Msg.Target, h.Attempts)
+	}
+	for _, n := range notes {
+		c.notify(n)
+	}
+	return delivered
+}
+
+// Flush attempts one synchronous delivery pass over the outgoing queue and
+// reports how many messages were delivered and how many remain. Batches are
+// delivered serially in queue order, so Flush (and Settle on top of it) is
+// deterministic; the background pump started with StartPump runs the same
+// passes with batches to distinct peers in flight concurrently. Messages to
+// unavailable peers stay queued (§3: asynchronous repair); messages refused
+// as unauthorized or permanently unavailable are parked or dropped with an
+// application notification. With Config.Backoff enabled, peers inside
+// their retry window are skipped — delivered can be 0 while remaining > 0;
+// such messages drain on a later pass (or pump tick) once the window
+// elapses.
+func (c *Controller) Flush() (delivered, remaining int) {
+	// Unbounded claim: one Flush attempts every deliverable message, as the
+	// legacy serial Flush did; BatchSize only paces the background pump.
+	for _, cl := range c.claimBatches(0) {
+		delivered += c.deliverBatch(cl)
+	}
+	return delivered, c.QueueLen()
+}
+
+// pumpPass runs one concurrent delivery pass: claimed batches fan out to the
+// worker pool (bounded by PumpWorkers), one batch per peer, and the pass
+// returns when every batch has been reconciled.
+func (c *Controller) pumpPass() (delivered int) {
+	batches := c.claimBatches(c.batchSize())
+	if len(batches) == 0 {
+		return 0
+	}
+	sem := make(chan struct{}, c.pumpWorkers())
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for _, cl := range batches {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(cl *claimedBatch) {
+			defer wg.Done()
+			n := c.deliverBatch(cl)
+			<-sem
+			mu.Lock()
+			delivered += n
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	return delivered
+}
+
+// wakePump nudges the background pump (non-blocking; no-op when the pump is
+// not running).
+func (c *Controller) wakePump() {
+	select {
+	case c.pumpWake <- struct{}{}:
+	default:
+	}
+}
+
+// StartPump launches the background repair pump: a goroutine that delivers
+// the outgoing queue continuously — on every enqueue, Retry, and at
+// PumpInterval for backoff retries — fanning deliveries to distinct peers
+// out over PumpWorkers concurrent workers while preserving per-peer FIFO
+// order. With Config.BatchIncoming set, the pump also applies the incoming
+// queue each pass (§3.2). The pump runs until ctx is cancelled or StopPump
+// is called; either way the controller can StartPump again afterwards. It
+// returns an error if the pump is already running.
+func (c *Controller) StartPump(ctx context.Context) error {
+	c.pumpMu.Lock()
+	defer c.pumpMu.Unlock()
+	if c.pumpCancel != nil {
+		return fmt.Errorf("core: pump already running on %s", c.Svc.Name)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	c.pumpCancel = cancel
+	done := make(chan struct{})
+	c.pumpDone = done
+	go c.pumpLoop(ctx, done)
+	return nil
+}
+
+// StopPump stops the background pump and waits for in-flight deliveries to
+// reconcile. It is a no-op if the pump is not running.
+func (c *Controller) StopPump() {
+	c.pumpMu.Lock()
+	cancel, done := c.pumpCancel, c.pumpDone
+	c.pumpCancel, c.pumpDone = nil, nil
+	c.pumpMu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// PumpRunning reports whether the background pump is active.
+func (c *Controller) PumpRunning() bool {
+	c.pumpMu.Lock()
+	defer c.pumpMu.Unlock()
+	return c.pumpCancel != nil
+}
+
+// StartPumps starts the background pump of every given controller and
+// returns a stop function that shuts them all down again (waiting for
+// in-flight deliveries to reconcile). If any pump fails to start — it is
+// already running — the pumps started so far are stopped and the error
+// returned.
+func StartPumps(ctx context.Context, ctrls ...*Controller) (stop func(), err error) {
+	for i, c := range ctrls {
+		if err := c.StartPump(ctx); err != nil {
+			for _, started := range ctrls[:i] {
+				started.StopPump()
+			}
+			return nil, err
+		}
+	}
+	return func() {
+		for _, c := range ctrls {
+			c.StopPump()
+		}
+	}, nil
+}
+
+func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}) {
+	defer func() {
+		close(done)
+		// If the pump died from ctx cancellation (not StopPump), detach the
+		// lifecycle state so PumpRunning turns false and StartPump works
+		// again without requiring a StopPump on an already-dead pump.
+		c.pumpMu.Lock()
+		if c.pumpDone == done {
+			c.pumpCancel = nil
+			c.pumpDone = nil
+		}
+		c.pumpMu.Unlock()
+	}()
+	ticker := time.NewTicker(c.pumpInterval())
+	defer ticker.Stop()
+	for {
+		c.pumpPass()
+		if c.Cfg.BatchIncoming {
+			c.ProcessIncoming()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.pumpWake:
+		case <-ticker.C:
+		}
+	}
+}

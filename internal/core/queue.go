@@ -27,10 +27,11 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 		if key := collapseKey(m); key != "" {
 			replaced := false
 			for _, p := range c.queue {
-				if collapseKey(p.Msg) == key {
+				if p.queued && collapseKey(p.Msg) == key {
 					p.Msg = m // keep the newest content, the oldest position
 					p.Held = false
 					p.Attempts = 0
+					p.gen++ // supersede any delivery of the old content in flight
 					replaced = true
 					break
 				}
@@ -41,12 +42,15 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 		}
 		c.nextID++
 		p := &PendingMsg{
-			MsgID: fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID),
-			Msg:   m,
+			MsgID:  fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID),
+			Msg:    m,
+			queued: true,
 		}
 		c.queue = append(c.queue, p)
+		c.qlive++
 		c.emit(EvMsgQueued, p.MsgID, "%s -> %s (req=%s resp=%s)", m.Kind, m.Target, m.RemoteReqID, m.RespID)
 	}
+	c.wakePump()
 }
 
 // collapseKey identifies the request/response a repair message is about;
@@ -68,9 +72,11 @@ func collapseKey(m warp.OutMsg) string {
 func (c *Controller) Pending() []PendingMsg {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
-	out := make([]PendingMsg, len(c.queue))
-	for i, p := range c.queue {
-		out[i] = *p
+	out := make([]PendingMsg, 0, c.qlive)
+	for _, p := range c.queue {
+		if p.queued {
+			out = append(out, *p)
+		}
 	}
 	return out
 }
@@ -79,28 +85,45 @@ func (c *Controller) Pending() []PendingMsg {
 func (c *Controller) QueueLen() int {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
-	return len(c.queue)
+	return c.qlive
 }
 
 // Retry revives a held repair message, optionally merging updated
 // credential headers into its payload (Table 2's retry function: the
 // application obtained fresh credentials and asks Aire to resend).
+// Retrying a message that is not held is a no-op — it is still live and
+// being delivered.
 func (c *Controller) Retry(msgID string, updatedHeaders map[string]string) error {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
 	for _, p := range c.queue {
-		if p.MsgID != msgID {
+		if !p.queued || p.MsgID != msgID {
 			continue
 		}
-		if p.Msg.Req.Header == nil {
-			p.Msg.Req.Header = map[string]string{}
+		// Only held messages need reviving; a live one is already being
+		// delivered, and mutating it here could race a delivery in flight
+		// into redelivering a non-idempotent create. Held messages are
+		// never in flight (claim skips them), so this path cannot race.
+		if !p.Held {
+			return nil
 		}
-		for k, v := range updatedHeaders {
-			p.Msg.Req.Header[k] = v
+		if len(updatedHeaders) > 0 {
+			// Clone before merging: a delivery in flight may still be
+			// reading the old request's header map.
+			req := p.Msg.Req.Clone()
+			if req.Header == nil {
+				req.Header = map[string]string{}
+			}
+			for k, v := range updatedHeaders {
+				req.Header[k] = v
+			}
+			p.Msg.Req = req
 		}
 		p.Held = false
 		p.Attempts = 0
 		p.LastErr = ""
+		p.gen++
+		c.wakePump()
 		return nil
 	}
 	return fmt.Errorf("core: no pending message %s", msgID)
@@ -112,8 +135,17 @@ func (c *Controller) Drop(msgID string) error {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
 	for i, p := range c.queue {
-		if p.MsgID == msgID {
+		if p.queued && p.MsgID == msgID {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			p.queued = false
+			c.qlive--
+			// Dropping a peer's last message leaves no delivery pass to
+			// clean up its backoff bookkeeping — do it here.
+			if peer := peerKey(p.Msg); !c.peerHasQueuedLocked(peer) {
+				if ps := c.peers[peer]; ps != nil && !ps.inflight {
+					delete(c.peers, peer)
+				}
+			}
 			return nil
 		}
 	}
@@ -132,80 +164,34 @@ func (c *Controller) ImportQueue(msgs []PendingMsg) {
 	defer c.qmu.Unlock()
 	for _, m := range msgs {
 		p := m
+		p.inflight = false
+		p.gen = 0
+		p.queued = true
+		if key := collapseKey(p.Msg); key != "" {
+			replaced := false
+			for _, q := range c.queue {
+				if q.queued && collapseKey(q.Msg) == key {
+					q.Msg = p.Msg
+					q.Held = p.Held
+					q.Attempts = p.Attempts
+					q.LastErr = p.LastErr
+					q.gen++ // supersede any delivery of the old content in flight
+					replaced = true
+					break
+				}
+			}
+			if replaced {
+				continue
+			}
+		}
 		c.nextID++
 		if p.MsgID == "" {
 			p.MsgID = fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID)
 		}
 		c.queue = append(c.queue, &p)
+		c.qlive++
 	}
-}
-
-// Flush attempts one delivery pass over the outgoing queue and reports how
-// many messages were delivered and how many remain. Messages to unavailable
-// peers stay queued (§3: asynchronous repair); messages refused as
-// unauthorized or permanently unavailable are parked or dropped with an
-// application notification.
-func (c *Controller) Flush() (delivered, remaining int) {
-	c.qmu.Lock()
-	pending := make([]*PendingMsg, 0, len(c.queue))
-	for _, p := range c.queue {
-		if !p.Held {
-			pending = append(pending, p)
-		}
-	}
-	c.qmu.Unlock()
-
-	done := make(map[*PendingMsg]bool)
-	for _, p := range pending {
-		switch c.deliver(p) {
-		case deliverOK:
-			done[p] = true
-			c.smu.Lock()
-			c.stats.MsgsDelivered++
-			c.smu.Unlock()
-			c.emit(EvMsgDelivered, p.MsgID, "%s delivered to %s", p.Msg.Kind, p.Msg.Target)
-		case deliverGone:
-			done[p] = true
-			c.smu.Lock()
-			c.stats.MsgsFailed++
-			c.smu.Unlock()
-			c.notify(Notification{
-				MsgID: p.MsgID, Kind: "gone", Target: p.Msg.Target, RepairType: string(p.Msg.Kind),
-				Detail: "peer reports the request's logs were garbage-collected; repair is permanently unavailable: " + p.LastErr,
-			})
-		case deliverDenied:
-			p.Held = true
-			c.emit(EvMsgHeld, p.MsgID, "%s to %s held: unauthorized", p.Msg.Kind, p.Msg.Target)
-			c.notify(Notification{
-				MsgID: p.MsgID, Kind: "unauthorized", Target: p.Msg.Target, RepairType: string(p.Msg.Kind),
-				Detail: "peer rejected repair message as unauthorized; refresh credentials and Retry: " + p.LastErr,
-			})
-		case deliverRetry:
-			p.Attempts++
-			if p.Attempts >= c.Cfg.MaxAttempts {
-				p.Held = true
-				c.emit(EvMsgHeld, p.MsgID, "%s to %s held: unreachable after %d attempts", p.Msg.Kind, p.Msg.Target, p.Attempts)
-				c.notify(Notification{
-					MsgID: p.MsgID, Kind: "unreachable", Target: p.Msg.Target, RepairType: string(p.Msg.Kind),
-					Detail: fmt.Sprintf("peer unreachable after %d attempts; message held for Retry: %s", p.Attempts, p.LastErr),
-				})
-			}
-		}
-	}
-
-	c.qmu.Lock()
-	kept := c.queue[:0]
-	for _, p := range c.queue {
-		if !done[p] {
-			kept = append(kept, p)
-		} else {
-			delivered++
-		}
-	}
-	c.queue = kept
-	remaining = len(c.queue)
-	c.qmu.Unlock()
-	return delivered, remaining
+	c.wakePump()
 }
 
 // parkForPolling places a response-repair token in the named client's
@@ -227,7 +213,19 @@ func (c *Controller) parkForPolling(p *PendingMsg, clientID string) deliverStatu
 	}
 	c.tokmu.Lock()
 	c.tokens[p.token] = tokenEntry{payload: payload} // empty audience = bearer
-	c.mailboxes[clientID] = append(c.mailboxes[clientID], p.token)
+	// The token is reused across delivery attempts (a superseded-in-flight
+	// message is redelivered with the same token); don't hand the client a
+	// duplicate it would fail to fetch twice.
+	parked := false
+	for _, t := range c.mailboxes[clientID] {
+		if t == p.token {
+			parked = true
+			break
+		}
+	}
+	if !parked {
+		c.mailboxes[clientID] = append(c.mailboxes[clientID], p.token)
+	}
 	c.tokmu.Unlock()
 	return deliverOK
 }
@@ -236,7 +234,14 @@ type deliverStatus int
 
 const (
 	deliverOK deliverStatus = iota
+	// deliverRetry: the peer itself is unreachable (transport failure).
+	// Delivery of everything else bound for that peer would fail the same
+	// way, so the pump aborts the peer's batch and backs the peer off.
 	deliverRetry
+	// deliverRetryMsg: the peer answered but failed this one message (an
+	// unexpected status). Only this message is charged; the rest of the
+	// batch still goes out.
+	deliverRetryMsg
 	deliverDenied
 	deliverGone
 )
@@ -290,14 +295,18 @@ func (c *Controller) deliverRepairCall(p *PendingMsg) deliverStatus {
 	switch {
 	case resp.OK():
 		// Learn the peer-assigned request ID for the repaired/created
-		// request so future repairs can name it.
+		// request so future repairs can name it. Svc.Mu serializes this
+		// against local repair, which mutates log records in place under
+		// that lock — the pump delivers concurrently with repair.
 		if m.CallRespID != "" {
 			if newID := resp.Header[wire.HdrRequestID]; newID != "" {
+				c.Svc.Mu.Lock()
 				if rec, i, ok := c.Svc.Log.FindByCallRespID(m.CallRespID); ok {
 					_ = c.Svc.Log.Update(rec.ID, func(r *repairlog.Record) {
 						r.Calls[i].RemoteReqID = newID
 					})
 				}
+				c.Svc.Mu.Unlock()
 			}
 		}
 		return deliverOK
@@ -309,8 +318,23 @@ func (c *Controller) deliverRepairCall(p *PendingMsg) deliverStatus {
 		return deliverGone
 	default:
 		p.LastErr = fmt.Sprintf("peer returned %d: %s", resp.Status, resp.Body)
-		return deliverRetry
+		if unavailableStatus(resp.Status) {
+			return deliverRetry
+		}
+		return deliverRetryMsg
 	}
+}
+
+// unavailableStatus reports statuses that mean the peer itself is down even
+// though something answered — a gateway fronting a dead service, or a
+// timeout placeholder. They get peer-level (backoff) treatment like a
+// transport error, not message-level blame.
+func unavailableStatus(status int) bool {
+	switch status {
+	case 502, 503, 504, wire.StatusTimeout:
+		return true
+	}
+	return false
 }
 
 // deliverReplaceResponse runs the two-step token handshake of §3.1: mint a
@@ -358,6 +382,9 @@ func (c *Controller) deliverReplaceResponse(p *PendingMsg) deliverStatus {
 		return deliverDenied
 	default:
 		p.LastErr = fmt.Sprintf("notifier returned %d: %s", resp.Status, resp.Body)
-		return deliverRetry
+		if unavailableStatus(resp.Status) {
+			return deliverRetry
+		}
+		return deliverRetryMsg
 	}
 }

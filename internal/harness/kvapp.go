@@ -8,13 +8,24 @@ import (
 )
 
 // KVApp is a minimal mirroring key-value service used by benchmarks and
-// demos: POST /put writes a key (and forwards it to Mirror, if set),
+// demos: POST /put writes a key (and forwards it to every mirror peer),
 // GET /get reads one key, GET /sum scans all keys.
 type KVApp struct {
 	// ServiceName is the transport identity.
 	ServiceName string
 	// Mirror, when set, receives a copy of every write.
 	Mirror string
+	// Mirrors also receive a copy of every write (the fan-out topology:
+	// one hub propagating to N peers).
+	Mirrors []string
+}
+
+// mirrors returns every peer that receives write copies.
+func (a *KVApp) mirrors() []string {
+	if a.Mirror == "" {
+		return a.Mirrors
+	}
+	return append([]string{a.Mirror}, a.Mirrors...)
 }
 
 // Name implements core.App.
@@ -31,8 +42,8 @@ func (a *KVApp) Register(svc *web.Service) {
 		if err := c.DB.Put("kv", c.Form("key"), orm.Fields("val", c.Form("val"))); err != nil {
 			return c.Error(500, err.Error())
 		}
-		if a.Mirror != "" {
-			c.Call(a.Mirror, wire.NewRequest("POST", "/put").
+		for _, m := range a.mirrors() {
+			c.Call(m, wire.NewRequest("POST", "/put").
 				WithForm("key", c.Form("key"), "val", c.Form("val")))
 		}
 		return c.OK("ok")

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aire/internal/wire"
 )
@@ -51,6 +52,7 @@ type Bus struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	offline  map[string]bool
+	latency  map[string]time.Duration
 
 	calls atomic.Int64
 	drops atomic.Int64
@@ -58,7 +60,11 @@ type Bus struct {
 
 // NewBus returns an empty bus.
 func NewBus() *Bus {
-	return &Bus{handlers: make(map[string]Handler), offline: make(map[string]bool)}
+	return &Bus{
+		handlers: make(map[string]Handler),
+		offline:  make(map[string]bool),
+		latency:  make(map[string]time.Duration),
+	}
 }
 
 // Register attaches a service to the bus under the given name.
@@ -77,6 +83,17 @@ func (b *Bus) SetOffline(name string, off bool) {
 	b.offline[name] = off
 }
 
+// SetLatency makes every call to the named service block for d before it is
+// dispatched (or before it fails, if the service is also offline). Combined
+// with SetOffline it models a *stalled* peer — one that hangs callers for a
+// timeout rather than refusing connections instantly — the condition the
+// background repair pump exists to ride out (§3). Zero removes the latency.
+func (b *Bus) SetLatency(name string, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.latency[name] = d
+}
+
 // Offline reports whether the named service is currently offline.
 func (b *Bus) Offline(name string) bool {
 	b.mu.RLock()
@@ -90,7 +107,11 @@ func (b *Bus) Call(from, to string, req wire.Request) (wire.Response, error) {
 	b.mu.RLock()
 	h, ok := b.handlers[to]
 	off := b.offline[to]
+	lat := b.latency[to]
 	b.mu.RUnlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
 	if !ok {
 		b.drops.Add(1)
 		return wire.Response{}, fmt.Errorf("%w: %s", ErrUnknownService, to)
