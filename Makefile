@@ -4,7 +4,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-fix vet ci
+# Fault-injection simulation sweep (internal/simnet + cmd/airesim).
+# SIM_SEEDS is "lo:hi" (inclusive) or "3,7,19"; SIM_PROFILE is one of
+# `go run ./cmd/airesim -profiles` (drop, duplicate, delay, partition,
+# crash, mixed). CI runs a short fixed-seed matrix; longer local sweeps:
+#   make sim SIM_PROFILE=mixed SIM_SEEDS=1:1000
+SIM_SEEDS ?= 1:20
+SIM_PROFILE ?= mixed
+
+.PHONY: all build test race bench fmt fmt-fix vet ci sim
 
 all: build
 
@@ -30,6 +38,9 @@ fmt:
 
 fmt-fix:
 	gofmt -w .
+
+sim:
+	$(GO) run ./cmd/airesim -profile $(SIM_PROFILE) -seeds $(SIM_SEEDS)
 
 vet:
 	$(GO) vet ./...

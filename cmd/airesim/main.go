@@ -1,0 +1,144 @@
+// Command airesim sweeps the deterministic fault-injection simulator over
+// a seed range: for each seed it generates a randomized multi-service
+// workload, interleaves Cancel/Replace repairs with injected repair-plane
+// faults (drops, lost responses, duplicates, delays/reorders, partitions,
+// crash-restarts), and checks the paper's convergence oracle — the faulted
+// world must quiesce to exactly the state of a fault-free reference
+// re-execution with the attacks removed.
+//
+// CI runs a short fixed-seed matrix per fault profile; longer local sweeps:
+//
+//	make sim SIM_PROFILE=mixed SIM_SEEDS=1:500
+//	go run ./cmd/airesim -profile crash -seeds 17 -v   # replay one failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aire/internal/harness"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "mixed", "fault profile: "+strings.Join(harness.SimProfileNames(), ", "))
+		seeds     = flag.String("seeds", "1:20", `seeds to run: "lo:hi" (inclusive) or "3,7,19"`)
+		ops       = flag.Int("ops", 0, "workload steps per run (0 = profile default)")
+		services  = flag.Int("services", 0, "number of services (0 = profile default)")
+		topology  = flag.String("topology", "", `"chain" or "fanout" (empty = profile default)`)
+		repairs   = flag.Int("repairs", 0, "attacked puts per run (0 = profile default)")
+		verbose   = flag.Bool("v", false, "print the fault schedule of failing seeds")
+		listProfs = flag.Bool("profiles", false, "list fault profiles and exit")
+	)
+	flag.Parse()
+
+	if *listProfs {
+		for _, name := range harness.SimProfileNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airesim:", err)
+		os.Exit(2)
+	}
+	base, err := harness.SimProfileConfig(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airesim:", err)
+		os.Exit(2)
+	}
+	if *ops > 0 {
+		base.Ops = *ops
+	}
+	if *services > 0 {
+		base.Services = *services
+	}
+	if *topology != "" {
+		base.Topology = *topology
+	}
+	if *repairs > 0 {
+		base.Repairs = *repairs
+	}
+
+	failed := 0
+	for _, seed := range seedList {
+		cfg := base
+		cfg.Seed = seed
+		res, err := harness.RunSim(cfg)
+		if err != nil {
+			fmt.Printf("seed %-6d ERROR  %v\n", seed, err)
+			failed++
+			continue
+		}
+		if res.Passed {
+			fmt.Printf("seed %-6d PASS   repairs=%d crashes=%d partitions=%d rounds=%d faults=%s\n",
+				seed, res.RepairCount, res.CrashCount, res.PartitionCount, res.Rounds, faultSummary(res.FaultCounts))
+			continue
+		}
+		failed++
+		fmt.Printf("seed %-6d FAIL   repairs=%d crashes=%d partitions=%d rounds=%d faults=%s\n",
+			seed, res.RepairCount, res.CrashCount, res.PartitionCount, res.Rounds, faultSummary(res.FaultCounts))
+		for _, f := range res.Failures {
+			fmt.Printf("             %s\n", f)
+		}
+		if *verbose {
+			for _, line := range res.Trace {
+				fmt.Printf("             | %s\n", line)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("airesim: %d/%d seeds failed (profile %s); rerun one with -seeds <seed> -v\n", failed, len(seedList), *profile)
+		os.Exit(1)
+	}
+	fmt.Printf("airesim: %d seeds passed (profile %s)\n", len(seedList), *profile)
+}
+
+// parseSeeds accepts "lo:hi" (inclusive range) or a comma-separated list.
+func parseSeeds(s string) ([]int64, error) {
+	s = strings.TrimSpace(s)
+	if lo, hi, ok := strings.Cut(s, ":"); ok {
+		l, err1 := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+		h, err2 := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+		if err1 != nil || err2 != nil || h < l {
+			return nil, fmt.Errorf("bad seed range %q (want lo:hi with hi >= lo)", s)
+		}
+		out := make([]int64, 0, h-l+1)
+		for v := l; v <= h; v++ {
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func faultSummary(counts map[string]int) string {
+	if len(counts) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -197,6 +197,7 @@ type Controller struct {
 	Engine  *warp.Engine
 
 	qmu    sync.Mutex
+	qcond  *sync.Cond // broadcast whenever qlive drops to 0 (WaitQueueEmpty)
 	queue  []*PendingMsg
 	qlive  int // entries with queued=true (the queue slice may briefly hold dead ones)
 	nextID int
@@ -245,6 +246,7 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 		peers:     make(map[string]*peerState),
 		pumpWake:  make(chan struct{}, 1),
 	}
+	c.qcond = sync.NewCond(&c.qmu)
 	return c
 }
 

@@ -284,7 +284,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		case deliverOK:
 			if fresh {
 				p.queued = false
-				c.qlive--
+				c.queueShrunkLocked()
 				removed++
 				delivered++
 			} else if live {
@@ -293,7 +293,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		case deliverGone:
 			if fresh {
 				p.queued = false
-				c.qlive--
+				c.queueShrunkLocked()
 				removed++
 			} else if live {
 				p.inflight = false
@@ -451,6 +451,37 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 	return delivered
 }
 
+// queueShrunkLocked records one live entry leaving the queue and wakes
+// WaitQueueEmpty waiters when the last one goes. Callers hold qmu.
+func (c *Controller) queueShrunkLocked() {
+	c.qlive--
+	if c.qlive == 0 {
+		c.qcond.Broadcast()
+	}
+}
+
+// WaitQueueEmpty blocks until the outgoing queue has no live messages (held
+// or not) or the timeout elapses, reporting whether it emptied. It is the
+// race-free way to wait out the background pump — tests and shutdown paths
+// use it instead of sleep-polling QueueLen.
+func (c *Controller) WaitQueueEmpty(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		c.qmu.Lock()
+		expired = true
+		c.qmu.Unlock()
+		c.qcond.Broadcast()
+	})
+	defer timer.Stop()
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for c.qlive > 0 && !expired && time.Now().Before(deadline) {
+		c.qcond.Wait()
+	}
+	return c.qlive == 0
+}
+
 // Flush attempts one synchronous delivery pass over the outgoing queue and
 // reports how many messages were delivered and how many remain. Batches are
 // delivered serially in queue order, so Flush (and Settle on top of it) is
@@ -575,16 +606,18 @@ func StartPumps(ctx context.Context, ctrls ...*Controller) (stop func(), err err
 
 func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}) {
 	defer func() {
-		close(done)
 		// If the pump died from ctx cancellation (not StopPump), detach the
 		// lifecycle state so PumpRunning turns false and StartPump works
 		// again without requiring a StopPump on an already-dead pump.
+		// Detach before closing done: a waiter woken by done must observe
+		// the pump as fully stopped.
 		c.pumpMu.Lock()
 		if c.pumpDone == done {
 			c.pumpCancel = nil
 			c.pumpDone = nil
 		}
 		c.pumpMu.Unlock()
+		close(done)
 	}()
 	ticker := time.NewTicker(c.pumpInterval())
 	defer ticker.Stop()

@@ -100,12 +100,8 @@ func TestPumpPerPeerFIFO(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hub.StopPump()
-	deadline := time.Now().Add(5 * time.Second)
-	for hub.QueueLen() > 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("queue not drained: %d left", hub.QueueLen())
-		}
-		time.Sleep(time.Millisecond)
+	if !hub.WaitQueueEmpty(5 * time.Second) {
+		t.Fatalf("queue not drained: %d left", hub.QueueLen())
 	}
 
 	for peer, rec := range recorders {
@@ -323,13 +319,20 @@ func TestPumpRestartsAfterContextCancel(t *testing.T) {
 	if err := hub.StartPump(ctx); err != nil {
 		t.Fatal(err)
 	}
+	// The pump's done channel closes only after the lifecycle state is
+	// detached, so waiting on it (instead of sleep-polling PumpRunning) is
+	// deterministic.
+	hub.pumpMu.Lock()
+	done := hub.pumpDone
+	hub.pumpMu.Unlock()
 	cancel()
-	deadline := time.Now().Add(2 * time.Second)
-	for hub.PumpRunning() {
-		if time.Now().After(deadline) {
-			t.Fatal("pump still reported running after context cancel")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pump did not shut down after context cancel")
+	}
+	if hub.PumpRunning() {
+		t.Fatal("pump still reported running after context cancel")
 	}
 	if err := hub.StartPump(context.Background()); err != nil {
 		t.Fatalf("StartPump after context cancel: %v", err)

@@ -138,7 +138,7 @@ func (c *Controller) Drop(msgID string) error {
 		if p.queued && p.MsgID == msgID {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			p.queued = false
-			c.qlive--
+			c.queueShrunkLocked()
 			// Dropping a peer's last message leaves no delivery pass to
 			// clean up its backoff bookkeeping — do it here.
 			if peer := peerKey(p.Msg); !c.peerHasQueuedLocked(peer) {

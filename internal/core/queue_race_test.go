@@ -93,6 +93,8 @@ func TestQueueConcurrencyHammer(t *testing.T) {
 				return
 			default:
 				tb.bus.SetOffline("b", i%2 == 0)
+				// Pacing, not synchronization: the churner just should not
+				// monopolize a core; nothing waits on this timing.
 				time.Sleep(time.Millisecond)
 			}
 		}

@@ -182,7 +182,8 @@ func TestConvergenceProperty(t *testing.T) {
 func TestConvergenceConservativeEngine(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Engine.PreciseReadCheck = false
-	rng := rand.New(rand.NewSource(42))
+	const seed = 42
+	rng := rand.New(rand.NewSource(seed))
 	for trial := 0; trial < 25; trial++ {
 		n := 5 + rng.Intn(25)
 		ops := make([]convOp, n)
@@ -190,7 +191,7 @@ func TestConvergenceConservativeEngine(t *testing.T) {
 			ops[i] = convOp{kind: byte(rng.Intn(3)), key: uint8(rng.Intn(5)), val: uint16(rng.Intn(1000))}
 		}
 		if !checkConvergence(t, ops, rng.Intn(n), cfg) {
-			t.Fatalf("trial %d diverged", trial)
+			t.Fatalf("seed %d trial %d diverged", seed, trial)
 		}
 	}
 }
@@ -199,7 +200,8 @@ func TestConvergenceConservativeEngine(t *testing.T) {
 // final state must match a golden run without any of them.
 func TestConvergenceMultipleRepairs(t *testing.T) {
 	cfg := core.DefaultConfig()
-	rng := rand.New(rand.NewSource(7))
+	const seed = 7
+	rng := rand.New(rand.NewSource(seed))
 	for trial := 0; trial < 10; trial++ {
 		n := 10 + rng.Intn(20)
 		ops := make([]convOp, n)
@@ -231,7 +233,7 @@ func TestConvergenceMultipleRepairs(t *testing.T) {
 			runConvOp(tb2, op)
 		}
 		if !equalState(stateOf(a1), stateOf(a2)) || !equalState(stateOf(b1), stateOf(b2)) {
-			t.Fatalf("trial %d diverged: a=%v/%v b=%v/%v", trial, stateOf(a1), stateOf(a2), stateOf(b1), stateOf(b2))
+			t.Fatalf("seed %d trial %d diverged: a=%v/%v b=%v/%v", seed, trial, stateOf(a1), stateOf(a2), stateOf(b1), stateOf(b2))
 		}
 	}
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"aire/internal/core"
@@ -111,19 +112,39 @@ func (s *FanoutScenario) AllRepaired() bool {
 	return true
 }
 
-// WaitReachableRepaired polls until every reachable peer is repaired or the
+// WaitReachableRepaired waits until every reachable peer is repaired or the
 // timeout elapses, returning how long it took and whether it succeeded.
+// The wait is event-driven — each pump delivery wakes a re-check — so there
+// is no sleep-polling interval to tune (or to flake on slow CI).
 func (s *FanoutScenario) WaitReachableRepaired(timeout time.Duration) (time.Duration, bool) {
 	start := time.Now()
-	deadline := start.Add(timeout)
+	wake := make(chan struct{}, 1)
+	// Subscribe has no unsubscribe, so the sink outlives this call; the
+	// done flag makes it inert once the wait returns.
+	var done atomic.Bool
+	defer done.Store(true)
+	s.Hub.Subscribe(func(e core.Event) {
+		if e.Kind == core.EvMsgDelivered && !done.Load() {
+			select {
+			case wake <- struct{}{}:
+			default:
+			}
+		}
+	})
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	for {
+		// Check after subscribing: deliveries that completed before the
+		// subscription are visible to the check, deliveries after it send a
+		// wake — no lost wakeups either way.
 		if s.ReachableRepaired() {
 			return time.Since(start), true
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-wake:
+		case <-deadline.C:
 			return time.Since(start), false
 		}
-		time.Sleep(500 * time.Microsecond)
 	}
 }
 

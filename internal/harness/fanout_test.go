@@ -24,7 +24,10 @@ func pumpCfg() core.Config {
 // background pump still repairs every reachable peer promptly — delivery to
 // healthy peers never queues behind the stalled one.
 func TestFanoutPumpDeliversAroundStalledPeer(t *testing.T) {
-	const stallLatency = 300 * time.Millisecond
+	// Generous stall: the assertion below is an upper bound on wall time,
+	// so the margin between "healthy peers repaired" (~1ms in-memory) and
+	// the stall must absorb scheduler/GC noise on loaded CI runners.
+	const stallLatency = 750 * time.Millisecond
 	s := NewFanoutScenario(6, pumpCfg())
 	if err := s.RunAttack(); err != nil {
 		t.Fatal(err)
@@ -85,12 +88,13 @@ func TestFanoutStalledPeerRecovers(t *testing.T) {
 	}
 	s.ReviveStalledPeer()
 
-	deadline := time.Now().Add(5 * time.Second)
-	for !s.AllRepaired() || s.Hub.QueueLen() > 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("stalled peer not repaired after recovery; queue=%d", s.Hub.QueueLen())
-		}
-		time.Sleep(time.Millisecond)
+	// Queue empty means every delete landed (delivery applies the repair in
+	// the peer's handler before the message is dequeued).
+	if !s.Hub.WaitQueueEmpty(5 * time.Second) {
+		t.Fatalf("stalled peer not repaired after recovery; queue=%d", s.Hub.QueueLen())
+	}
+	if !s.AllRepaired() {
+		t.Fatal("queue drained but a peer still serves the attack value")
 	}
 }
 

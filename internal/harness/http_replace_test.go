@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+// TestReplaceRepairNotifyOverRealHTTP drives the full replace repair flow
+// over transport/httpadapter real sockets: a replace at service a crosses
+// HTTP to b, b's changed response comes back as a replace_response via the
+// notify → fetch_repair token handshake (two more HTTP round trips), and
+// a's tentative call record is corrected — all delivered by the background
+// pump, not manual flushing. The existing TestRepairOverRealHTTP covers
+// only the delete path; this covers the other three repair-plane
+// endpoints (/aire/repair replace, /aire/notify, /aire/fetch_repair).
+func TestReplaceRepairNotifyOverRealHTTP(t *testing.T) {
+	caller := &transport.HTTPCaller{BaseURLs: map[string]string{}}
+	// simApp echoes the stored value, so a replaced write changes the
+	// mirrored call's response and forces the notify handshake.
+	ctrlA := core.NewController(&simApp{name: "a", peers: []string{"b"}}, caller, core.DefaultConfig())
+	ctrlB := core.NewController(&simApp{name: "b"}, caller, core.DefaultConfig())
+
+	srvA := httptest.NewServer(transport.NewHTTPHandler(ctrlA))
+	defer srvA.Close()
+	srvB := httptest.NewServer(transport.NewHTTPHandler(ctrlB))
+	defer srvB.Close()
+	caller.BaseURLs["a"] = srvA.URL
+	caller.BaseURLs["b"] = srvB.URL
+
+	call := func(svc string, req wire.Request) wire.Response {
+		t.Helper()
+		resp, err := caller.Call("", svc, req)
+		if err != nil {
+			t.Fatalf("%s: %v", svc, err)
+		}
+		return resp
+	}
+
+	put := call("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "evil"))
+	if !put.OK() {
+		t.Fatalf("put: %+v", put)
+	}
+	if got := string(call("b", wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != "evil" {
+		t.Fatalf("b mirrored %q, want %q", got, "evil")
+	}
+
+	stop, err := core.StartPumps(context.Background(), ctrlA, ctrlB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	// Replace the attack write in place; the pump propagates it.
+	if _, err := ctrlA.ApplyLocal(warp.Action{
+		Kind: warp.ReplaceReq, ReqID: put.Header[wire.HdrRequestID],
+		NewReq: wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "fixed"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// a's queue drains once the replace lands on b; by then b has queued
+	// its replace_response, so waiting a-then-b is race-free.
+	if !ctrlA.WaitQueueEmpty(5 * time.Second) {
+		t.Fatalf("replace not delivered over HTTP: %+v", ctrlA.Pending())
+	}
+	if !ctrlB.WaitQueueEmpty(5 * time.Second) {
+		t.Fatalf("replace_response not delivered over HTTP: %+v", ctrlB.Pending())
+	}
+
+	for svc, want := range map[string]string{"a": "fixed", "b": "fixed"} {
+		if got := string(call(svc, wire.NewRequest("GET", "/get").WithForm("key", "x")).Body); got != want {
+			t.Fatalf("%s after replace = %q, want %q", svc, got, want)
+		}
+	}
+	// The notify handshake corrected a's tentative call record: the logged
+	// mirror call now carries b's re-executed response, not the repair
+	// placeholder.
+	ctrlA.Svc.Mu.Lock()
+	defer ctrlA.Svc.Mu.Unlock()
+	rec, ok := ctrlA.Svc.Log.Get(put.Header[wire.HdrRequestID])
+	if !ok || len(rec.Calls) != 1 {
+		t.Fatalf("repaired record missing or call count wrong: %+v", rec)
+	}
+	if rec.Calls[0].Tentative || string(rec.Calls[0].Resp.Body) != "fixed" {
+		t.Fatalf("call record not corrected by replace_response: tentative=%v resp=%q",
+			rec.Calls[0].Tentative, rec.Calls[0].Resp.Body)
+	}
+}

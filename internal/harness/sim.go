@@ -1,0 +1,564 @@
+package harness
+
+// Deterministic fault-injection simulation (the §3.3 convergence argument
+// as a searchable seed space). One seed fully determines a run: the
+// workload, which requests are attacked and how they are repaired, every
+// injected fault (via internal/simnet), every partition window, and every
+// crash-restart point. The oracle is the paper's correctness claim: after
+// repair propagates through the unreliable fabric and the system
+// quiesces, every service's state must equal a fault-free reference
+// re-execution of the same workload with the attacks removed (cancels) or
+// corrected in place (replaces).
+//
+// Faults apply to the repair plane only (see simnet): the live workload
+// runs clean in both worlds, so any divergence is the repair protocol's
+// fault, not the workload's.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"aire/internal/core"
+	"aire/internal/orm"
+	"aire/internal/persist"
+	"aire/internal/simnet"
+	"aire/internal/transport"
+	"aire/internal/vdb"
+	"aire/internal/warp"
+	"aire/internal/web"
+	"aire/internal/wire"
+)
+
+// SimConfig parameterizes one simulation run. The zero value of every
+// field except Seed is replaced by a sensible default.
+type SimConfig struct {
+	// Seed determines the entire run.
+	Seed int64
+	// Services is how many Aire services to stand up (≥ 2).
+	Services int
+	// Topology is "chain" (s0 → s1 → … , each put forwarded downstream) or
+	// "fanout" (s0 mirrors every put to all other services).
+	Topology string
+	// Ops is the number of workload steps (puts/gets/scans via s0).
+	Ops int
+	// Repairs is how many attacked puts are repaired (Cancel or Replace),
+	// capped by the number of puts the workload happens to contain.
+	Repairs int
+	// Faults are the per-call repair-plane fault probabilities.
+	Faults simnet.FaultPlan
+	// PartitionRate is the per-step probability of starting a partition (a
+	// random bipartition of the services, healed a few steps later).
+	PartitionRate float64
+	// CrashRate is the per-step probability of crash-restarting a random
+	// service: its controller is torn down and rebuilt from an
+	// internal/persist snapshot mid-repair.
+	CrashRate float64
+	// MaxRounds bounds the post-workload quiesce loop.
+	MaxRounds int
+}
+
+func (cfg SimConfig) withDefaults() SimConfig {
+	if cfg.Services < 2 {
+		cfg.Services = 3
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = "chain"
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 30
+	}
+	if cfg.Repairs <= 0 {
+		cfg.Repairs = 3
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 100
+	}
+	return cfg
+}
+
+// SimResult reports one simulation run. Two runs of the same SimConfig are
+// identical in every field — the determinism tests rely on it.
+type SimResult struct {
+	Seed           int64
+	Ops            int
+	RepairCount    int
+	CrashCount     int
+	PartitionCount int
+	// Rounds is how many quiesce rounds the repair plane needed after the
+	// workload finished.
+	Rounds int
+	// FaultCounts counts injected faults by class; Trace is the full fault
+	// schedule (reproducing a failing seed reproduces it verbatim).
+	FaultCounts map[string]int
+	Trace       []string
+	// Failures lists oracle violations; Passed means none.
+	Failures []string
+	Passed   bool
+	// StateDigest fingerprints the converged state plus the fault schedule.
+	StateDigest uint64
+}
+
+// simOp is one workload step.
+type simOp struct {
+	kind int // 0 put, 1 get, 2 sum
+	key  string
+	val  string
+}
+
+// simRepair repairs the put at op index opIdx: cancel it, or replace its
+// value with newVal.
+type simRepair struct {
+	opIdx  int
+	cancel bool
+	newVal string
+}
+
+// simEvent is one step of the generated schedule.
+type simEvent struct {
+	kind   int // event kinds below
+	op     int // evExec: op index
+	repair simRepair
+	crash  string     // evCrash: service to crash-restart
+	groups [][]string // evPartition
+}
+
+const (
+	evExec = iota
+	evRepair
+	evCrash
+	evPartition
+	evHeal
+)
+
+const (
+	simFrozenTime   = int64(1_380_000_000)
+	simClockStart   = int64(1_700_000_000)
+	simPulseStep    = 25 * time.Millisecond
+	simBackoffBase  = 50 * time.Millisecond
+	simBackoffMax   = 400 * time.Millisecond
+	simPartitionMin = 2 // partition duration in steps
+	simPartitionVar = 4
+)
+
+// simApp is the workload application: a key-value service that forwards
+// every write downstream and echoes the stored value in its response, so
+// Replace repairs change responses and exercise the replace_response
+// notify/fetch handshake across the faulted fabric, not just the repair
+// call path.
+type simApp struct {
+	name  string
+	peers []string
+}
+
+func (a *simApp) Name() string                        { return a.name }
+func (a *simApp) Authorize(ac core.AuthzRequest) bool { return true }
+
+func (a *simApp) Register(svc *web.Service) {
+	svc.Schema.Register("kv")
+	svc.Router.Handle("POST", "/put", func(c *web.Ctx) wire.Response {
+		if err := c.DB.Put("kv", c.Form("key"), orm.Fields("val", c.Form("val"))); err != nil {
+			return c.Error(500, err.Error())
+		}
+		for _, p := range a.peers {
+			c.Call(p, wire.NewRequest("POST", "/put").
+				WithForm("key", c.Form("key"), "val", c.Form("val")))
+		}
+		return c.OK(c.Form("val"))
+	})
+	svc.Router.Handle("GET", "/get", func(c *web.Ctx) wire.Response {
+		o, ok := c.DB.Get("kv", c.Form("key"))
+		if !ok {
+			return c.Error(404, "missing")
+		}
+		return c.OK(o.Get("val"))
+	})
+	svc.Router.Handle("GET", "/sum", func(c *web.Ctx) wire.Response {
+		out := ""
+		for _, o := range c.DB.List("kv") {
+			out += o.ID + "=" + o.Get("val") + ";"
+		}
+		return c.OK(out)
+	})
+}
+
+// simWorld is one set of services: the attacked world runs on a simnet
+// fault layer, the golden world directly on a clean bus.
+type simWorld struct {
+	bus   *transport.Bus
+	net   core.Caller
+	sim   *simnet.Net // nil in the golden world
+	clock *simnet.Clock
+	ccfg  core.Config
+	apps  map[string]*simApp
+	ctrls map[string]*core.Controller
+	order []string
+}
+
+func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
+	w := &simWorld{
+		bus:   transport.NewBus(),
+		clock: simnet.NewClock(simClockStart),
+		apps:  map[string]*simApp{},
+		ctrls: map[string]*core.Controller{},
+	}
+	if faulted {
+		// Any deterministic derivation works; keep the fault stream
+		// distinct from the workload generator's.
+		w.sim = simnet.New(w.bus, cfg.Seed*2+1, cfg.Faults)
+		w.net = w.sim
+	} else {
+		w.net = w.bus
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.Backoff = core.Backoff{Base: simBackoffBase, Max: simBackoffMax, Factor: 2}
+	ccfg.Clock = w.clock.Now
+	w.ccfg = ccfg
+
+	for i := 0; i < cfg.Services; i++ {
+		w.order = append(w.order, fmt.Sprintf("s%d", i))
+	}
+	for i, name := range w.order {
+		var peers []string
+		if cfg.Topology == "fanout" {
+			if i == 0 {
+				peers = append(peers, w.order[1:]...)
+			}
+		} else if i+1 < len(w.order) { // chain
+			peers = []string{w.order[i+1]}
+		}
+		app := &simApp{name: name, peers: peers}
+		w.apps[name] = app
+		w.addController(name)
+	}
+	return w
+}
+
+// addController stands up (or replaces, after a crash) the controller for
+// the named service.
+func (w *simWorld) addController(name string) *core.Controller {
+	c := core.NewController(w.apps[name], w.net, w.ccfg)
+	c.Svc.TimeSource = func() int64 { return simFrozenTime }
+	w.bus.Register(name, c)
+	w.ctrls[name] = c
+	return c
+}
+
+// crashRestart simulates a crash: the controller is discarded and rebuilt
+// from a persist snapshot, resuming delivery of its outgoing queue.
+func (w *simWorld) crashRestart(name string) error {
+	snap := persist.Capture(w.ctrls[name])
+	fresh := w.addController(name)
+	if err := persist.Apply(fresh, snap); err != nil {
+		return fmt.Errorf("sim: restore %s: %w", name, err)
+	}
+	return nil
+}
+
+// execOp performs one workload step through the head service, returning
+// the assigned request ID for puts.
+func (w *simWorld) execOp(op simOp) (string, error) {
+	head := w.order[0]
+	switch op.kind {
+	case 0:
+		resp, err := w.net.Call("", head, wire.NewRequest("POST", "/put").
+			WithForm("key", op.key, "val", op.val))
+		if err != nil {
+			return "", fmt.Errorf("sim: put on %s: %w", head, err)
+		}
+		return resp.Header[wire.HdrRequestID], nil
+	case 1:
+		_, err := w.net.Call("", head, wire.NewRequest("GET", "/get").WithForm("key", op.key))
+		return "", err
+	default:
+		_, err := w.net.Call("", head, wire.NewRequest("GET", "/sum"))
+		return "", err
+	}
+}
+
+// pulse runs one delivery round: one Flush per service in deterministic
+// order, then one simnet Tick (delayed deliveries). Returns how much
+// happened.
+func (w *simWorld) pulse() int {
+	progress := 0
+	for _, name := range w.order {
+		d, _ := w.ctrls[name].Flush()
+		progress += d
+	}
+	if w.sim != nil {
+		progress += w.sim.Tick()
+	}
+	return progress
+}
+
+func (w *simWorld) queued() int {
+	n := 0
+	for _, name := range w.order {
+		n += w.ctrls[name].QueueLen()
+	}
+	return n
+}
+
+func (w *simWorld) heldMessages() []string {
+	var held []string
+	for _, name := range w.order {
+		for _, p := range w.ctrls[name].Pending() {
+			if p.Held {
+				held = append(held, fmt.Sprintf("%s: %s (%s to %s): %s", name, p.MsgID, p.Msg.Kind, p.Msg.Target, p.LastErr))
+			}
+		}
+	}
+	return held
+}
+
+// kvState flattens one service's live kv contents.
+func kvState(c *core.Controller) map[string]string {
+	out := map[string]string{}
+	for _, id := range c.Svc.Store.IDs("kv") {
+		if v, ok := c.Svc.Store.Get(vdb.Key{Model: "kv", ID: id}); ok {
+			out[id] = v.Fields["val"]
+		}
+	}
+	return out
+}
+
+func stateLines(name string, st map[string]string) []string {
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		lines = append(lines, fmt.Sprintf("%s|%s=%s", name, k, st[k]))
+	}
+	return lines
+}
+
+// buildSchedule generates the deterministic workload + fault schedule for
+// a seed.
+func buildSchedule(cfg SimConfig) ([]simEvent, []simOp) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ops := make([]simOp, cfg.Ops)
+	var putIdx []int
+	for i := range ops {
+		key := fmt.Sprintf("k%d", rng.Intn(5))
+		switch r := rng.Float64(); {
+		case r < 0.6:
+			ops[i] = simOp{kind: 0, key: key, val: fmt.Sprintf("v%d", rng.Intn(10000))}
+			putIdx = append(putIdx, i)
+		case r < 0.8:
+			ops[i] = simOp{kind: 1, key: key}
+		default:
+			ops[i] = simOp{kind: 2}
+		}
+	}
+
+	// Attack repairs: distinct puts, each repaired once, at a step at or
+	// after the put executes.
+	repairAt := map[int][]simRepair{}
+	nRepairs := cfg.Repairs
+	if nRepairs > len(putIdx) {
+		nRepairs = len(putIdx)
+	}
+	for _, pi := range rng.Perm(len(putIdx))[:nRepairs] {
+		target := putIdx[pi]
+		step := target + rng.Intn(cfg.Ops-target)
+		rep := simRepair{opIdx: target, cancel: rng.Intn(2) == 0}
+		if !rep.cancel {
+			rep.newVal = fmt.Sprintf("r%d", rng.Intn(10000))
+		}
+		repairAt[step] = append(repairAt[step], rep)
+	}
+
+	var events []simEvent
+	healAt := -1
+	for i := 0; i < cfg.Ops; i++ {
+		if healAt == i {
+			events = append(events, simEvent{kind: evHeal})
+			healAt = -1
+		}
+		events = append(events, simEvent{kind: evExec, op: i})
+		for _, rep := range repairAt[i] {
+			events = append(events, simEvent{kind: evRepair, repair: rep})
+		}
+		if cfg.CrashRate > 0 && rng.Float64() < cfg.CrashRate {
+			events = append(events, simEvent{kind: evCrash, crash: fmt.Sprintf("s%d", rng.Intn(cfg.Services))})
+		}
+		if cfg.PartitionRate > 0 && healAt < 0 && rng.Float64() < cfg.PartitionRate {
+			// Random bipartition with both sides non-empty.
+			groups := [][]string{nil, nil}
+			for s := 0; s < cfg.Services; s++ {
+				g := rng.Intn(2)
+				if s == 0 {
+					g = 0
+				} else if s == cfg.Services-1 {
+					g = 1
+				}
+				groups[g] = append(groups[g], fmt.Sprintf("s%d", s))
+			}
+			events = append(events, simEvent{kind: evPartition, groups: groups})
+			healAt = i + simPartitionMin + rng.Intn(simPartitionVar)
+		}
+	}
+	return events, ops
+}
+
+// RunSim executes one simulation run: the attacked world under faults,
+// then the golden reference, then the convergence oracle. The returned
+// error reports harness-level breakage (a repair call that could not even
+// be issued); oracle violations land in SimResult.Failures.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	cfg = cfg.withDefaults()
+	events, ops := buildSchedule(cfg)
+
+	res := &SimResult{Seed: cfg.Seed, Ops: cfg.Ops}
+	w := buildSimWorld(cfg, true)
+	ids := map[int]string{}
+	cancelled := map[int]bool{}
+	replaced := map[int]string{}
+
+	for _, ev := range events {
+		switch ev.kind {
+		case evExec:
+			id, err := w.execOp(ops[ev.op])
+			if err != nil {
+				return nil, err
+			}
+			if id != "" {
+				ids[ev.op] = id
+			}
+		case evRepair:
+			rep := ev.repair
+			id := ids[rep.opIdx]
+			if id == "" {
+				return nil, fmt.Errorf("sim: repair target op %d has no request ID", rep.opIdx)
+			}
+			head := w.ctrls[w.order[0]]
+			if rep.cancel {
+				if _, err := head.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: id}); err != nil {
+					return nil, fmt.Errorf("sim: cancel %s: %w", id, err)
+				}
+				cancelled[rep.opIdx] = true
+			} else {
+				newReq := wire.NewRequest("POST", "/put").
+					WithForm("key", ops[rep.opIdx].key, "val", rep.newVal)
+				if _, err := head.ApplyLocal(warp.Action{Kind: warp.ReplaceReq, ReqID: id, NewReq: newReq}); err != nil {
+					return nil, fmt.Errorf("sim: replace %s: %w", id, err)
+				}
+				replaced[rep.opIdx] = rep.newVal
+			}
+			res.RepairCount++
+		case evCrash:
+			if err := w.crashRestart(ev.crash); err != nil {
+				return nil, err
+			}
+			res.CrashCount++
+		case evPartition:
+			w.sim.Partition(ev.groups...)
+			res.PartitionCount++
+		case evHeal:
+			w.sim.Heal()
+		}
+		w.pulse()
+		w.clock.Advance(simPulseStep)
+	}
+
+	// Quiesce: heal the fabric and pump until nothing moves and nothing is
+	// queued or held in flight. Backoff windows are elapsed by advancing
+	// the simulated clock, never by waiting.
+	w.sim.Heal()
+	quiesced := false
+	for ; res.Rounds < cfg.MaxRounds; res.Rounds++ {
+		progress := w.pulse()
+		w.clock.Advance(simPulseStep)
+		if progress == 0 {
+			if w.queued() == 0 && w.sim.HeldCount() == 0 {
+				quiesced = true
+				break
+			}
+			w.clock.Advance(simBackoffMax)
+		}
+	}
+	if !quiesced {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("did not quiesce after %d rounds: %d queued, %d held in network", res.Rounds, w.queued(), w.sim.HeldCount()))
+	}
+	for _, h := range w.heldMessages() {
+		res.Failures = append(res.Failures, "message parked (Held): "+h)
+	}
+
+	// Golden reference: same workload on a clean fabric, attacks removed
+	// (cancels) or corrected at their original position (replaces).
+	g := buildSimWorld(cfg, false)
+	for i, op := range ops {
+		if cancelled[i] {
+			continue
+		}
+		if v, ok := replaced[i]; ok {
+			op.val = v
+		}
+		if _, err := g.execOp(op); err != nil {
+			return nil, fmt.Errorf("sim: golden world: %w", err)
+		}
+	}
+
+	// The oracle: every service converged to the golden state.
+	digest := fnv.New64a()
+	for _, name := range w.order {
+		got, want := kvState(w.ctrls[name]), kvState(g.ctrls[name])
+		for _, line := range stateLines(name, got) {
+			fmt.Fprintln(digest, line)
+		}
+		if len(got) != len(want) {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s diverged: got %v, want %v", name, got, want))
+			continue
+		}
+		for k, v := range want {
+			if got[k] != v {
+				res.Failures = append(res.Failures, fmt.Sprintf("%s diverged at %s: got %q, want %q (full: got %v, want %v)", name, k, got[k], v, got, want))
+				break
+			}
+		}
+	}
+
+	res.FaultCounts = w.sim.Counts()
+	res.Trace = w.sim.Trace()
+	for _, line := range res.Trace {
+		fmt.Fprintln(digest, line)
+	}
+	res.StateDigest = digest.Sum64()
+	res.Passed = len(res.Failures) == 0
+	return res, nil
+}
+
+// simProfiles are the named fault classes the CI matrix sweeps. "mixed"
+// composes everything; the others isolate one class so a regression names
+// its fault.
+var simProfiles = map[string]SimConfig{
+	"drop":      {Services: 3, Topology: "chain", Faults: simnet.FaultPlan{Drop: 0.3}},
+	"duplicate": {Services: 3, Topology: "chain", Faults: simnet.FaultPlan{Duplicate: 0.3, DropResponse: 0.2}},
+	"delay":     {Services: 3, Topology: "chain", Faults: simnet.FaultPlan{Delay: 0.35}},
+	"partition": {Services: 4, Topology: "fanout", PartitionRate: 0.2},
+	"crash":     {Services: 3, Topology: "chain", CrashRate: 0.12},
+	"mixed": {Services: 4, Topology: "fanout", PartitionRate: 0.08, CrashRate: 0.05,
+		Faults: simnet.FaultPlan{Drop: 0.15, DropResponse: 0.1, Duplicate: 0.1, Delay: 0.15}},
+}
+
+// SimProfileNames lists the named fault profiles in a fixed order.
+func SimProfileNames() []string {
+	return []string{"drop", "duplicate", "delay", "partition", "crash", "mixed"}
+}
+
+// SimProfileConfig returns the SimConfig for a named fault profile; the
+// caller sets Seed (and may override any knob).
+func SimProfileConfig(name string) (SimConfig, error) {
+	cfg, ok := simProfiles[name]
+	if !ok {
+		return SimConfig{}, fmt.Errorf("sim: unknown profile %q (have %v)", name, SimProfileNames())
+	}
+	return cfg, nil
+}

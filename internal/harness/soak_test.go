@@ -26,7 +26,8 @@ type soakOp struct {
 // repairs of repairs, and traffic continuing throughout.
 func TestSoakRandomizedSystem(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
-		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		seed := int64(1000 + trial)
+		rng := rand.New(rand.NewSource(seed))
 		n := 40 + rng.Intn(60)
 		ops := make([]soakOp, n)
 		for i := range ops {
@@ -38,11 +39,13 @@ func TestSoakRandomizedSystem(t *testing.T) {
 				offline: rng.Intn(2) == 0,
 			}
 		}
-		runSoak(t, trial, ops)
+		runSoak(t, seed, ops)
 	}
 }
 
-func runSoak(t *testing.T, trial int, ops []soakOp) {
+// runSoak replays one seeded schedule; every failure names the seed so a
+// CI flake is reproducible verbatim.
+func runSoak(t *testing.T, seed int64, ops []soakOp) {
 	t.Helper()
 	build := func() (*Testbed, *core.Controller, *core.Controller) {
 		tb := NewTestbed()
@@ -74,7 +77,7 @@ func runSoak(t *testing.T, trial int, ops []soakOp) {
 			for j := op.victim % len(ops); j >= 0; j-- {
 				if id, ok := putIDs[j]; ok && !cancelled[j] {
 					if _, err := a1.ApplyLocal(cancelAction(id)); err != nil {
-						t.Fatalf("trial %d: cancel: %v", trial, err)
+						t.Fatalf("seed %d: cancel: %v", seed, err)
 					}
 					cancelled[j] = true
 					break
@@ -91,14 +94,14 @@ func runSoak(t *testing.T, trial int, ops []soakOp) {
 		for _, p := range ctrl.Pending() {
 			if p.Held {
 				if err := ctrl.Retry(p.MsgID, nil); err != nil {
-					t.Fatalf("trial %d: retry: %v", trial, err)
+					t.Fatalf("seed %d: retry: %v", seed, err)
 				}
 			}
 		}
 	}
 	tb1.Settle(50)
 	if q := tb1.QueuedMessages(); q != 0 {
-		t.Fatalf("trial %d: %d repair messages stuck after settle", trial, q)
+		t.Fatalf("seed %d: %d repair messages stuck after settle", seed, q)
 	}
 
 	// Pass 2: the golden world — same schedule (including outages, which
@@ -124,7 +127,7 @@ func runSoak(t *testing.T, trial int, ops []soakOp) {
 	gotA, wantA := soakState(a1.Svc.Store), soakState(tb2.Ctrls["a"].Svc.Store)
 	_ = tb2
 	if gotA != wantA {
-		t.Fatalf("trial %d: service a diverged\nrepaired: %s\ngolden:   %s\ncancelled=%v", trial, gotA, wantA, cancelled)
+		t.Fatalf("seed %d: service a diverged\nrepaired: %s\ngolden:   %s\ncancelled=%v", seed, gotA, wantA, cancelled)
 	}
 	// Service b: every cancelled value must be gone. (Exact equality with
 	// golden does not hold for b: mirrored writes dropped during an outage
@@ -137,7 +140,7 @@ func runSoak(t *testing.T, trial int, ops []soakOp) {
 		}
 		bad := fmt.Sprint(ops[i].val)
 		if containsValue(b1.Svc.Store, bad) && !containsValue(b2.Svc.Store, bad) {
-			t.Fatalf("trial %d: cancelled value %q survives on b: %s", trial, bad, gotB)
+			t.Fatalf("seed %d: cancelled value %q survives on b: %s", seed, bad, gotB)
 		}
 	}
 }

@@ -1,4 +1,4 @@
-package persist
+package persist_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 
 	"aire/internal/core"
 	"aire/internal/harness"
+	"aire/internal/persist"
 	"aire/internal/warp"
 	"aire/internal/wire"
 )
@@ -32,12 +33,12 @@ func buildState(t *testing.T) (*harness.Testbed, *core.Controller, string) {
 
 func TestSnapshotRoundTrip(t *testing.T) {
 	_, a, _ := buildState(t)
-	snap := Capture(a)
+	snap := persist.Capture(a)
 	var buf bytes.Buffer
 	if err := snap.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Read(&buf)
+	got, err := persist.Read(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,13 +60,13 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestRestartPreservesQueuedRepair(t *testing.T) {
 	tb, a, _ := buildState(t)
 	path := filepath.Join(t.TempDir(), "a.snap")
-	if err := SaveFile(a, path); err != nil {
+	if err := persist.SaveFile(a, path); err != nil {
 		t.Fatal(err)
 	}
 
 	// "Restart": a fresh controller for the same app, same bus.
 	a2 := core.NewController(&harness.KVApp{ServiceName: "a", Mirror: "b"}, tb.Bus, core.DefaultConfig())
-	if err := LoadFile(a2, path); err != nil {
+	if err := persist.LoadFile(a2, path); err != nil {
 		t.Fatal(err)
 	}
 	tb.Bus.Register("a", a2) // replaces the old instance
@@ -100,11 +101,11 @@ func TestRestartRemainsRepairable(t *testing.T) {
 	tb.MustCall("a", wire.NewRequest("GET", "/get").WithForm("key", "k"))
 
 	path := filepath.Join(t.TempDir(), "a.snap")
-	if err := SaveFile(a, path); err != nil {
+	if err := persist.SaveFile(a, path); err != nil {
 		t.Fatal(err)
 	}
 	a2 := core.NewController(&harness.KVApp{ServiceName: "a"}, tb.Bus, core.DefaultConfig())
-	if err := LoadFile(a2, path); err != nil {
+	if err := persist.LoadFile(a2, path); err != nil {
 		t.Fatal(err)
 	}
 	tb.Bus.Register("a", a2)
@@ -130,13 +131,13 @@ func TestRestartRemainsRepairable(t *testing.T) {
 
 func TestApplyGuards(t *testing.T) {
 	_, a, _ := buildState(t)
-	snap := Capture(a)
+	snap := persist.Capture(a)
 
 	wrong := core.NewController(&harness.KVApp{ServiceName: "other"}, harness.NewTestbed().Bus, core.DefaultConfig())
-	if err := Apply(wrong, snap); err == nil {
+	if err := persist.Apply(wrong, snap); err == nil {
 		t.Fatal("snapshot for another service must be rejected")
 	}
-	if err := Apply(a, snap); err == nil {
+	if err := persist.Apply(a, snap); err == nil {
 		t.Fatal("restore into a non-empty controller must be rejected")
 	}
 }

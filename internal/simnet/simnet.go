@@ -1,0 +1,254 @@
+// Package simnet is a deterministic fault-injection fabric for Aire
+// simulation testing (FoundationDB-style): it wraps the in-memory transport
+// bus and subjects the *repair plane* — every call under /aire/ — to
+// seeded message drops, lost responses, duplicate deliveries, delayed and
+// reordered deliveries, and network partitions.
+//
+// The paper's central claim (§3, §7) is that repair propagates correctly
+// through an unreliable fabric. simnet turns that claim into a searchable
+// seed space: every fault decision comes from a single rand.Rand seeded at
+// construction, and one uniform draw is consumed per repair-plane call, so
+// a run's entire fault schedule is a pure function of (seed, call
+// sequence). Re-running a failing seed reproduces the identical schedule.
+//
+// Normal application traffic passes through unfaulted: the convergence
+// oracle in internal/harness compares a faulted run against a fault-free
+// reference re-execution, which is only meaningful when both worlds saw
+// the same live workload and only the repair protocol rode the unreliable
+// fabric.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+// FaultPlan sets per-call fault probabilities for repair-plane calls. The
+// probabilities are cumulative and their sum must be ≤ 1; the remainder is
+// the probability of clean delivery.
+type FaultPlan struct {
+	// Drop loses the call before it reaches the peer: the caller sees a
+	// transport error, the peer sees nothing, the message stays queued.
+	Drop float64
+	// DropResponse delivers the call but loses the response: the caller
+	// sees a transport error and will re-deliver a repair the peer already
+	// applied — the at-least-once hazard the repair protocol must absorb.
+	DropResponse float64
+	// Duplicate delivers the call twice, returning the first response; the
+	// duplicate's response vanishes.
+	Duplicate float64
+	// Delay holds the call for a later Tick (the caller sees a transport
+	// error now, exactly like a timeout whose request is still sitting in
+	// the network). Held calls are delivered in seeded-shuffled order, so
+	// Delay is also the reordering fault.
+	Delay float64
+}
+
+// Sum returns the total fault probability.
+func (p FaultPlan) Sum() float64 { return p.Drop + p.DropResponse + p.Duplicate + p.Delay }
+
+// Fault class names, as recorded by Net.Counts and Net.Trace.
+const (
+	FaultDrop         = "drop"
+	FaultDropResponse = "drop-response"
+	FaultDuplicate    = "duplicate"
+	FaultDelay        = "delay"
+	FaultPartition    = "partition"
+)
+
+// heldCall is a delayed repair-plane call awaiting Tick delivery.
+type heldCall struct {
+	from, to string
+	req      wire.Request
+}
+
+// Net is a fault-injecting service fabric implementing the controller's
+// Caller contract on top of a transport.Bus. Fault decisions are taken
+// under an internal lock but deliveries run unlocked, so reentrant calls
+// (the notify → fetch_repair handshake) cannot deadlock.
+type Net struct {
+	bus *transport.Bus
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	plan   FaultPlan
+	group  map[string]int // partition group per service; nil = healed
+	held   []heldCall
+	counts map[string]int
+	trace  []string
+}
+
+// New wraps bus in a fault layer driven by the given seed and plan.
+func New(bus *transport.Bus, seed int64, plan FaultPlan) *Net {
+	if s := plan.Sum(); s > 1 {
+		panic(fmt.Sprintf("simnet: fault probabilities sum to %v > 1", s))
+	}
+	return &Net{
+		bus:    bus,
+		rng:    rand.New(rand.NewSource(seed)),
+		plan:   plan,
+		counts: map[string]int{},
+	}
+}
+
+// RepairPath reports whether path belongs to the repair plane (the /aire/
+// protocol surface). Only repair-plane calls are faulted.
+func RepairPath(path string) bool { return strings.HasPrefix(path, "/aire/") }
+
+// Call delivers req from → to, possibly injecting a fault when the call is
+// repair-plane traffic.
+func (n *Net) Call(from, to string, req wire.Request) (wire.Response, error) {
+	if !RepairPath(req.Path) {
+		return n.bus.Call(from, to, req)
+	}
+
+	n.mu.Lock()
+	if n.partitionedLocked(from, to) {
+		n.noteLocked(FaultPartition, from, to, req.Path)
+		n.mu.Unlock()
+		return wire.Response{}, fmt.Errorf("%w: simnet: %s->%s partitioned", transport.ErrUnavailable, from, to)
+	}
+	fault := n.rollLocked()
+	if fault != "" {
+		n.noteLocked(fault, from, to, req.Path)
+	}
+	if fault == FaultDelay {
+		n.held = append(n.held, heldCall{from: from, to: to, req: req.Clone()})
+	}
+	n.mu.Unlock()
+
+	switch fault {
+	case FaultDrop, FaultDelay:
+		return wire.Response{}, fmt.Errorf("%w: simnet: %s %s->%s %s", transport.ErrUnavailable, fault, from, to, req.Path)
+	case FaultDropResponse:
+		n.bus.Call(from, to, req) // delivered; the response is lost
+		return wire.Response{}, fmt.Errorf("%w: simnet: %s %s->%s %s", transport.ErrUnavailable, fault, from, to, req.Path)
+	case FaultDuplicate:
+		resp, err := n.bus.Call(from, to, req)
+		n.bus.Call(from, to, req.Clone()) // the duplicate; its response vanishes
+		return resp, err
+	default:
+		return n.bus.Call(from, to, req)
+	}
+}
+
+// rollLocked consumes exactly one uniform draw and maps it to a fault class
+// ("" for clean delivery).
+func (n *Net) rollLocked() string {
+	p := n.plan
+	if p.Sum() == 0 {
+		return ""
+	}
+	r := n.rng.Float64()
+	switch {
+	case r < p.Drop:
+		return FaultDrop
+	case r < p.Drop+p.DropResponse:
+		return FaultDropResponse
+	case r < p.Drop+p.DropResponse+p.Duplicate:
+		return FaultDuplicate
+	case r < p.Sum():
+		return FaultDelay
+	}
+	return ""
+}
+
+// Tick delivers every held (delayed) call in seeded-shuffled order and
+// returns how many it delivered. The simulation loop calls Tick once per
+// step; a delayed message therefore lands after whatever traffic and
+// retries the intervening steps produced — the reordering fault. Held
+// calls whose endpoints are currently partitioned stay held: a partition
+// is airtight for repair traffic, including traffic delayed before it
+// started, until Heal.
+func (n *Net) Tick() int {
+	n.mu.Lock()
+	var batch, keep []heldCall
+	for _, h := range n.held {
+		if n.partitionedLocked(h.from, h.to) {
+			keep = append(keep, h)
+		} else {
+			batch = append(batch, h)
+		}
+	}
+	n.held = keep
+	n.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+	n.mu.Unlock()
+	for _, h := range batch {
+		n.bus.Call(h.from, h.to, h.req)
+	}
+	return len(batch)
+}
+
+// HeldCount reports how many delayed calls await the next Tick.
+func (n *Net) HeldCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.held)
+}
+
+// Partition splits the fabric: repair-plane calls between services in
+// different groups fail with ErrUnavailable until Heal. Services in no
+// group (and external clients) are unaffected.
+func (n *Net) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = map[string]int{}
+	for gi, g := range groups {
+		for _, svc := range g {
+			n.group[svc] = gi
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Net) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.group = nil
+}
+
+// Partitioned reports whether a partition is active.
+func (n *Net) Partitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.group != nil
+}
+
+func (n *Net) partitionedLocked(from, to string) bool {
+	if n.group == nil {
+		return false
+	}
+	gf, okf := n.group[from]
+	gt, okt := n.group[to]
+	return okf && okt && gf != gt
+}
+
+func (n *Net) noteLocked(fault, from, to, path string) {
+	n.counts[fault]++
+	n.trace = append(n.trace, fmt.Sprintf("%s %s->%s %s", fault, from, to, path))
+}
+
+// Counts returns how many times each fault class fired.
+func (n *Net) Counts() map[string]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]int, len(n.counts))
+	for k, v := range n.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Trace returns the full fault schedule, one line per injected fault, in
+// injection order. Two runs with the same seed and workload produce
+// identical traces.
+func (n *Net) Trace() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.trace...)
+}

@@ -17,6 +17,28 @@ import (
 // a TLS client certificate. Production use would bind it to mTLS.
 const HTTPHeaderFrom = "Aire-From-Service"
 
+// wireHeaderKeys maps the net/http canonical form of every Aire protocol
+// header back to its wire spelling. Some wire spellings are not canonical
+// (Aire-Notifier-URL arrives as Aire-Notifier-Url), and without this
+// mapping every req.Header[wire.HdrNotifierURL] lookup silently misses
+// over real HTTP — replace_response propagation then works on the
+// in-memory bus but not through the adapter. Built from the wire
+// constants so a future non-canonical header cannot reintroduce the bug.
+var wireHeaderKeys = func() map[string]string {
+	m := map[string]string{}
+	for _, h := range []string{wire.HdrRequestID, wire.HdrResponseID, wire.HdrNotifierURL, wire.HdrRepair} {
+		m[http.CanonicalHeaderKey(h)] = h
+	}
+	return m
+}()
+
+func wireHeaderKey(k string) string {
+	if w, ok := wireHeaderKeys[k]; ok {
+		return w
+	}
+	return k
+}
+
 // NewHTTPHandler exposes a wire Handler as an http.Handler, folding query
 // string and form body into wire.Request.Form.
 func NewHTTPHandler(h Handler) http.Handler {
@@ -24,7 +46,7 @@ func NewHTTPHandler(h Handler) http.Handler {
 		req := wire.NewRequest(r.Method, r.URL.Path)
 		for k, vs := range r.Header {
 			if len(vs) > 0 {
-				req.Header[http.CanonicalHeaderKey(k)] = vs[0]
+				req.Header[wireHeaderKey(http.CanonicalHeaderKey(k))] = vs[0]
 			}
 		}
 		// ParseForm folds the query string plus (for urlencoded posts) the
@@ -125,7 +147,7 @@ func (c *HTTPCaller) Call(from, to string, req wire.Request) (wire.Response, err
 	resp := wire.Response{Status: hresp.StatusCode, Header: map[string]string{}, Body: rb}
 	for k, vs := range hresp.Header {
 		if len(vs) > 0 && strings.HasPrefix(k, "Aire-") {
-			resp.Header[k] = vs[0]
+			resp.Header[wireHeaderKey(k)] = vs[0]
 		}
 	}
 	return resp, nil
