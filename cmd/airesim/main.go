@@ -6,10 +6,16 @@
 // world must quiesce to exactly the state of a fault-free reference
 // re-execution with the attacks removed.
 //
+// The stale and dupcreate profiles target the exactly-once session layer
+// (internal/deliver): repair-of-repair workloads under multi-tick delays,
+// and create-bearing workloads under lost responses. Run them with
+// -nodedup to watch the underlying hazards fire without the dedup inbox.
+//
 // CI runs a short fixed-seed matrix per fault profile; longer local sweeps:
 //
 //	make sim SIM_PROFILE=mixed SIM_SEEDS=1:500
 //	go run ./cmd/airesim -profile crash -seeds 17 -v   # replay one failure
+//	go run ./cmd/airesim -profile stale -seeds 1:20 -nodedup
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		services  = flag.Int("services", 0, "number of services (0 = profile default)")
 		topology  = flag.String("topology", "", `"chain" or "fanout" (empty = profile default)`)
 		repairs   = flag.Int("repairs", 0, "attacked puts per run (0 = profile default)")
+		nodedup   = flag.Bool("nodedup", false, "disable the peer-side exactly-once dedup inbox (demonstrates the stale/dupcreate hazards)")
 		verbose   = flag.Bool("v", false, "print the fault schedule of failing seeds")
 		listProfs = flag.Bool("profiles", false, "list fault profiles and exit")
 	)
@@ -65,6 +72,7 @@ func main() {
 	if *repairs > 0 {
 		base.Repairs = *repairs
 	}
+	base.DisableDedup = *nodedup
 
 	failed := 0
 	for _, seed := range seedList {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"aire/internal/audit"
+	"aire/internal/deliver"
 	"aire/internal/orm"
 	"aire/internal/repairlog"
 	"aire/internal/transport"
@@ -140,6 +141,16 @@ type Config struct {
 	// Clock supplies the time used for backoff scheduling (nil means
 	// time.Now). Tests inject a fake clock for deterministic backoff.
 	Clock func() time.Time
+	// DisableDedupInbox turns off the peer-side exactly-once inbox
+	// (internal/deliver): incoming repair deliveries are then handled
+	// at-least-once, as the original protocol did. Exists so tests and the
+	// simulator can demonstrate the stale-redelivery and duplicate-create
+	// hazards the inbox closes.
+	DisableDedupInbox bool
+	// InboxCap bounds the dedup inbox's per-origin entry count (0 means
+	// deliver.DefaultCap). Deliveries evicted from the bound stay covered
+	// by a per-origin watermark.
+	InboxCap int
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -151,6 +162,13 @@ func DefaultConfig() Config {
 type PendingMsg struct {
 	// MsgID identifies the message for notify/retry.
 	MsgID string
+	// DeliveryID is the message's durable delivery identity, stamped on
+	// every delivery attempt as wire.HdrDeliveryID so the peer's dedup
+	// inbox recognizes re-deliveries. It is stable across attempts and
+	// content revisions, persisted with the queue, and minted from the
+	// service's persisted ID counter so it survives crash-restart without
+	// colliding.
+	DeliveryID string `json:"delivery_id,omitempty"`
 	// Msg is the repair operation to deliver.
 	Msg warp.OutMsg
 	// Attempts counts failed delivery attempts.
@@ -160,13 +178,16 @@ type PendingMsg struct {
 	Held bool
 	// LastErr describes the most recent failure.
 	LastErr string
+	// Gen counts content changes (queue collapsing, Retry). A delivery in
+	// flight reconciles only against the generation it claimed, so a
+	// message superseded mid-flight stays queued for another pass; the
+	// claimed generation is also stamped on the wire (wire.HdrGeneration)
+	// so the peer can discard a delayed copy of superseded content. It is
+	// persisted so generations stay monotonic across crash-restart.
+	Gen uint64 `json:"gen,omitempty"`
 	// token is the response-repair token minted for a replace_response
 	// (reused across delivery attempts).
 	token string
-	// gen counts content changes (queue collapsing, Retry). A delivery in
-	// flight reconciles only against the generation it claimed, so a
-	// message superseded mid-flight stays queued for another pass.
-	gen uint64
 	// inflight marks a message claimed by a delivery pass; guarded by qmu.
 	inflight bool
 	// queued marks a live queue entry (cleared on delivery and Drop), so
@@ -181,6 +202,12 @@ type Stats struct {
 	MsgsQueued    int64
 	MsgsDelivered int64
 	MsgsFailed    int64
+	// DupDeliveries counts incoming repair deliveries re-acknowledged
+	// without re-applying (the dedup inbox recognized the delivery).
+	DupDeliveries int64
+	// StaleDeliveries counts incoming deliveries acknowledged and
+	// discarded because they carried a superseded content generation.
+	StaleDeliveries int64
 }
 
 type tokenEntry struct {
@@ -212,8 +239,12 @@ type Controller struct {
 	tokens    map[string]tokenEntry
 	mailboxes map[string][]string // polling client -> undelivered tokens
 
+	// dedup is the peer-side exactly-once inbox for incoming repair
+	// deliveries (internal/deliver); gated by Cfg.DisableDedupInbox.
+	dedup *deliver.Inbox
+
 	inmu  sync.Mutex
-	inbox []warp.Action
+	inbox []queuedAction
 
 	nmu           sync.Mutex
 	notifications []Notification
@@ -243,6 +274,7 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 		Engine:    &warp.Engine{Svc: svc, Cfg: cfg.Engine},
 		tokens:    make(map[string]tokenEntry),
 		mailboxes: make(map[string][]string),
+		dedup:     deliver.NewInbox(cfg.InboxCap),
 		peers:     make(map[string]*peerState),
 		pumpWake:  make(chan struct{}, 1),
 	}
@@ -324,8 +356,30 @@ func (c *Controller) outboundNormal(seq int, target string, req wire.Request) (w
 }
 
 // handleRepair services the repair API of Table 1 (replace, delete, create
-// arrive here; replace_response uses the notify/fetch handshake).
+// arrive here; replace_response uses the notify/fetch handshake). Carriers
+// naming their delivery (wire.HdrDeliveryID) pass through the exactly-once
+// dedup inbox first: duplicates and superseded generations are acknowledged
+// without touching the log — in particular, a re-delivered create returns
+// the originally minted request ID instead of minting a second one.
 func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
+	gate, acked := c.gateDelivery(from, req)
+	if acked != nil {
+		return *acked
+	}
+	resp := c.applyRepairRequest(from, req, &gate)
+	if resp.OK() {
+		gate.commit(resp.Header[wire.HdrRequestID])
+	} else {
+		gate.rollback()
+	}
+	return resp
+}
+
+// applyRepairRequest is handleRepair's at-least-once body: authorize and
+// apply one replace/delete/create carrier. In batch-incoming mode the gate
+// travels with the queued action (ProcessIncoming commits it at apply
+// time) and is deactivated here, so the caller's commit-on-202 is a no-op.
+func (c *Controller) applyRepairRequest(from string, req wire.Request, gate *deliveryGate) wire.Response {
 	op := warp.OutKind(req.Header[wire.HdrRepair])
 	targetID := req.Header[wire.HdrRequestID]
 
@@ -400,9 +454,7 @@ func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
 	}
 
 	if c.Cfg.BatchIncoming {
-		c.inmu.Lock()
-		c.inbox = append(c.inbox, action)
-		c.inmu.Unlock()
+		c.enqueueIncoming(action, gate)
 		return wire.NewResponse(202, "aire: repair queued")
 	}
 
@@ -429,8 +481,27 @@ func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
 // handleNotify receives a response-repair token (§3.1): the client fetches
 // the actual replace_response from the server named in the token delivery,
 // authenticating the server in the process (on the bus, by name resolution;
-// over TLS, by certificate).
+// over TLS, by certificate). Notify deliveries carry delivery identity like
+// repair calls do, so a re-delivered notify whose acknowledgment was lost
+// is re-acked without re-fetching or re-applying.
 func (c *Controller) handleNotify(from string, req wire.Request) wire.Response {
+	gate, acked := c.gateDelivery(from, req)
+	if acked != nil {
+		return *acked
+	}
+	resp := c.applyNotify(from, req, &gate)
+	if resp.OK() {
+		gate.commit("")
+	} else {
+		gate.rollback()
+	}
+	return resp
+}
+
+// applyNotify is handleNotify's at-least-once body: fetch the corrected
+// response named by the token and apply it. See applyRepairRequest for the
+// gate's batch-incoming hand-off.
+func (c *Controller) applyNotify(from string, req wire.Request, gate *deliveryGate) wire.Response {
 	token := req.Form["token"]
 	server := req.Form["server"]
 	if token == "" || server == "" {
@@ -488,9 +559,7 @@ func (c *Controller) handleNotify(from string, req wire.Request) wire.Response {
 		NewResp: newResp, RemoteReqID: payload.RemoteReqID,
 	}
 	if c.Cfg.BatchIncoming {
-		c.inmu.Lock()
-		c.inbox = append(c.inbox, action)
-		c.inmu.Unlock()
+		c.enqueueIncoming(action, gate)
 		return wire.NewResponse(202, "aire: repair queued")
 	}
 	if _, err := c.applyActions([]warp.Action{action}); err != nil {
@@ -578,17 +647,64 @@ func (c *Controller) ApplyLocal(actions ...warp.Action) (*warp.Result, error) {
 	return c.applyActions(actions)
 }
 
+// queuedAction is one batched incoming repair action plus the delivery
+// gate that admitted it: the gate's reservation is held until the batch
+// applies, so a redelivery in the meantime is answered retryably instead
+// of being acked for an apply that has not happened. Note the batch queue
+// itself is in-memory only: the 202 ack dequeues the sender's message, so
+// a crash before ProcessIncoming loses the accepted actions — a
+// pre-existing batch-mode durability window (see ROADMAP) that the dedup
+// inbox does not widen (the unapplied reservation is not persisted either)
+// but cannot close.
+type queuedAction struct {
+	action warp.Action
+	gate   deliveryGate
+}
+
+// enqueueIncoming stashes an admitted action in the incoming batch queue,
+// taking ownership of its delivery gate (the caller's commit/rollback
+// become no-ops).
+func (c *Controller) enqueueIncoming(action warp.Action, gate *deliveryGate) {
+	c.inmu.Lock()
+	c.inbox = append(c.inbox, queuedAction{action: action, gate: *gate})
+	c.inmu.Unlock()
+	gate.active = false
+}
+
 // ProcessIncoming applies all batched incoming repair actions as one local
-// repair (§3.2) and returns the result (nil if the inbox was empty).
+// repair (§3.2) and returns the result (nil if the inbox was empty). The
+// actions' delivery gates commit here — with the minted request ID as the
+// outcome for creates — or roll back if the batch fails, so the senders'
+// redeliveries are re-applied rather than falsely acknowledged.
 func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 	c.inmu.Lock()
-	actions := c.inbox
+	queued := c.inbox
 	c.inbox = nil
 	c.inmu.Unlock()
-	if len(actions) == 0 {
+	if len(queued) == 0 {
 		return nil, nil
 	}
-	return c.applyActions(actions)
+	actions := make([]warp.Action, len(queued))
+	for i, q := range queued {
+		actions[i] = q.action
+	}
+	res, err := c.applyActions(actions)
+	if err != nil {
+		for _, q := range queued {
+			q.gate.rollback()
+		}
+		return nil, err
+	}
+	created := 0
+	for _, q := range queued {
+		outcome := ""
+		if q.action.Kind == warp.CreateReq && created < len(res.CreatedIDs) {
+			outcome = res.CreatedIDs[created]
+			created++
+		}
+		q.gate.commit(outcome)
+	}
+	return res, nil
 }
 
 // InboxLen reports how many incoming repair actions are waiting (batch mode).
@@ -657,10 +773,14 @@ func (c *Controller) BlastRadius(reqID string) []string {
 
 // GC garbage-collects repair logs and database versions older than beforeTS
 // (§9). Repairs naming garbage-collected requests are afterwards refused
-// with status 410 and the requesting peer notifies its administrator.
+// with status 410 and the requesting peer notifies its administrator. The
+// dedup inbox is collected with the same horizon: entries for deliveries
+// applied before it are dropped, their sequence covered by the per-origin
+// watermark so late duplicates stay deduplicated.
 func (c *Controller) GC(beforeTS int64) {
 	c.Svc.Mu.Lock()
-	defer c.Svc.Mu.Unlock()
 	c.Svc.Log.GC(beforeTS)
 	c.Svc.Store.GC(beforeTS)
+	c.Svc.Mu.Unlock()
+	c.dedup.GC(beforeTS)
 }

@@ -23,6 +23,12 @@ const (
 	EvMsgDelivered EventKind = "msg-delivered"
 	// EvMsgHeld: a repair message was parked (unreachable or unauthorized).
 	EvMsgHeld EventKind = "msg-held"
+	// EvDupDelivery: an incoming repair delivery was re-acknowledged
+	// without re-applying (the exactly-once dedup inbox recognized it).
+	EvDupDelivery EventKind = "dup-delivery"
+	// EvStaleDelivery: an incoming delivery carried a superseded content
+	// generation and was acknowledged but discarded.
+	EvStaleDelivery EventKind = "stale-delivery"
 )
 
 // Event is one observable controller action, for dashboards and the demo

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strconv"
+
+	"aire/internal/deliver"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+// This file is the receive side of the exactly-once repair session layer
+// (internal/deliver): every incoming repair-plane carrier that names its
+// delivery (wire.HdrDeliveryID et al.) runs through the controller's dedup
+// inbox before the repair handlers touch the log. Duplicates are
+// re-acknowledged without re-applying — a re-delivered create returns the
+// originally minted request ID instead of minting a second synthetic
+// request — and superseded generations are acknowledged and discarded so a
+// delayed copy of old repair content cannot regress the service.
+
+// deliveryGate carries one admitted delivery's identity through a repair
+// handler. After the repair is applied, exactly one of commit or rollback
+// must run; the zero value (inactive) makes both no-ops, so ungated
+// legacy deliveries flow through the same code path.
+type deliveryGate struct {
+	c      *Controller
+	active bool
+	origin string
+	id     string
+	gen    uint64
+}
+
+// gateDelivery classifies an arriving repair-plane carrier against the
+// dedup inbox. A non-nil response means the delivery was already handled
+// (duplicate or stale) and that acknowledgment should be returned verbatim;
+// otherwise the returned gate must be committed or rolled back once the
+// repair handler finishes. Carriers without delivery identity — legacy
+// senders, locally issued calls — are never gated.
+func (c *Controller) gateDelivery(from string, req wire.Request) (deliveryGate, *wire.Response) {
+	if c.Cfg.DisableDedupInbox {
+		return deliveryGate{}, nil
+	}
+	id := req.Header[wire.HdrDeliveryID]
+	if id == "" {
+		return deliveryGate{}, nil
+	}
+	// Prefer the transport-authenticated caller as the dedup scope; the
+	// Aire-Origin header covers transports that do not authenticate the
+	// caller. Scoping by authenticated identity keeps one peer from
+	// poisoning another peer's dedup memory with spoofed delivery IDs.
+	origin := from
+	if origin == "" {
+		origin = req.Header[wire.HdrOrigin]
+	}
+	if origin == "" {
+		return deliveryGate{}, nil
+	}
+	var gen uint64
+	if s := req.Header[wire.HdrGeneration]; s != "" {
+		gen, _ = strconv.ParseUint(s, 10, 64)
+	}
+	// Creates are once-only per delivery: the synthetic request is minted
+	// exactly once, and no generation bump (e.g. Retry with refreshed
+	// credentials) can supersede a mint that already happened.
+	once := warp.OutKind(req.Header[wire.HdrRepair]) == warp.OutCreate
+	switch d, outcome := c.dedup.Begin(origin, id, gen, once); d {
+	case deliver.Duplicate:
+		c.smu.Lock()
+		c.stats.DupDeliveries++
+		c.smu.Unlock()
+		c.emit(EvDupDelivery, id, "duplicate delivery from %s re-acknowledged (gen %d)", origin, gen)
+		resp := wire.NewResponse(200, "aire: duplicate delivery acknowledged")
+		if outcome != "" {
+			resp.Header[wire.HdrRequestID] = outcome
+		}
+		return deliveryGate{}, &resp
+	case deliver.Stale:
+		c.smu.Lock()
+		c.stats.StaleDeliveries++
+		c.smu.Unlock()
+		c.emit(EvStaleDelivery, id, "superseded generation %d from %s acknowledged and discarded", gen, origin)
+		resp := wire.NewResponse(200, "aire: stale generation discarded")
+		return deliveryGate{}, &resp
+	case deliver.InFlight:
+		// Another copy of this delivery is mid-apply. Acknowledging it as
+		// a duplicate would let the sender dequeue a repair whose only
+		// apply may yet fail; answer retryably (503 → peer-level backoff)
+		// so the sender tries again once the outcome is known.
+		resp := wire.NewResponse(503, "aire: delivery in progress, retry")
+		return deliveryGate{}, &resp
+	case deliver.Forgotten:
+		// The delivery predates the inbox's GC horizon: whether it was
+		// ever applied is unknowable, so refuse it the way the repair log
+		// refuses its own pre-horizon repairs — the sender drops the
+		// message and notifies its administrator.
+		resp := wire.NewResponse(410, "aire: delivery predates the dedup horizon; repair permanently unavailable")
+		return deliveryGate{}, &resp
+	}
+	return deliveryGate{c: c, active: true, origin: origin, id: id, gen: gen}, nil
+}
+
+// commit records the applied delivery's outcome (for creates, the minted
+// request ID a future duplicate is re-acknowledged with). The entry is
+// stamped with the service's logical clock so Controller.GC ages it with
+// the repair log horizon.
+func (g deliveryGate) commit(outcome string) {
+	if g.active {
+		g.c.dedup.Commit(g.origin, g.id, g.gen, outcome, g.c.Svc.Clock.Now())
+	}
+}
+
+// rollback releases the reservation of a delivery whose apply failed, so a
+// later retry of the same delivery is classified Apply again.
+func (g deliveryGate) rollback() {
+	if g.active {
+		g.c.dedup.Rollback(g.origin, g.id, g.gen)
+	}
+}
+
+// ExportInbox returns the dedup inbox state for persistence: restoring it
+// alongside the repair log keeps the exactly-once guarantee across
+// crash-restart (a redelivery the crashed incarnation already applied is
+// still re-acknowledged, not re-applied).
+func (c *Controller) ExportInbox() []deliver.OriginDump { return c.dedup.Dump() }
+
+// ImportInbox restores a persisted dedup inbox.
+func (c *Controller) ImportInbox(dump []deliver.OriginDump) { c.dedup.Restore(dump) }
+
+// InboxLenDedup reports how many delivery entries the dedup inbox holds
+// (the incoming-action queue has InboxLen).
+func (c *Controller) InboxLenDedup() int { return c.dedup.Len() }

@@ -208,7 +208,7 @@ func (c *Controller) claimBatches(limit int) []*claimedBatch {
 		p.inflight = true
 		cl.ptrs = append(cl.ptrs, p)
 		cl.snap = append(cl.snap, *p)
-		cl.gens = append(cl.gens, p.gen)
+		cl.gens = append(cl.gens, p.Gen)
 	}
 	return order
 }
@@ -271,7 +271,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		// content must still go out, so the entry stays queued whatever
 		// happened to the old one — and its reset LastErr is preserved.
 		live := p.queued
-		fresh := live && p.gen == cl.gens[i]
+		fresh := live && p.Gen == cl.gens[i]
 		if live {
 			// Tokens are per-response and deliberately reused across
 			// attempts and content revisions.
@@ -392,7 +392,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 					continue
 				}
 				p.inflight = false
-				if p.gen == cl.gens[j] {
+				if p.Gen == cl.gens[j] {
 					p.LastErr = failErr
 				}
 			}
@@ -412,7 +412,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 					continue
 				}
 				p.inflight = false
-				if p.gen != cl.gens[j] {
+				if p.Gen != cl.gens[j] {
 					continue
 				}
 				p.Attempts++
@@ -502,33 +502,21 @@ func (c *Controller) Flush() (delivered, remaining int) {
 	return delivered, c.QueueLen()
 }
 
-// pumpPass runs one concurrent delivery pass: claimed batches fan out to the
-// worker pool (bounded by PumpWorkers), one batch per peer, and the pass
-// returns when every batch has been reconciled.
-func (c *Controller) pumpPass() (delivered int) {
-	batches := c.claimBatches(c.batchSize())
-	if len(batches) == 0 {
-		return 0
-	}
-	sem := make(chan struct{}, c.pumpWorkers())
-	var (
-		wg sync.WaitGroup
-		mu sync.Mutex
-	)
+// releaseBatches hands claimed-but-undispatched batches back to the queue:
+// entries and peers are marked not-inflight so a later pass (or Flush) can
+// claim them again. Used when the pump shuts down while waiting for a
+// worker slot.
+func (c *Controller) releaseBatches(batches []*claimedBatch) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
 	for _, cl := range batches {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(cl *claimedBatch) {
-			defer wg.Done()
-			n := c.deliverBatch(cl)
-			<-sem
-			mu.Lock()
-			delivered += n
-			mu.Unlock()
-		}(cl)
+		for _, p := range cl.ptrs {
+			p.inflight = false
+		}
+		if ps := c.peers[cl.peer]; ps != nil {
+			ps.inflight = false
+		}
 	}
-	wg.Wait()
-	return delivered
 }
 
 // wakePump nudges the background pump (non-blocking; no-op when the pump is
@@ -604,13 +592,23 @@ func StartPumps(ctx context.Context, ctrls ...*Controller) (stop func(), err err
 	}, nil
 }
 
+// pumpLoop runs delivery passes continuously. Unlike Flush, a pass does
+// not barrier on its batches: each claimed batch is handed to a worker
+// slot and the loop immediately moves on, so one peer hanging for a full
+// transport timeout cannot freeze delivery to other peers, periodic
+// backoff retries, or StopPump's ability to decline further work. The
+// per-peer and per-message inflight flags already make overlapping passes
+// safe — claimBatches skips anything a slow worker still holds. StopPump
+// still waits for workers holding claimed batches to reconcile.
 func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}) {
+	var wg sync.WaitGroup
 	defer func() {
-		// If the pump died from ctx cancellation (not StopPump), detach the
-		// lifecycle state so PumpRunning turns false and StartPump works
-		// again without requiring a StopPump on an already-dead pump.
-		// Detach before closing done: a waiter woken by done must observe
-		// the pump as fully stopped.
+		// Wait out in-flight deliveries so StopPump's "reconciled" promise
+		// holds, then detach the lifecycle state so PumpRunning turns false
+		// and StartPump works again without requiring a StopPump on an
+		// already-dead pump. Detach before closing done: a waiter woken by
+		// done must observe the pump as fully stopped.
+		wg.Wait()
 		c.pumpMu.Lock()
 		if c.pumpDone == done {
 			c.pumpCancel = nil
@@ -619,10 +617,30 @@ func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}) {
 		c.pumpMu.Unlock()
 		close(done)
 	}()
+	sem := make(chan struct{}, c.pumpWorkers())
 	ticker := time.NewTicker(c.pumpInterval())
 	defer ticker.Stop()
 	for {
-		c.pumpPass()
+		batches := c.claimBatches(c.batchSize())
+		for i, cl := range batches {
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(cl *claimedBatch) {
+					defer wg.Done()
+					c.deliverBatch(cl)
+					<-sem
+					// Capacity freed and (likely) a peer drained: nudge the
+					// loop so that peer's next FIFO batch goes out promptly.
+					c.wakePump()
+				}(cl)
+			case <-ctx.Done():
+				// Shutting down with every worker busy: hand the remaining
+				// claims back so nothing is stranded inflight.
+				c.releaseBatches(batches[i:])
+				return
+			}
+		}
 		if c.Cfg.BatchIncoming {
 			c.ProcessIncoming()
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"aire/internal/repairlog"
 	"aire/internal/transport"
@@ -31,7 +32,7 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 					p.Msg = m // keep the newest content, the oldest position
 					p.Held = false
 					p.Attempts = 0
-					p.gen++ // supersede any delivery of the old content in flight
+					p.Gen++ // supersede any delivery of the old content in flight
 					replaced = true
 					break
 				}
@@ -42,9 +43,10 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 		}
 		c.nextID++
 		p := &PendingMsg{
-			MsgID:  fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID),
-			Msg:    m,
-			queued: true,
+			MsgID:      fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID),
+			DeliveryID: c.Svc.IDs.Delivery(),
+			Msg:        m,
+			queued:     true,
 		}
 		c.queue = append(c.queue, p)
 		c.qlive++
@@ -55,13 +57,23 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 
 // collapseKey identifies the request/response a repair message is about;
 // messages with equal keys supersede one another. Creates are never
-// collapsed (each denotes a distinct new request).
+// collapsed (each denotes a distinct new request). Response repairs
+// collapse by the local record whose response changed, not by client
+// response ID: re-repairing a request replaces its outgoing calls and
+// mints fresh response IDs, so a still-queued replace_response naming the
+// old ID is superseded by the new one — it could never be applied (the
+// client's call record no longer carries the old ID) and would otherwise
+// retry into a parked 404.
 func collapseKey(m warp.OutMsg) string {
 	switch m.Kind {
 	case warp.OutReplace, warp.OutDelete:
 		return "req|" + m.Target + "|" + m.RemoteReqID
 	case warp.OutReplaceResponse:
-		return "resp|" + m.NotifierURL + "|" + m.RespID
+		id := m.LocalReqID
+		if id == "" {
+			id = m.RespID
+		}
+		return "resp|" + m.NotifierURL + "|" + id
 	}
 	return ""
 }
@@ -91,8 +103,11 @@ func (c *Controller) QueueLen() int {
 // Retry revives a held repair message, optionally merging updated
 // credential headers into its payload (Table 2's retry function: the
 // application obtained fresh credentials and asks Aire to resend).
-// Retrying a message that is not held is a no-op — it is still live and
-// being delivered.
+// Retrying a live (not-held) message without headers is a no-op — it is
+// already being delivered; with headers, the refreshed content is applied
+// through the same generation-bump supersede path queue collapsing uses,
+// so a delivery in flight reconciles against the old generation and the
+// updated content goes out on the next pass.
 func (c *Controller) Retry(msgID string, updatedHeaders map[string]string) error {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
@@ -100,11 +115,8 @@ func (c *Controller) Retry(msgID string, updatedHeaders map[string]string) error
 		if !p.queued || p.MsgID != msgID {
 			continue
 		}
-		// Only held messages need reviving; a live one is already being
-		// delivered, and mutating it here could race a delivery in flight
-		// into redelivering a non-idempotent create. Held messages are
-		// never in flight (claim skips them), so this path cannot race.
-		if !p.Held {
+		if !p.Held && len(updatedHeaders) == 0 {
+			// Nothing to change; the message is live and being delivered.
 			return nil
 		}
 		if len(updatedHeaders) > 0 {
@@ -118,11 +130,15 @@ func (c *Controller) Retry(msgID string, updatedHeaders map[string]string) error
 				req.Header[k] = v
 			}
 			p.Msg.Req = req
+			// The generation bumps only when the content actually changed:
+			// a plain revive is a redelivery of the same message, and must
+			// look like one to the peer's dedup inbox — bumping it would
+			// reclassify an already-applied delivery as new content.
+			p.Gen++ // supersede any delivery of the old content in flight
 		}
 		p.Held = false
 		p.Attempts = 0
 		p.LastErr = ""
-		p.gen++
 		c.wakePump()
 		return nil
 	}
@@ -165,7 +181,10 @@ func (c *Controller) ImportQueue(msgs []PendingMsg) {
 	for _, m := range msgs {
 		p := m
 		p.inflight = false
-		p.gen = 0
+		// Gen and DeliveryID are preserved from the snapshot: the peer's
+		// dedup inbox may already remember this delivery at this
+		// generation, and restarting either at zero would make a
+		// post-restart redelivery look stale (or brand-new) to it.
 		p.queued = true
 		if key := collapseKey(p.Msg); key != "" {
 			replaced := false
@@ -175,7 +194,10 @@ func (c *Controller) ImportQueue(msgs []PendingMsg) {
 					q.Held = p.Held
 					q.Attempts = p.Attempts
 					q.LastErr = p.LastErr
-					q.gen++ // supersede any delivery of the old content in flight
+					if p.Gen > q.Gen {
+						q.Gen = p.Gen
+					}
+					q.Gen++ // supersede any delivery of the old content in flight
 					replaced = true
 					break
 				}
@@ -187,6 +209,9 @@ func (c *Controller) ImportQueue(msgs []PendingMsg) {
 		c.nextID++
 		if p.MsgID == "" {
 			p.MsgID = fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID)
+		}
+		if p.DeliveryID == "" {
+			p.DeliveryID = c.Svc.IDs.Delivery()
 		}
 		c.queue = append(c.queue, &p)
 		c.qlive++
@@ -259,6 +284,20 @@ func (c *Controller) deliver(p *PendingMsg) deliverStatus {
 	return deliverGone
 }
 
+// stampDelivery adds the exactly-once session headers to a repair-plane
+// carrier: the queue entry's durable delivery identity and the content
+// generation claimed for this attempt, so the peer's dedup inbox can
+// re-acknowledge duplicates and discard delayed superseded content. p is
+// the delivery pass's private snapshot, so p.Gen is the claimed generation.
+func (c *Controller) stampDelivery(req wire.Request, p *PendingMsg) {
+	if p.DeliveryID == "" {
+		return // hand-built entry (tests, legacy snapshots): deliver ungated
+	}
+	req.Header[wire.HdrDeliveryID] = p.DeliveryID
+	req.Header[wire.HdrGeneration] = strconv.FormatUint(p.Gen, 10)
+	req.Header[wire.HdrOrigin] = c.Svc.Name
+}
+
 // deliverRepairCall sends replace/delete/create through the peer's repair
 // API. The repaired request itself is encoded in the body, the operation in
 // the Aire-Repair header — the encoding §3.1 describes.
@@ -282,10 +321,11 @@ func (c *Controller) deliverRepairCall(p *PendingMsg) deliverStatus {
 	// (which has no payload) copy them onto the carrier so the peer's
 	// authorize can check the issuing principal (§4).
 	for k, v := range m.Req.Header {
-		if k != wire.HdrRequestID && k != wire.HdrResponseID && k != wire.HdrNotifierURL && k != wire.HdrRepair {
+		if !wire.IsAireHeader(k) {
 			req.Header[k] = v
 		}
 	}
+	c.stampDelivery(req, p)
 
 	resp, err := c.Net.Call(c.Svc.Name, m.Target, req)
 	if err != nil {
@@ -369,6 +409,7 @@ func (c *Controller) deliverReplaceResponse(p *PendingMsg) deliverStatus {
 	c.tokmu.Unlock()
 
 	req := wire.NewRequest("POST", path).WithForm("token", p.token, "server", c.Svc.Name)
+	c.stampDelivery(req, p)
 	resp, err := c.Net.Call(c.Svc.Name, audience, req)
 	if err != nil {
 		p.LastErr = err.Error()

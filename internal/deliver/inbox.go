@@ -1,0 +1,388 @@
+// Package deliver implements the exactly-once session layer of the Aire
+// repair plane.
+//
+// Repair delivery is at-least-once by construction: offline peers, lost
+// responses, and timeouts all cause re-delivery (§3.2), and queue collapsing
+// supersedes a message's content while an older copy of it may still be in
+// the network. Two resulting hazards are protocol holes rather than
+// application bugs:
+//
+//   - Stale redelivery: a *delayed* copy of superseded repair content
+//     arriving after the newer content was applied regresses the peer.
+//   - Duplicate create: a re-delivered create whose first response was lost
+//     mints a second synthetic request.
+//
+// The send side (internal/core's queue) closes them by stamping every
+// repair-plane carrier with a durable delivery identity and a monotonically
+// increasing content generation (wire.HdrDeliveryID, wire.HdrGeneration,
+// wire.HdrOrigin). The receive side — this package's Inbox — remembers, per
+// origin, which (delivery, generation) pairs were applied and with what
+// outcome, making the repair handlers idempotent and generation-monotonic:
+// duplicates are re-acknowledged without re-applying (returning the
+// originally minted request ID for creates), and stale generations are
+// acknowledged and discarded.
+//
+// The inbox is bounded: each origin keeps an LRU of recent deliveries plus a
+// watermark covering deliveries evicted from it. Delivery IDs carry the
+// sender's monotonic sequence number, so an arrival whose entry was evicted
+// but whose sequence is at or below the watermark is classified as a
+// duplicate rather than re-applied. Entries are garbage-collected together
+// with the repair log horizon (Controller.GC) and persisted through
+// internal/persist so crash-restart keeps the exactly-once guarantee.
+package deliver
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Decision classifies an incoming repair-plane delivery.
+type Decision int
+
+const (
+	// Apply: a new delivery, or newer content for a known one — apply it,
+	// then Commit (or Rollback on failure).
+	Apply Decision = iota
+	// Duplicate: this delivery and generation were already applied —
+	// re-acknowledge with the recorded outcome, do not re-apply.
+	Duplicate
+	// Stale: a superseded generation arrived after newer content was
+	// applied — acknowledge and discard, or the sender would retry forever.
+	Stale
+	// InFlight: another copy of this delivery is being applied right now
+	// (reserved by Begin, not yet Committed). Answer retryably — acking it
+	// as a duplicate would let the sender dequeue a repair whose only
+	// apply may still fail and roll back.
+	InFlight
+	// Forgotten: the delivery predates the inbox's GC horizon. Whether it
+	// was ever applied is no longer knowable, so neither re-applying nor
+	// re-acknowledging is safe; answer "permanently unavailable" so the
+	// sender drops it and notifies its administrator — the same stance the
+	// repair log takes for its own GC horizon (§9).
+	Forgotten
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Apply:
+		return "apply"
+	case Duplicate:
+		return "duplicate"
+	case Stale:
+		return "stale"
+	case InFlight:
+		return "in-flight"
+	case Forgotten:
+		return "forgotten"
+	}
+	return "unknown"
+}
+
+// DefaultCap is the per-origin entry bound used when the inbox is
+// constructed with cap <= 0.
+const DefaultCap = 4096
+
+// entry remembers one delivery's highest applied generation and outcome.
+type entry struct {
+	id      string
+	seq     uint64
+	gen     uint64
+	outcome string
+	ts      int64
+	// pending marks a Begin not yet Committed; prev* hold the previously
+	// committed state so a failed apply can roll back to it.
+	pending     bool
+	prevOK      bool
+	prevGen     uint64
+	prevOutcome string
+	prevTS      int64
+	elem        *list.Element
+}
+
+// originState is one sender's dedup memory.
+type originState struct {
+	entries map[string]*entry
+	lru     *list.List // front = most recently seen
+	// watermark is the highest delivery sequence evicted from the LRU by
+	// the capacity bound: an arrival at or below it with no entry is
+	// overwhelmingly a re-delivery of something applied and forgotten, so
+	// it is re-acknowledged rather than re-applied.
+	watermark uint64
+	// gcSeq is the highest delivery sequence dropped by GC — the
+	// administrative horizon. Below it, "applied or not" is no longer
+	// knowable (a Held message retried after the horizon was never
+	// applied), so arrivals are refused as Forgotten instead of silently
+	// acked or re-applied.
+	gcSeq uint64
+}
+
+// Inbox is a per-origin dedup memory for repair-plane deliveries. Safe for
+// concurrent use.
+type Inbox struct {
+	mu      sync.Mutex
+	cap     int
+	origins map[string]*originState
+}
+
+// NewInbox returns an empty inbox bounding each origin to cap entries
+// (cap <= 0 means DefaultCap).
+func NewInbox(cap int) *Inbox {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	return &Inbox{cap: cap, origins: map[string]*originState{}}
+}
+
+// Seq extracts the sender's monotonic sequence number from a delivery ID
+// ("svc-dlv-42" → 42); 0 if the ID carries none. Sequence-less IDs are
+// still deduplicated while their entry lives, but cannot be covered by the
+// eviction watermark.
+func Seq(deliveryID string) uint64 {
+	i := strings.LastIndexByte(deliveryID, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseUint(deliveryID[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Begin classifies one arriving delivery and, when the verdict is Apply,
+// reserves the (id, gen) pair so the caller can apply the repair and then
+// Commit its outcome (or Rollback a failed apply). Duplicate returns the
+// outcome recorded by the original application ("" if the entry was evicted
+// and only the watermark vouches for it).
+//
+// once marks a once-only operation (a repair `create`): its effect is
+// minted exactly once per delivery identity, so any committed entry makes
+// a later arrival a Duplicate regardless of generation — a generation bump
+// (Retry with refreshed credentials) cannot supersede a request that was
+// already created.
+func (ib *Inbox) Begin(origin, id string, gen uint64, once bool) (Decision, string) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	o := ib.origins[origin]
+	if o == nil {
+		o = &originState{entries: map[string]*entry{}, lru: list.New()}
+		ib.origins[origin] = o
+	}
+	e, ok := o.entries[id]
+	if !ok {
+		if seq := Seq(id); seq > 0 {
+			if seq <= o.gcSeq {
+				return Forgotten, ""
+			}
+			// The eviction watermark vouches only for the generation-zero
+			// copy: an arrival carrying a bumped generation is superseding
+			// content that must still land (re-applying replace/delete is
+			// idempotent), so only gen-0 arrivals are swallowed here.
+			if seq <= o.watermark && gen == 0 {
+				return Duplicate, ""
+			}
+		}
+		e = &entry{id: id, seq: Seq(id), gen: gen, pending: true}
+		e.elem = o.lru.PushFront(e)
+		o.entries[id] = e
+		ib.evictLocked(o)
+		return Apply, ""
+	}
+	o.lru.MoveToFront(e.elem)
+	if e.pending {
+		// Another copy of this delivery is mid-apply. Whatever the
+		// relative generations, answer retryably: reserving over the
+		// pending apply would let two applies race to land last (the
+		// stale one could win), and acking would vouch for an apply that
+		// may yet fail. One apply at a time per delivery.
+		return InFlight, ""
+	}
+	switch {
+	case gen < e.gen:
+		return Stale, ""
+	case gen == e.gen || once:
+		return Duplicate, e.outcome
+	}
+	// Newer content: save the committed state as the rollback fallback and
+	// reserve.
+	e.prevOK, e.prevGen, e.prevOutcome, e.prevTS = true, e.gen, e.outcome, e.ts
+	e.pending = true
+	e.gen = gen
+	e.outcome = ""
+	return Apply, ""
+}
+
+// Commit records a successful apply reserved by Begin: the outcome (for
+// creates, the minted request ID) is what a future duplicate is
+// re-acknowledged with, and ts (the receiver's logical clock) is what GC
+// ages the entry by.
+func (ib *Inbox) Commit(origin, id string, gen uint64, outcome string, ts int64) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	o := ib.origins[origin]
+	if o == nil {
+		return
+	}
+	e, ok := o.entries[id]
+	if !ok || e.gen != gen {
+		return
+	}
+	e.outcome = outcome
+	e.ts = ts
+	e.pending = false
+	e.prevOK = false
+}
+
+// Rollback releases a reservation whose apply failed, restoring the
+// previously committed state (or forgetting the delivery entirely) so a
+// later genuine retry is classified Apply again.
+func (ib *Inbox) Rollback(origin, id string, gen uint64) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	o := ib.origins[origin]
+	if o == nil {
+		return
+	}
+	e, ok := o.entries[id]
+	if !ok || !e.pending || e.gen != gen {
+		return
+	}
+	if e.prevOK {
+		e.gen, e.outcome, e.ts = e.prevGen, e.prevOutcome, e.prevTS
+		e.pending, e.prevOK = false, false
+		return
+	}
+	o.lru.Remove(e.elem)
+	delete(o.entries, id)
+}
+
+// evictLocked enforces the per-origin bound, advancing the watermark over
+// whatever committed entries fall off the LRU tail.
+func (ib *Inbox) evictLocked(o *originState) {
+	for len(o.entries) > ib.cap {
+		el := o.lru.Back()
+		for el != nil && el.Value.(*entry).pending {
+			el = el.Prev()
+		}
+		if el == nil {
+			return // everything pending; over-cap transiently
+		}
+		e := el.Value.(*entry)
+		o.lru.Remove(el)
+		delete(o.entries, e.id)
+		if e.seq > o.watermark {
+			o.watermark = e.seq
+		}
+	}
+}
+
+// GC drops committed entries applied before the given logical timestamp —
+// the same horizon the repair log is collected with (§9) — advancing each
+// origin's gcSeq over them. Origins keep the horizon even when all entries
+// are gone: an arrival below it is refused as Forgotten (410 on the wire),
+// mirroring the repair log's "garbage-collected, permanently unavailable"
+// stance — never silently acknowledged, because a Held message retried
+// after the horizon was never applied and acking it would lose the repair.
+func (ib *Inbox) GC(beforeTS int64) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for _, o := range ib.origins {
+		for id, e := range o.entries {
+			if e.pending || e.ts >= beforeTS {
+				continue
+			}
+			o.lru.Remove(e.elem)
+			delete(o.entries, id)
+			if e.seq > o.gcSeq {
+				o.gcSeq = e.seq
+			}
+		}
+	}
+}
+
+// Len reports the total number of live entries across all origins.
+func (ib *Inbox) Len() int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	n := 0
+	for _, o := range ib.origins {
+		n += len(o.entries)
+	}
+	return n
+}
+
+// EntryDump is one persisted inbox entry.
+type EntryDump struct {
+	ID      string `json:"id"`
+	Gen     uint64 `json:"gen"`
+	Outcome string `json:"outcome,omitempty"`
+	TS      int64  `json:"ts,omitempty"`
+}
+
+// OriginDump is one origin's persisted dedup memory.
+type OriginDump struct {
+	Origin    string      `json:"origin"`
+	Watermark uint64      `json:"watermark,omitempty"`
+	GCSeq     uint64      `json:"gc_seq,omitempty"`
+	Entries   []EntryDump `json:"entries,omitempty"`
+}
+
+// Dump serializes the inbox for persistence: origins sorted by name,
+// entries oldest-first in LRU order. Entries pending at capture time are
+// dumped as their last committed state (or omitted if never committed) —
+// an apply interrupted by the crash must re-apply after restore.
+func (ib *Inbox) Dump() []OriginDump {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	names := make([]string, 0, len(ib.origins))
+	for name := range ib.origins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]OriginDump, 0, len(names))
+	for _, name := range names {
+		o := ib.origins[name]
+		d := OriginDump{Origin: name, Watermark: o.watermark, GCSeq: o.gcSeq}
+		for el := o.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			switch {
+			case !e.pending:
+				d.Entries = append(d.Entries, EntryDump{ID: e.id, Gen: e.gen, Outcome: e.outcome, TS: e.ts})
+			case e.prevOK:
+				d.Entries = append(d.Entries, EntryDump{ID: e.id, Gen: e.prevGen, Outcome: e.prevOutcome, TS: e.prevTS})
+			}
+		}
+		if d.Watermark > 0 || d.GCSeq > 0 || len(d.Entries) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Restore loads a persisted dump into an empty inbox.
+func (ib *Inbox) Restore(dump []OriginDump) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for _, d := range dump {
+		o := ib.origins[d.Origin]
+		if o == nil {
+			o = &originState{entries: map[string]*entry{}, lru: list.New()}
+			ib.origins[d.Origin] = o
+		}
+		if d.Watermark > o.watermark {
+			o.watermark = d.Watermark
+		}
+		if d.GCSeq > o.gcSeq {
+			o.gcSeq = d.GCSeq
+		}
+		for _, de := range d.Entries {
+			e := &entry{id: de.ID, seq: Seq(de.ID), gen: de.Gen, outcome: de.Outcome, ts: de.TS}
+			e.elem = o.lru.PushFront(e)
+			o.entries[de.ID] = e
+		}
+		ib.evictLocked(o)
+	}
+}

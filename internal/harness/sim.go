@@ -19,6 +19,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"aire/internal/core"
@@ -47,6 +48,24 @@ type SimConfig struct {
 	// Repairs is how many attacked puts are repaired (Cancel or Replace),
 	// capped by the number of puts the workload happens to contain.
 	Repairs int
+	// Rerepairs is how many of the replace-repaired puts receive a second,
+	// later replacement (repair-of-repair). Successive repairs of the same
+	// request supersede one another in the outgoing queue, so this is the
+	// workload that puts superseded content on the wire — the
+	// stale-redelivery hazard a delayed fault turns into a regression
+	// unless generations gate application.
+	Rerepairs int
+	// Creates is how many repair `create` operations the schedule issues:
+	// each inserts a new non-idempotent /add request into the head
+	// service's past, which propagates downstream as wire-level creates —
+	// the operation a duplicated delivery double-mints unless the dedup
+	// inbox re-acknowledges it.
+	Creates int
+	// DisableDedup turns off every service's exactly-once dedup inbox
+	// (core.Config.DisableDedupInbox), restoring the at-least-once
+	// behavior. Hazard-demonstration tests use it to show the stale and
+	// dupcreate profiles genuinely fire their fault.
+	DisableDedup bool
 	// Faults are the per-call repair-plane fault probabilities.
 	Faults simnet.FaultPlan
 	// PartitionRate is the per-step probability of starting a partition (a
@@ -85,6 +104,7 @@ type SimResult struct {
 	Seed           int64
 	Ops            int
 	RepairCount    int
+	CreateCount    int
 	CrashCount     int
 	PartitionCount int
 	// Rounds is how many quiesce rounds the repair plane needed after the
@@ -103,9 +123,9 @@ type SimResult struct {
 
 // simOp is one workload step.
 type simOp struct {
-	kind int // 0 put, 1 get, 2 sum
+	kind int // 0 put, 1 get, 2 sum, 3 add (golden-world created requests)
 	key  string
-	val  string
+	val  string // put: value; add: delta
 }
 
 // simRepair repairs the put at op index opIdx: cancel it, or replace its
@@ -116,11 +136,24 @@ type simRepair struct {
 	newVal string
 }
 
+// simCreate inserts a new /add request into the head service's past at
+// schedule step `step`, anchored after the put at op index `anchor`. Keys
+// are unique per create and disjoint from the put key space, so the final
+// state is position-independent — but /add is not idempotent, so a
+// double-applied create diverges.
+type simCreate struct {
+	anchor int
+	step   int
+	key    string
+	delta  string
+}
+
 // simEvent is one step of the generated schedule.
 type simEvent struct {
 	kind   int // event kinds below
 	op     int // evExec: op index
 	repair simRepair
+	create int        // evCreate: index into the creates list
 	crash  string     // evCrash: service to crash-restart
 	groups [][]string // evPartition
 }
@@ -128,6 +161,7 @@ type simEvent struct {
 const (
 	evExec = iota
 	evRepair
+	evCreate
 	evCrash
 	evPartition
 	evHeal
@@ -167,6 +201,27 @@ func (a *simApp) Register(svc *web.Service) {
 				WithForm("key", c.Form("key"), "val", c.Form("val")))
 		}
 		return c.OK(c.Form("val"))
+	})
+	// /add is deliberately *not* idempotent: it increments the stored
+	// value by delta and forwards the delta downstream. Created requests
+	// use it so a duplicate-create (a re-delivered create whose first
+	// response was lost minting a second synthetic request) is visible to
+	// the state oracle — a double-applied put would converge anyway.
+	svc.Router.Handle("POST", "/add", func(c *web.Ctx) wire.Response {
+		cur := 0
+		if o, ok := c.DB.Get("kv", c.Form("key")); ok {
+			cur, _ = strconv.Atoi(o.Get("val"))
+		}
+		d, _ := strconv.Atoi(c.Form("delta"))
+		val := strconv.Itoa(cur + d)
+		if err := c.DB.Put("kv", c.Form("key"), orm.Fields("val", val)); err != nil {
+			return c.Error(500, err.Error())
+		}
+		for _, p := range a.peers {
+			c.Call(p, wire.NewRequest("POST", "/add").
+				WithForm("key", c.Form("key"), "delta", c.Form("delta")))
+		}
+		return c.OK(val)
 	})
 	svc.Router.Handle("GET", "/get", func(c *web.Ctx) wire.Response {
 		o, ok := c.DB.Get("kv", c.Form("key"))
@@ -215,6 +270,7 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 	ccfg := core.DefaultConfig()
 	ccfg.Backoff = core.Backoff{Base: simBackoffBase, Max: simBackoffMax, Factor: 2}
 	ccfg.Clock = w.clock.Now
+	ccfg.DisableDedupInbox = cfg.DisableDedup
 	w.ccfg = ccfg
 
 	for i := 0; i < cfg.Services; i++ {
@@ -271,6 +327,12 @@ func (w *simWorld) execOp(op simOp) (string, error) {
 		return resp.Header[wire.HdrRequestID], nil
 	case 1:
 		_, err := w.net.Call("", head, wire.NewRequest("GET", "/get").WithForm("key", op.key))
+		return "", err
+	case 3:
+		// Only the golden world executes /add as live traffic: it is the
+		// reference position of a created request.
+		_, err := w.net.Call("", head, wire.NewRequest("POST", "/add").
+			WithForm("key", op.key, "delta", op.val))
 		return "", err
 	default:
 		_, err := w.net.Call("", head, wire.NewRequest("GET", "/sum"))
@@ -339,7 +401,7 @@ func stateLines(name string, st map[string]string) []string {
 
 // buildSchedule generates the deterministic workload + fault schedule for
 // a seed.
-func buildSchedule(cfg SimConfig) ([]simEvent, []simOp) {
+func buildSchedule(cfg SimConfig) ([]simEvent, []simOp, []simCreate) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	ops := make([]simOp, cfg.Ops)
@@ -360,6 +422,12 @@ func buildSchedule(cfg SimConfig) ([]simEvent, []simOp) {
 	// Attack repairs: distinct puts, each repaired once, at a step at or
 	// after the put executes.
 	repairAt := map[int][]simRepair{}
+	repaired := map[int]bool{}
+	type firstRepair struct {
+		target, step int
+		cancel       bool
+	}
+	var first []firstRepair
 	nRepairs := cfg.Repairs
 	if nRepairs > len(putIdx) {
 		nRepairs = len(putIdx)
@@ -372,6 +440,71 @@ func buildSchedule(cfg SimConfig) ([]simEvent, []simOp) {
 			rep.newVal = fmt.Sprintf("r%d", rng.Intn(10000))
 		}
 		repairAt[step] = append(repairAt[step], rep)
+		repaired[target] = true
+		first = append(first, firstRepair{target: target, step: step, cancel: rep.cancel})
+	}
+
+	// Repair-of-repair: a second, later replacement of an already-replaced
+	// put. The second repair supersedes the first in the sender's queue
+	// (same collapse key), so a delayed copy of the first repair's content
+	// can arrive after the second was applied — the stale-redelivery
+	// hazard. The golden world uses whichever replacement the schedule
+	// issues last.
+	if cfg.Rerepairs > 0 {
+		var cands []firstRepair
+		for _, fr := range first {
+			if !fr.cancel {
+				cands = append(cands, fr)
+			}
+		}
+		n := cfg.Rerepairs
+		if n > len(cands) {
+			n = len(cands)
+		}
+		for _, ci := range rng.Perm(len(cands))[:n] {
+			fr := cands[ci]
+			// The second repair lands within a few steps of the first, so a
+			// delayed copy of the first repair's content is plausibly still
+			// in the network when the superseding content is applied.
+			gap := cfg.Ops - fr.step
+			if gap > 5 {
+				gap = 5
+			}
+			step := fr.step + rng.Intn(gap)
+			rep := simRepair{opIdx: fr.target, newVal: fmt.Sprintf("rr%d", rng.Intn(10000))}
+			repairAt[step] = append(repairAt[step], rep)
+		}
+	}
+
+	// Creates: new /add requests inserted into the head's past, each on a
+	// key of its own (disjoint from the put key space, so final state is
+	// insertion-position-independent — /add's non-idempotence is what
+	// exposes a double-applied create). Anchors are unrepaired puts so the
+	// before_id anchor survives cancels.
+	var creates []simCreate
+	createAt := map[int][]int{}
+	if cfg.Creates > 0 {
+		var anchors []int
+		for _, pi := range putIdx {
+			if !repaired[pi] {
+				anchors = append(anchors, pi)
+			}
+		}
+		n := cfg.Creates
+		if n > len(anchors) {
+			n = len(anchors)
+		}
+		for i, ai := range rng.Perm(len(anchors))[:n] {
+			anchor := anchors[ai]
+			step := anchor + rng.Intn(cfg.Ops-anchor)
+			creates = append(creates, simCreate{
+				anchor: anchor,
+				step:   step,
+				key:    fmt.Sprintf("c%d", i),
+				delta:  strconv.Itoa(1 + rng.Intn(9)),
+			})
+			createAt[step] = append(createAt[step], len(creates)-1)
+		}
 	}
 
 	var events []simEvent
@@ -384,6 +517,9 @@ func buildSchedule(cfg SimConfig) ([]simEvent, []simOp) {
 		events = append(events, simEvent{kind: evExec, op: i})
 		for _, rep := range repairAt[i] {
 			events = append(events, simEvent{kind: evRepair, repair: rep})
+		}
+		for _, ci := range createAt[i] {
+			events = append(events, simEvent{kind: evCreate, create: ci})
 		}
 		if cfg.CrashRate > 0 && rng.Float64() < cfg.CrashRate {
 			events = append(events, simEvent{kind: evCrash, crash: fmt.Sprintf("s%d", rng.Intn(cfg.Services))})
@@ -404,7 +540,7 @@ func buildSchedule(cfg SimConfig) ([]simEvent, []simOp) {
 			healAt = i + simPartitionMin + rng.Intn(simPartitionVar)
 		}
 	}
-	return events, ops
+	return events, ops, creates
 }
 
 // RunSim executes one simulation run: the attacked world under faults,
@@ -413,7 +549,7 @@ func buildSchedule(cfg SimConfig) ([]simEvent, []simOp) {
 // be issued); oracle violations land in SimResult.Failures.
 func RunSim(cfg SimConfig) (*SimResult, error) {
 	cfg = cfg.withDefaults()
-	events, ops := buildSchedule(cfg)
+	events, ops, creates := buildSchedule(cfg)
 
 	res := &SimResult{Seed: cfg.Seed, Ops: cfg.Ops}
 	w := buildSimWorld(cfg, true)
@@ -452,6 +588,21 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 				replaced[rep.opIdx] = rep.newVal
 			}
 			res.RepairCount++
+		case evCreate:
+			cr := creates[ev.create]
+			anchorID := ids[cr.anchor]
+			if anchorID == "" {
+				return nil, fmt.Errorf("sim: create anchor op %d has no request ID", cr.anchor)
+			}
+			head := w.ctrls[w.order[0]]
+			newReq := wire.NewRequest("POST", "/add").WithForm("key", cr.key, "delta", cr.delta)
+			// before_id anchors the created request after an existing put;
+			// with no after bound it lands at the end of the head's current
+			// timeline, which is exactly where the golden world runs it.
+			if _, err := head.ApplyLocal(warp.Action{Kind: warp.CreateReq, NewReq: newReq, BeforeID: anchorID}); err != nil {
+				return nil, fmt.Errorf("sim: create %s: %w", cr.key, err)
+			}
+			res.CreateCount++
 		case evCrash:
 			if err := w.crashRestart(ev.crash); err != nil {
 				return nil, err
@@ -492,17 +643,28 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 
 	// Golden reference: same workload on a clean fabric, attacks removed
-	// (cancels) or corrected at their original position (replaces).
+	// (cancels) or corrected at their original position (replaces), and
+	// created /add requests executed exactly once, as live traffic, at the
+	// step the create was issued (the end of the head's timeline then —
+	// where the attacked world's create anchors).
+	createAt := map[int][]simCreate{}
+	for _, cr := range creates {
+		createAt[cr.step] = append(createAt[cr.step], cr)
+	}
 	g := buildSimWorld(cfg, false)
 	for i, op := range ops {
-		if cancelled[i] {
-			continue
-		}
 		if v, ok := replaced[i]; ok {
 			op.val = v
 		}
-		if _, err := g.execOp(op); err != nil {
-			return nil, fmt.Errorf("sim: golden world: %w", err)
+		if !cancelled[i] {
+			if _, err := g.execOp(op); err != nil {
+				return nil, fmt.Errorf("sim: golden world: %w", err)
+			}
+		}
+		for _, cr := range createAt[i] {
+			if _, err := g.execOp(simOp{kind: 3, key: cr.key, val: cr.delta}); err != nil {
+				return nil, fmt.Errorf("sim: golden world create: %w", err)
+			}
 		}
 	}
 
@@ -546,11 +708,26 @@ var simProfiles = map[string]SimConfig{
 	"crash":     {Services: 3, Topology: "chain", CrashRate: 0.12},
 	"mixed": {Services: 4, Topology: "fanout", PartitionRate: 0.08, CrashRate: 0.05,
 		Faults: simnet.FaultPlan{Drop: 0.15, DropResponse: 0.1, Duplicate: 0.1, Delay: 0.15}},
+	// stale: repair-of-repair workloads under multi-tick delay faults put
+	// a delayed copy of superseded repair content on the wire after the
+	// sender's retries delivered the newer content. Wire generations
+	// (Aire-Generation) plus the dedup inbox discard the old copy; without
+	// them the peer regresses (run with -nodedup / SimConfig.DisableDedup
+	// to watch it fail).
+	"stale": {Services: 3, Topology: "chain", Repairs: 5, Rerepairs: 4,
+		Faults: simnet.FaultPlan{Delay: 0.35, DelayTicks: 10, Duplicate: 0.1, DropResponse: 0.1}},
+	// dupcreate: create-bearing workloads under lost-response/duplicate
+	// faults re-deliver creates whose first response vanished. The dedup
+	// inbox re-acknowledges them with the originally minted request ID;
+	// without it the peer mints a second synthetic request and the
+	// non-idempotent /add double-applies.
+	"dupcreate": {Services: 3, Topology: "chain", Creates: 3,
+		Faults: simnet.FaultPlan{DropResponse: 0.25, Duplicate: 0.15, Drop: 0.1}},
 }
 
 // SimProfileNames lists the named fault profiles in a fixed order.
 func SimProfileNames() []string {
-	return []string{"drop", "duplicate", "delay", "partition", "crash", "mixed"}
+	return []string{"drop", "duplicate", "delay", "partition", "crash", "mixed", "stale", "dupcreate"}
 }
 
 // SimProfileConfig returns the SimConfig for a named fault profile; the

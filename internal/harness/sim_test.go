@@ -73,6 +73,61 @@ func TestSimDeterminism(t *testing.T) {
 	}
 }
 
+// hazardRequiresDedup proves a profile has teeth: some seed in [1, maxSeed]
+// must violate the convergence oracle with the exactly-once dedup inbox
+// disabled, and that same seed must converge with it enabled. Returns the
+// demonstrating seed.
+func hazardRequiresDedup(t *testing.T, profile string, maxSeed int64) int64 {
+	t.Helper()
+	base, err := SimProfileConfig(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= maxSeed; seed++ {
+		cfg := base
+		cfg.Seed = seed
+		cfg.DisableDedup = true
+		res, err := RunSim(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (dedup disabled): harness error: %v", seed, err)
+		}
+		if res.Passed {
+			continue
+		}
+		// The hazard fired. The identical schedule must converge once the
+		// inbox is back.
+		cfg.DisableDedup = false
+		fixed, err := RunSim(cfg)
+		if err != nil {
+			t.Fatalf("seed %d (dedup enabled): harness error: %v", seed, err)
+		}
+		if !fixed.Passed {
+			t.Fatalf("seed %d fails even with the dedup inbox enabled: %v", seed, fixed.Failures)
+		}
+		return seed
+	}
+	t.Fatalf("profile %s: no seed in 1..%d fired its hazard with the dedup inbox disabled — the profile lost its teeth", profile, maxSeed)
+	return 0
+}
+
+// TestStaleHazardRequiresDedup: the stale profile's delayed copies of
+// superseded repair content genuinely regress a peer when the dedup inbox
+// (and its generation gate) is disabled, and converge when it is enabled —
+// the ROADMAP fault class "stale redelivery of superseded content".
+func TestStaleHazardRequiresDedup(t *testing.T) {
+	seed := hazardRequiresDedup(t, "stale", 20)
+	t.Logf("stale hazard demonstrated by seed %d (replay: go run ./cmd/airesim -profile stale -seeds %d -nodedup -v)", seed, seed)
+}
+
+// TestDupCreateHazardRequiresDedup: the dupcreate profile's re-delivered
+// creates genuinely double-mint synthetic requests (double-applying the
+// non-idempotent /add) without the dedup inbox — the ROADMAP fault class
+// "duplicate create delivery".
+func TestDupCreateHazardRequiresDedup(t *testing.T) {
+	seed := hazardRequiresDedup(t, "dupcreate", 20)
+	t.Logf("dupcreate hazard demonstrated by seed %d (replay: go run ./cmd/airesim -profile dupcreate -seeds %d -nodedup -v)", seed, seed)
+}
+
 // TestSimFaultFreeBaseline: with no faults at all, every seed must
 // trivially converge — this isolates generator/oracle bugs from genuine
 // repair-protocol bugs.

@@ -44,6 +44,15 @@ func (g *Gen) Token() string {
 	return fmt.Sprintf("%s-tok-%d", g.prefix, g.next.Add(1))
 }
 
+// Delivery returns the next repair-delivery identifier, e.g.
+// "askbot-dlv-14". The trailing counter is the sender's monotonic delivery
+// sequence; the peer-side dedup inbox (internal/deliver) relies on it to
+// cover evicted entries with a watermark, and on the persisted counter to
+// keep IDs unique across crash-restart.
+func (g *Gen) Delivery() string {
+	return fmt.Sprintf("%s-dlv-%d", g.prefix, g.next.Add(1))
+}
+
 // Counter returns the current value of the underlying counter; used by
 // snapshot/restore in tests.
 func (g *Gen) Counter() int64 { return g.next.Load() }

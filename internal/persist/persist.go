@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"aire/internal/core"
+	"aire/internal/deliver"
 	"aire/internal/repairlog"
 	"aire/internal/vdb"
 )
@@ -36,6 +37,10 @@ type Snapshot struct {
 	Objects []vdb.ObjectDump `json:"objects"`
 	// Queue is the outgoing repair message queue.
 	Queue []core.PendingMsg `json:"queue,omitempty"`
+	// Inbox is the peer-side exactly-once dedup memory (internal/deliver):
+	// restoring it keeps a crash-restarted service from re-applying a
+	// repair delivery it already applied when the sender redelivers.
+	Inbox []deliver.OriginDump `json:"inbox,omitempty"`
 }
 
 // Capture snapshots a controller. The caller should quiesce the service
@@ -56,6 +61,7 @@ func Capture(c *core.Controller) *Snapshot {
 		Records:   cp,
 		Objects:   c.Svc.Store.Dump(),
 		Queue:     c.ExportQueue(),
+		Inbox:     c.ExportInbox(),
 	}
 }
 
@@ -84,6 +90,7 @@ func Apply(c *core.Controller, s *Snapshot) error {
 	}
 	c.Svc.Clock.Observe(s.ClockNow)
 	c.Svc.IDs.SetCounter(s.IDCounter)
+	c.ImportInbox(s.Inbox)
 	c.ImportQueue(s.Queue)
 	return nil
 }

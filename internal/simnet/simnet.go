@@ -47,6 +47,14 @@ type FaultPlan struct {
 	// the network). Held calls are delivered in seeded-shuffled order, so
 	// Delay is also the reordering fault.
 	Delay float64
+	// DelayTicks stretches Delay faults across simulated time: each
+	// delayed call is held for a seeded 1..DelayTicks Ticks instead of
+	// landing at the very next one (0 or 1 keeps the legacy next-Tick
+	// behavior, and consumes no extra randomness). Multi-tick delays are
+	// what let a copy of a since-superseded repair message land *after*
+	// the sender's retries delivered the newer content — the
+	// stale-redelivery hazard the wire generations exist for.
+	DelayTicks int
 }
 
 // Sum returns the total fault probability.
@@ -65,6 +73,9 @@ const (
 type heldCall struct {
 	from, to string
 	req      wire.Request
+	// ttl is how many further Ticks the call stays in the network; it is
+	// delivered when it reaches zero (and its endpoints are unpartitioned).
+	ttl int
 }
 
 // Net is a fault-injecting service fabric implementing the controller's
@@ -118,7 +129,11 @@ func (n *Net) Call(from, to string, req wire.Request) (wire.Response, error) {
 		n.noteLocked(fault, from, to, req.Path)
 	}
 	if fault == FaultDelay {
-		n.held = append(n.held, heldCall{from: from, to: to, req: req.Clone()})
+		ttl := 1
+		if n.plan.DelayTicks > 1 {
+			ttl = 1 + n.rng.Intn(n.plan.DelayTicks)
+		}
+		n.held = append(n.held, heldCall{from: from, to: to, req: req.Clone(), ttl: ttl})
 	}
 	n.mu.Unlock()
 
@@ -158,22 +173,28 @@ func (n *Net) rollLocked() string {
 	return ""
 }
 
-// Tick delivers every held (delayed) call in seeded-shuffled order and
+// Tick delivers every due held (delayed) call in seeded-shuffled order and
 // returns how many it delivered. The simulation loop calls Tick once per
 // step; a delayed message therefore lands after whatever traffic and
-// retries the intervening steps produced — the reordering fault. Held
-// calls whose endpoints are currently partitioned stay held: a partition
-// is airtight for repair traffic, including traffic delayed before it
-// started, until Heal.
+// retries the intervening steps produced — the reordering fault. With
+// FaultPlan.DelayTicks > 1, a call can stay in the network across several
+// Ticks while the sender's retries (and newer, superseding content) go
+// through. Held calls whose endpoints are currently partitioned stay held
+// without aging: a partition is airtight for repair traffic, including
+// traffic delayed before it started, until Heal.
 func (n *Net) Tick() int {
 	n.mu.Lock()
 	var batch, keep []heldCall
 	for _, h := range n.held {
 		if n.partitionedLocked(h.from, h.to) {
 			keep = append(keep, h)
-		} else {
-			batch = append(batch, h)
+			continue
 		}
+		if h.ttl--; h.ttl > 0 {
+			keep = append(keep, h)
+			continue
+		}
+		batch = append(batch, h)
 	}
 	n.held = keep
 	n.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })

@@ -26,7 +26,7 @@ const HTTPHeaderFrom = "Aire-From-Service"
 // constants so a future non-canonical header cannot reintroduce the bug.
 var wireHeaderKeys = func() map[string]string {
 	m := map[string]string{}
-	for _, h := range []string{wire.HdrRequestID, wire.HdrResponseID, wire.HdrNotifierURL, wire.HdrRepair} {
+	for _, h := range wire.AireHeaders {
 		m[http.CanonicalHeaderKey(h)] = h
 	}
 	return m

@@ -90,6 +90,40 @@ func TestHTTPAdapterRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHTTPAdapterDeliveryHeaders: the exactly-once session headers must
+// survive the net/http canonicalization round-trip in both directions —
+// the same spot where Aire-Notifier-URL silently went missing before the
+// wireHeaderKeys mapping existed. A delivery header the server-side
+// handler cannot read under its wire spelling would disable dedup over
+// real sockets while every bus test passes.
+func TestHTTPAdapterDeliveryHeaders(t *testing.T) {
+	h := HandlerFunc(func(from string, req wire.Request) wire.Response {
+		resp := wire.NewResponse(200,
+			req.Header[wire.HdrDeliveryID]+"|"+req.Header[wire.HdrGeneration]+"|"+req.Header[wire.HdrOrigin])
+		resp.Header[wire.HdrDeliveryID] = req.Header[wire.HdrDeliveryID]
+		return resp
+	})
+	ts := httptest.NewServer(NewHTTPHandler(h))
+	defer ts.Close()
+
+	caller := &HTTPCaller{BaseURLs: map[string]string{"srv": ts.URL}}
+	req := wire.NewRequest("POST", "/aire/repair").WithHeader(
+		wire.HdrDeliveryID, "a-dlv-7",
+		wire.HdrGeneration, "3",
+		wire.HdrOrigin, "a",
+	)
+	resp, err := caller.Call("a", "srv", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "a-dlv-7|3|a" {
+		t.Fatalf("server saw %q, want %q — delivery headers lost in request canonicalization", resp.Body, "a-dlv-7|3|a")
+	}
+	if resp.Header[wire.HdrDeliveryID] != "a-dlv-7" {
+		t.Fatal("delivery headers lost in response canonicalization")
+	}
+}
+
 func TestHTTPCallerUnknownAndUnavailable(t *testing.T) {
 	caller := &HTTPCaller{BaseURLs: map[string]string{"gone": "http://127.0.0.1:1"}}
 	if _, err := caller.Call("cli", "nope", wire.NewRequest("GET", "/")); !errors.Is(err, ErrUnknownService) {

@@ -241,6 +241,42 @@ func (e *Engine) Repair(actions []Action) (*Result, error) {
 		}
 	}
 
+	// Phase 0: validate every action before anything mutates. Phase 1
+	// appends created records and rewrites call responses as it walks the
+	// action list, so an invalid action (unknown request, GC'd target,
+	// missing create anchor) discovered mid-list would otherwise leave the
+	// earlier actions half-applied — a batched incoming queue
+	// (ProcessIncoming) that then retries the batch would double-apply
+	// them.
+	for _, a := range actions {
+		switch a.Kind {
+		case CancelReq, ReplaceReq:
+			if _, ok := svc.Log.Get(a.ReqID); !ok {
+				if svc.Log.GCBefore() > 0 {
+					return nil, fmt.Errorf("%w: %s", ErrGarbageCollected, a.ReqID)
+				}
+				return nil, fmt.Errorf("%w: %s", ErrNoSuchRequest, a.ReqID)
+			}
+		case CreateReq:
+			if a.BeforeID != "" {
+				if _, ok := svc.Log.TSOf(a.BeforeID); !ok {
+					return nil, fmt.Errorf("%w: create anchor before_id %s", ErrNoSuchRequest, a.BeforeID)
+				}
+			}
+			if a.AfterID != "" {
+				if _, ok := svc.Log.TSOf(a.AfterID); !ok {
+					return nil, fmt.Errorf("%w: create anchor after_id %s", ErrNoSuchRequest, a.AfterID)
+				}
+			}
+		case ReplaceCallResp:
+			if _, _, ok := svc.Log.FindByCallRespID(a.RespID); !ok {
+				return nil, fmt.Errorf("%w: call response %s", ErrNoSuchRequest, a.RespID)
+			}
+		default:
+			return nil, fmt.Errorf("warp: unknown action kind %v", a.Kind)
+		}
+	}
+
 	// Phase 1: apply action bookkeeping, locate the earliest affected time.
 	for _, a := range actions {
 		switch a.Kind {

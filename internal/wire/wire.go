@@ -27,11 +27,30 @@ import (
 //     server contacts this URL to deliver a response-repair token.
 //   - Aire-Repair marks a request as a repair operation (its value is the
 //     operation type: replace, delete, create, or replace_response).
+//
+// The delivery headers implement the exactly-once session layer of the
+// repair plane (internal/deliver). Repair delivery is at-least-once by
+// construction — offline peers, timeouts, and re-delivery (§3.2) — so every
+// repair-plane carrier additionally names its delivery:
+//
+//   - Aire-Delivery-Id is the durable identity of the queued repair message;
+//     it is stable across delivery attempts, so the receiver can recognize a
+//     re-delivery and re-acknowledge it without re-applying.
+//   - Aire-Generation is the message's content generation: queue collapsing
+//     and Retry supersede a message's content in place, bumping the
+//     generation, so the receiver can discard a delayed copy of superseded
+//     content that arrives after newer content was applied.
+//   - Aire-Origin is the sending service, scoping delivery IDs (which are
+//     only unique per sender) on transports that do not authenticate the
+//     caller.
 const (
 	HdrRequestID   = "Aire-Request-Id"
 	HdrResponseID  = "Aire-Response-Id"
 	HdrNotifierURL = "Aire-Notifier-URL"
 	HdrRepair      = "Aire-Repair"
+	HdrDeliveryID  = "Aire-Delivery-Id"
+	HdrGeneration  = "Aire-Generation"
+	HdrOrigin      = "Aire-Origin"
 )
 
 // Request is an API operation sent to a service.
@@ -143,16 +162,31 @@ func cloneMap(m map[string]string) map[string]string {
 	return c
 }
 
-// aireHeader reports whether h is one of the Aire dependency-tracking
-// headers, which are excluded from semantic request equality: they change on
-// every (re-)execution but do not affect what the operation does.
-func aireHeader(h string) bool {
-	switch h {
-	case HdrRequestID, HdrResponseID, HdrNotifierURL, HdrRepair:
-		return true
-	}
-	return false
+// AireHeaders lists every Aire protocol header (dependency tracking and
+// delivery identity). It is the single source of truth: semantic request
+// equality excludes exactly these, and the HTTP adapter's canonicalization
+// table is built from it — a header added here can never be readable on
+// the bus but silently missing over real HTTP.
+var AireHeaders = []string{
+	HdrRequestID, HdrResponseID, HdrNotifierURL, HdrRepair,
+	HdrDeliveryID, HdrGeneration, HdrOrigin,
 }
+
+var aireHeaderSet = func() map[string]bool {
+	m := make(map[string]bool, len(AireHeaders))
+	for _, h := range AireHeaders {
+		m[h] = true
+	}
+	return m
+}()
+
+// IsAireHeader reports whether h is one of the Aire protocol headers,
+// which are excluded from semantic request equality: they change on every
+// (re-)execution or (re-)delivery but do not affect what the operation
+// does.
+func IsAireHeader(h string) bool { return aireHeaderSet[h] }
+
+func aireHeader(h string) bool { return IsAireHeader(h) }
 
 // CanonicalKey returns a deterministic string identifying the semantic
 // content of the request (method, path, non-Aire headers, form, body). Two

@@ -7,9 +7,23 @@ import (
 
 func TestCanonicalKeyIgnoresAireHeaders(t *testing.T) {
 	a := NewRequest("POST", "/put").WithForm("k", "x").WithHeader("Cookie", "abc")
-	b := a.WithHeader(HdrRequestID, "r1", HdrResponseID, "s1", HdrNotifierURL, "aire://x/aire/notify", HdrRepair, "replace")
+	b := a.WithHeader(HdrRequestID, "r1", HdrResponseID, "s1", HdrNotifierURL, "aire://x/aire/notify", HdrRepair, "replace",
+		HdrDeliveryID, "x-dlv-3", HdrGeneration, "2", HdrOrigin, "x")
 	if !a.Equal(b) {
 		t.Fatalf("requests differing only in Aire headers must be equal:\n%q\n%q", a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
+func TestIsAireHeader(t *testing.T) {
+	for _, h := range []string{HdrRequestID, HdrResponseID, HdrNotifierURL, HdrRepair, HdrDeliveryID, HdrGeneration, HdrOrigin} {
+		if !IsAireHeader(h) {
+			t.Errorf("IsAireHeader(%q) = false", h)
+		}
+	}
+	for _, h := range []string{"Cookie", "Authorization", "Aire-Other"} {
+		if IsAireHeader(h) {
+			t.Errorf("IsAireHeader(%q) = true", h)
+		}
 	}
 }
 
