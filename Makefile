@@ -13,7 +13,7 @@ GO ?= go
 SIM_SEEDS ?= 1:20
 SIM_PROFILE ?= mixed
 
-.PHONY: all build test race bench fmt fmt-fix vet ci sim
+.PHONY: all build test race bench bench-json fmt fmt-fix vet ci sim
 
 all: build
 
@@ -30,6 +30,12 @@ race:
 # catches rot, not regressions). Full runs: go test -bench . -benchmem
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Machine-readable repair-scaling trajectory (ISSUE 4): indexed vs
+# pre-index repair walk as unrelated traffic grows. CI uploads the JSON as
+# a build artifact; regenerate the committed copy with this target.
+bench-json:
+	$(GO) run ./cmd/airebench -table bench4 -out BENCH_4.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

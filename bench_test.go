@@ -275,9 +275,17 @@ func BenchmarkFanoutPump(b *testing.B) {
 	}
 }
 
-// BenchmarkRepairScalingByLogSize shows how local repair cost grows with
-// the portion of the log affected: fixed attack, growing amounts of
-// post-attack traffic that reads the attacked data.
+// BenchmarkRepairScalingByLogSize shows how local repair cost grows along
+// two axes (the paper's Table 5 claim is that cost tracks the *affected*
+// slice, not the service size):
+//
+//   - readers=N: fixed attack, growing affected traffic (N readers of the
+//     attacked key). Repair cost must grow — these are genuinely affected.
+//   - unaffected=N: fixed attack and affected slice (10 readers), growing
+//     *unrelated* records and objects. With the index-driven walk repair
+//     time stays roughly flat; the retained pre-index walk
+//     (BenchmarkRepairScalingLinearByLogSize) grows linearly, because it
+//     re-checks every record after the attack.
 func BenchmarkRepairScalingByLogSize(b *testing.B) {
 	for _, readers := range []int{10, 50, 200} {
 		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
@@ -295,5 +303,41 @@ func BenchmarkRepairScalingByLogSize(b *testing.B) {
 				}
 			}
 		})
+	}
+	for _, unaffected := range []int{0, 500, 2000} {
+		b.Run(fmt.Sprintf("unaffected=%d", unaffected), func(b *testing.B) {
+			benchRepairUnaffected(b, unaffected, false)
+		})
+	}
+}
+
+// BenchmarkRepairScalingLinearByLogSize is the unaffected-traffic dimension
+// on the pre-index full-timeline walk — the before/after baseline for
+// BENCH_4.json.
+func BenchmarkRepairScalingLinearByLogSize(b *testing.B) {
+	for _, unaffected := range []int{0, 500, 2000} {
+		b.Run(fmt.Sprintf("unaffected=%d", unaffected), func(b *testing.B) {
+			benchRepairUnaffected(b, unaffected, true)
+		})
+	}
+}
+
+// benchRepairUnaffected times one repair pass over a fixed affected slice
+// (the attacked put plus 10 readers of its key) while `unaffected`
+// unrelated put+get pairs pad the log and store. Each iteration replaces
+// the attack with a fresh value, re-executing exactly the affected slice.
+// The world is harness.NewScalingWorld — the same scenario MeasureRepairScaling
+// times for BENCH_4.json.
+func benchRepairUnaffected(b *testing.B, unaffected int, linear bool) {
+	b.Helper()
+	a, reqID := harness.NewScalingWorld(10, unaffected, linear)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.ApplyLocal(warp.Action{
+			Kind: warp.ReplaceReq, ReqID: reqID,
+			NewReq: wire.NewRequest("POST", "/put").WithForm("key", "x", "val", fmt.Sprintf("v%d", i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

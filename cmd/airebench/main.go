@@ -4,10 +4,15 @@
 //	airebench -table 4 [-n -seed] # Table 4: normal-operation overhead
 //	airebench -table 5 [-users -posts]  # Table 5: repair performance
 //	airebench -table porting      # §7.3: server-side porting effort
+//	airebench -table bench4 [-iters -out BENCH_4.json]
+//	                              # ISSUE 4: O(affected) repair scaling,
+//	                              # indexed vs pre-index walk, optionally
+//	                              # written as machine-readable JSON
 //	airebench -table all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,11 +23,13 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, porting, sweep, all")
+	table := flag.String("table", "all", "table to regenerate: 3, 4, 5, porting, sweep, bench4, all")
 	n := flag.Int("n", 2000, "requests per Table 4 workload")
 	seed := flag.Int("seed", 500, "questions pre-seeded for Table 4")
 	users := flag.Int("users", 100, "legitimate users for Table 5")
 	posts := flag.Int("posts", 5, "posts per user for Table 5")
+	iters := flag.Int("iters", 200, "timed repair passes per bench4 point")
+	out := flag.String("out", "", "write bench4 results as JSON to this file")
 	flag.Parse()
 
 	switch *table {
@@ -36,6 +43,8 @@ func main() {
 		porting()
 	case "sweep":
 		sweep(*posts)
+	case "bench4":
+		bench4(*iters, *out)
 	case "all":
 		table3()
 		fmt.Println()
@@ -48,6 +57,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
 	}
+}
+
+// bench4Doc is the schema of BENCH_4.json: the machine-readable repair
+// scaling trajectory for ISSUE 4 (O(affected) local repair).
+type bench4Doc struct {
+	Issue       int                    `json:"issue"`
+	Description string                 `json:"description"`
+	GeneratedBy string                 `json:"generated_by"`
+	Readers     int                    `json:"affected_readers"`
+	Iters       int                    `json:"iters_per_point"`
+	Points      []harness.ScalingPoint `json:"points"`
+}
+
+func bench4(iters int, out string) {
+	const readers = 10
+	sizes := []int{0, 500, 2000}
+	fmt.Println("== ISSUE 4: repair scaling with unaffected traffic (indexed vs pre-index walk) ==")
+	points, err := harness.MeasureRepairScaling(sizes, readers, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %10s %14s %14s %9s %10s\n", "unaffected", "log-size", "indexed", "linear", "speedup", "repaired")
+	for _, p := range points {
+		fmt.Printf("%-12d %10d %11d ns %11d ns %8.1fx %10d\n",
+			p.Unaffected, p.LogRecords, p.IndexedNs, p.LinearNs, p.Speedup, p.Repaired)
+	}
+	fmt.Println("(claim: indexed repair time stays roughly flat as unrelated traffic grows; the pre-index walk grows linearly)")
+	if out == "" {
+		return
+	}
+	doc := bench4Doc{
+		Issue:       4,
+		Description: "Repair cost with a fixed affected slice (1 attacked put + readers) as unrelated log/store size grows. indexed = inverted-dependency-index walk (default engine), linear = retained pre-index full-timeline walk.",
+		GeneratedBy: "go run ./cmd/airebench -table bench4 -out BENCH_4.json",
+		Readers:     readers,
+		Iters:       iters,
+		Points:      points,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func table3() {

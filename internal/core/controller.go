@@ -526,7 +526,9 @@ func (c *Controller) applyNotify(from string, req wire.Request, gate *deliveryGa
 	}
 	// Svc.Mu is held from the log lookup through Authorize: see
 	// handleRepair — local repair mutates records and the store under this
-	// lock, concurrently with incoming notify deliveries.
+	// lock, concurrently with incoming notify deliveries. The lookup
+	// itself is an O(1) probe of the log's response-ID index, so holding
+	// the service lock here no longer costs a full log scan per delivery.
 	c.Svc.Mu.Lock()
 	rec, i, ok := c.Svc.Log.FindByCallRespID(payload.RespID)
 	if !ok {

@@ -337,7 +337,9 @@ func (c *Controller) deliverRepairCall(p *PendingMsg) deliverStatus {
 		// Learn the peer-assigned request ID for the repaired/created
 		// request so future repairs can name it. Svc.Mu serializes this
 		// against local repair, which mutates log records in place under
-		// that lock — the pump delivers concurrently with repair.
+		// that lock — the pump delivers concurrently with repair. The
+		// response-ID lookup is an O(1) index probe, and Update keeps the
+		// log's call indexes coherent with the learned ID.
 		if m.CallRespID != "" {
 			if newID := resp.Header[wire.HdrRequestID]; newID != "" {
 				c.Svc.Mu.Lock()

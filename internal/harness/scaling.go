@@ -1,0 +1,109 @@
+package harness
+
+// Repair-scaling measurement backing BENCH_4.json and `airebench -table
+// bench4`: the paper's Table 5 claim is that repair cost tracks the
+// *affected* slice of the timeline. The scenario fixes the affected slice
+// (one attacked put plus a constant set of readers) and grows only
+// unrelated traffic, then times one repair pass under the index-driven
+// walk and under the retained pre-index full-timeline walk.
+
+import (
+	"fmt"
+	"time"
+
+	"aire/internal/core"
+	"aire/internal/warp"
+	"aire/internal/wire"
+)
+
+// ScalingPoint is one row of the repair-scaling measurement.
+type ScalingPoint struct {
+	// Unaffected is how many unrelated put+get pairs pad the log.
+	Unaffected int `json:"unaffected"`
+	// Readers is the size of the fixed affected slice (readers of the
+	// attacked key; the attacked put itself rides on top).
+	Readers int `json:"readers"`
+	// LogRecords is the resulting total log size.
+	LogRecords int `json:"log_records"`
+	// IndexedNs and LinearNs are the per-repair wall times of the
+	// index-driven walk and the pre-index full-timeline walk.
+	IndexedNs int64 `json:"indexed_ns_per_repair"`
+	LinearNs  int64 `json:"linear_ns_per_repair"`
+	// Speedup is LinearNs / IndexedNs.
+	Speedup float64 `json:"speedup"`
+	// Repaired is the number of requests each repair pass re-executed
+	// (identical under both walks — the equivalence tests enforce it).
+	Repaired int `json:"repaired_per_pass"`
+}
+
+// NewScalingWorld builds the fixed-attack repair-scaling scenario — one
+// attacked put, `readers` readers of its key, `unaffected` unrelated
+// put+get pairs — and returns the controller plus the attack's request ID.
+// It is the single definition of the E18 world, shared by
+// MeasureRepairScaling (BENCH_4.json) and BenchmarkRepairScaling*ByLogSize.
+func NewScalingWorld(readers, unaffected int, linear bool) (*core.Controller, string) {
+	cfg := core.DefaultConfig()
+	cfg.Engine.LinearScan = linear
+	tb := NewTestbed()
+	a := tb.Add(&KVApp{ServiceName: "a"}, cfg)
+	attack := tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", "x", "val", "evil"))
+	for j := 0; j < readers; j++ {
+		tb.MustCall("a", wire.NewRequest("GET", "/get").WithForm("key", "x"))
+	}
+	for j := 0; j < unaffected; j++ {
+		key := fmt.Sprintf("u%d", j)
+		tb.MustCall("a", wire.NewRequest("POST", "/put").WithForm("key", key, "val", "clean"))
+		tb.MustCall("a", wire.NewRequest("GET", "/get").WithForm("key", key))
+	}
+	return a, attack.Header[wire.HdrRequestID]
+}
+
+// timeRepairs replaces the attack `iters` times and returns the average
+// wall time per repair plus the per-pass repaired-request count. One
+// untimed warmup pass pays the initial rollback of the attack's original
+// value (and any cold caches) before measurement begins.
+func timeRepairs(c *core.Controller, reqID string, iters int) (time.Duration, int, error) {
+	replace := func(val string) (*warp.Result, error) {
+		req := wire.NewRequest("POST", "/put").WithForm("key", "x", "val", val)
+		return c.ApplyLocal(warp.Action{Kind: warp.ReplaceReq, ReqID: reqID, NewReq: req})
+	}
+	res, err := replace("warmup")
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := replace(fmt.Sprintf("v%d", i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), res.RepairedRequests, nil
+}
+
+// MeasureRepairScaling runs the repair-scaling scenario at each unaffected
+// size, under both walks, and returns one point per size.
+func MeasureRepairScaling(sizes []int, readers, iters int) ([]ScalingPoint, error) {
+	points := make([]ScalingPoint, 0, len(sizes))
+	for _, size := range sizes {
+		p := ScalingPoint{Unaffected: size, Readers: readers}
+		for _, linear := range []bool{false, true} {
+			c, reqID := NewScalingWorld(readers, size, linear)
+			per, repaired, err := timeRepairs(c, reqID, iters)
+			if err != nil {
+				return nil, fmt.Errorf("harness: scaling (unaffected=%d linear=%v): %w", size, linear, err)
+			}
+			if linear {
+				p.LinearNs = per.Nanoseconds()
+			} else {
+				p.IndexedNs = per.Nanoseconds()
+				p.LogRecords = c.Svc.Log.Len()
+				p.Repaired = repaired
+			}
+		}
+		if p.IndexedNs > 0 {
+			p.Speedup = float64(p.LinearNs) / float64(p.IndexedNs)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

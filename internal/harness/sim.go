@@ -66,6 +66,15 @@ type SimConfig struct {
 	// behavior. Hazard-demonstration tests use it to show the stale and
 	// dupcreate profiles genuinely fire their fault.
 	DisableDedup bool
+	// LinearScan runs every repair engine with the retained pre-index
+	// full-timeline walk (warp.Config.LinearScan). The index-equivalence
+	// tests run each seed both ways and require identical results.
+	LinearScan bool
+	// inspect, when non-nil, is called with the attacked world after it
+	// quiesces (before the golden run), with no requests in flight; the
+	// equivalence tests use it to cross-check the secondary indexes
+	// against their linear-scan references on an organically grown state.
+	inspect func(w *simWorld)
 	// Faults are the per-call repair-plane fault probabilities.
 	Faults simnet.FaultPlan
 	// PartitionRate is the per-step probability of starting a partition (a
@@ -271,6 +280,7 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 	ccfg.Backoff = core.Backoff{Base: simBackoffBase, Max: simBackoffMax, Factor: 2}
 	ccfg.Clock = w.clock.Now
 	ccfg.DisableDedupInbox = cfg.DisableDedup
+	ccfg.Engine.LinearScan = cfg.LinearScan
 	w.ccfg = ccfg
 
 	for i := 0; i < cfg.Services; i++ {
@@ -640,6 +650,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 	for _, h := range w.heldMessages() {
 		res.Failures = append(res.Failures, "message parked (Held): "+h)
+	}
+	if cfg.inspect != nil {
+		cfg.inspect(w)
 	}
 
 	// Golden reference: same workload on a clean fabric, attacks removed

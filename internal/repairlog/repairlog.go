@@ -123,6 +123,12 @@ type Record struct {
 	// RepairGen counts how many times the request has been re-executed;
 	// versioned-API applications fold it into fresh version IDs (§5.2).
 	RepairGen int `json:"repair_gen,omitempty"`
+
+	// seq is the record's insertion order in its log, assigned by Append.
+	// Records sort on the timeline by (TS, seq): Append places a record
+	// after existing records with equal TS, so seq is the tie-break that
+	// makes index-driven walks visit records in exactly `order` order.
+	seq int64
 }
 
 // Clone returns a deep copy of the record.
@@ -144,14 +150,70 @@ func (r *Record) Clone() *Record {
 	return &c
 }
 
+// Ref is a timeline reference to a record: the record plus its stable
+// timeline position (TS first, then insertion order among equal
+// timestamps). The repair engine's index-driven walk orders candidates by
+// Ref so it visits records in exactly the order a full timeline walk would.
+type Ref struct {
+	Rec *Record
+	TS  int64
+	Seq int64
+}
+
+// Less reports whether r precedes o on the timeline.
+func (r Ref) Less(o Ref) bool {
+	if r.TS != o.TS {
+		return r.TS < o.TS
+	}
+	return r.Seq < o.Seq
+}
+
+// callPos locates one outgoing call: the record plus the call's index.
+type callPos struct {
+	rec *Record
+	idx int
+}
+
+// callSite is one Aire-identified outgoing call on a per-target timeline.
+type callSite struct {
+	ts, seq  int64 // owning record's timeline position
+	idx      int   // call index within the record
+	remoteID string
+}
+
 // Log is the per-service repair log. Create one with New. Log is safe for
 // concurrent use; records handed out are owned by the log and must only be
-// mutated through Update.
+// mutated through Update (or mutated in place under the service lock and
+// resynchronized with Resync, as the repair engine's re-execution does).
+//
+// Alongside the primary timeline the log maintains secondary indexes so the
+// hot repair paths stop scanning every record:
+//
+//   - respIdx:  Aire-Response-Id → (record, call index), the
+//     FindByCallRespID lookup used on every incoming replace_response and
+//     every delivered replace/create acknowledgment;
+//   - calls:    per-target sorted call timelines backing NeighborCalls;
+//   - readers/writers (by key) and scanners (by model): the inverted
+//     read-dependency index the repair engine walks to visit only records
+//     that could be affected by a rollback.
+//
+// All indexes are maintained by Append, Update, Resync, and GC. IDs are
+// assumed unique (they are minted by idgen counters); a duplicate
+// Aire-Response-Id would resolve to the first record indexed.
 type Log struct {
 	mu       sync.RWMutex
 	byID     map[string]*Record
 	order    []*Record // sorted by TS ascending
 	gcBefore int64
+	nextSeq  int64
+
+	respIdx  map[string]callPos
+	calls    map[string][]callSite // per target, sorted by (ts, seq, idx)
+	readers  map[vdb.Key][]Ref
+	writers  map[vdb.Key][]Ref
+	scanners map[string][]Ref
+	indexed  map[*Record]*indexedState
+	totalOps int // sum of len(Reads)+len(Scans)+len(Writes) over all records
 
 	compress    bool
 	sampleEvery int64
@@ -168,7 +230,17 @@ type Log struct {
 // so the log gzips only every 16th record and scales the raw size by the
 // observed compression ratio; use SetSampleRate(1) for exact accounting.
 func New(compress bool) *Log {
-	return &Log{byID: make(map[string]*Record), compress: compress, sampleEvery: 16}
+	return &Log{
+		byID:        make(map[string]*Record),
+		respIdx:     make(map[string]callPos),
+		calls:       make(map[string][]callSite),
+		readers:     make(map[vdb.Key][]Ref),
+		writers:     make(map[vdb.Key][]Ref),
+		scanners:    make(map[string][]Ref),
+		indexed:     make(map[*Record]*indexedState),
+		compress:    compress,
+		sampleEvery: 16,
+	}
 }
 
 // SetSampleRate controls how often a record is actually gzipped for size
@@ -190,13 +262,171 @@ func (l *Log) Append(r *Record) error {
 	if _, dup := l.byID[r.ID]; dup {
 		return fmt.Errorf("repairlog: duplicate record id %s", r.ID)
 	}
+	l.nextSeq++
+	r.seq = l.nextSeq
 	l.byID[r.ID] = r
 	i := sort.Search(len(l.order), func(i int) bool { return l.order[i].TS > r.TS })
 	l.order = append(l.order, nil)
 	copy(l.order[i+1:], l.order[i:])
 	l.order[i] = r
+	l.indexLocked(r)
 	l.accountSize(r)
 	return nil
+}
+
+// searchRefs returns the first index in refs at or after position (ts, seq).
+func searchRefs(refs []Ref, ts, seq int64) int {
+	return sort.Search(len(refs), func(i int) bool {
+		if refs[i].TS != ts {
+			return refs[i].TS > ts
+		}
+		return refs[i].Seq >= seq
+	})
+}
+
+// insertRef adds the record's Ref to a sorted index list (no-op if the
+// record is already present — a record reading the same key twice indexes
+// once).
+func insertRef(refs []Ref, r *Record) []Ref {
+	i := searchRefs(refs, r.TS, r.seq)
+	if i < len(refs) && refs[i].Rec == r {
+		return refs
+	}
+	refs = append(refs, Ref{})
+	copy(refs[i+1:], refs[i:])
+	refs[i] = Ref{Rec: r, TS: r.TS, Seq: r.seq}
+	return refs
+}
+
+// removeRef drops the record's Ref from a sorted index list.
+func removeRef(refs []Ref, r *Record) []Ref {
+	i := searchRefs(refs, r.TS, r.seq)
+	if i < len(refs) && refs[i].Rec == r {
+		refs = append(refs[:i], refs[i+1:]...)
+	}
+	return refs
+}
+
+// indexedState remembers exactly what indexLocked inserted for a record, so
+// unindexLocked can remove it even after the record was rewritten in place
+// (re-execution mutates a record's Calls and dependency slices directly and
+// only then calls Resync).
+type indexedState struct {
+	respIDs     []string
+	callTargets []string
+	readKeys    []vdb.Key
+	writeKeys   []vdb.Key
+	scanModels  []string
+	ops         int
+}
+
+// indexLocked adds the record's calls and dependencies to the secondary
+// indexes and remembers what was inserted. Caller holds mu.
+func (l *Log) indexLocked(r *Record) {
+	st := &indexedState{ops: len(r.Reads) + len(r.Scans) + len(r.Writes)}
+	for i, c := range r.Calls {
+		if c.RespID != "" {
+			if _, taken := l.respIdx[c.RespID]; !taken {
+				l.respIdx[c.RespID] = callPos{rec: r, idx: i}
+				st.respIDs = append(st.respIDs, c.RespID)
+			}
+		}
+		if c.RemoteReqID != "" {
+			sites := l.calls[c.Target]
+			j := sort.Search(len(sites), func(j int) bool {
+				s := sites[j]
+				if s.ts != r.TS {
+					return s.ts > r.TS
+				}
+				if s.seq != r.seq {
+					return s.seq > r.seq
+				}
+				return s.idx >= i
+			})
+			sites = append(sites, callSite{})
+			copy(sites[j+1:], sites[j:])
+			sites[j] = callSite{ts: r.TS, seq: r.seq, idx: i, remoteID: c.RemoteReqID}
+			l.calls[c.Target] = sites
+			st.callTargets = append(st.callTargets, c.Target)
+		}
+	}
+	for _, d := range r.Reads {
+		l.readers[d.Key] = insertRef(l.readers[d.Key], r)
+		st.readKeys = append(st.readKeys, d.Key)
+	}
+	for _, d := range r.Writes {
+		l.writers[d.Key] = insertRef(l.writers[d.Key], r)
+		st.writeKeys = append(st.writeKeys, d.Key)
+	}
+	for _, d := range r.Scans {
+		l.scanners[d.Model] = insertRef(l.scanners[d.Model], r)
+		st.scanModels = append(st.scanModels, d.Model)
+	}
+	l.totalOps += st.ops
+	l.indexed[r] = st
+}
+
+// unindexLocked removes everything indexLocked inserted for the record,
+// consulting the remembered state rather than the record itself (which may
+// already hold rewritten dependencies). Caller holds mu.
+func (l *Log) unindexLocked(r *Record) {
+	st := l.indexed[r]
+	if st == nil {
+		return
+	}
+	delete(l.indexed, r)
+	for _, respID := range st.respIDs {
+		if pos, ok := l.respIdx[respID]; ok && pos.rec == r {
+			delete(l.respIdx, respID)
+		}
+	}
+	for _, target := range st.callTargets {
+		sites := l.calls[target]
+		// The record's call sites are contiguous at (ts, seq); drop the
+		// whole run once (subsequent targets of the same record find it
+		// already gone).
+		j := sort.Search(len(sites), func(j int) bool {
+			s := sites[j]
+			if s.ts != r.TS {
+				return s.ts > r.TS
+			}
+			return s.seq >= r.seq
+		})
+		k := j
+		for k < len(sites) && sites[k].ts == r.TS && sites[k].seq == r.seq {
+			k++
+		}
+		if k > j {
+			sites = append(sites[:j], sites[k:]...)
+			if len(sites) == 0 {
+				delete(l.calls, target)
+			} else {
+				l.calls[target] = sites
+			}
+		}
+	}
+	for _, key := range st.readKeys {
+		if refs := removeRef(l.readers[key], r); len(refs) == 0 {
+			delete(l.readers, key)
+		} else {
+			l.readers[key] = refs
+		}
+	}
+	for _, key := range st.writeKeys {
+		if refs := removeRef(l.writers[key], r); len(refs) == 0 {
+			delete(l.writers, key)
+		} else {
+			l.writers[key] = refs
+		}
+	}
+	for _, model := range st.scanModels {
+		if refs := removeRef(l.scanners[model], r); len(refs) == 0 {
+			delete(l.scanners, model)
+		} else {
+			l.scanners[model] = refs
+		}
+	}
+	l.totalOps -= st.ops
 }
 
 func (l *Log) accountSize(r *Record) {
@@ -243,6 +473,9 @@ func (l *Log) Get(id string) (*Record, bool) {
 }
 
 // Update applies fn to the record with the given ID under the log's lock.
+// The callback may freely rewrite the record's calls and dependencies
+// (re-execution rewrites Calls[].RespID and RemoteReqID, cancel clears the
+// dependency slices); the secondary indexes are resynchronized around it.
 func (l *Log) Update(id string, fn func(*Record)) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -250,8 +483,21 @@ func (l *Log) Update(id string, fn func(*Record)) error {
 	if !ok {
 		return fmt.Errorf("repairlog: no record %s", id)
 	}
+	l.unindexLocked(r)
 	fn(r)
+	l.indexLocked(r)
 	return nil
+}
+
+// Resync re-derives the secondary index entries of a record that was
+// mutated in place. The repair engine's re-execution writes a record's
+// Reads/Scans/Writes/Calls directly (the handler runs between reading the
+// old state and committing the new, so it cannot run inside Update's
+// critical section); it must call Resync(id) once the rewrite is complete.
+// The caller is responsible for excluding concurrent log access across the
+// whole rewrite (warp holds the service lock).
+func (l *Log) Resync(id string) error {
+	return l.Update(id, func(*Record) {})
 }
 
 // From returns the records with TS >= ts, oldest first.
@@ -275,9 +521,23 @@ func (l *Log) Len() int {
 }
 
 // FindByCallRespID locates the record containing the outgoing call that
-// assigned the given Aire-Response-Id, along with the call's index. Used to
-// apply an incoming replace_response.
+// assigned the given Aire-Response-Id, along with the call's index. It is
+// an O(1) map lookup; it runs on the hot incoming path for every
+// replace_response delivery and every replace/create acknowledgment.
 func (l *Log) FindByCallRespID(respID string) (*Record, int, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	pos, ok := l.respIdx[respID]
+	if !ok {
+		return nil, 0, false
+	}
+	return pos.rec, pos.idx, true
+}
+
+// FindByCallRespIDLinear is the pre-index reference implementation (scan
+// every call of every record), retained for the randomized equivalence
+// tests and the before/after benchmarks.
+func (l *Log) FindByCallRespIDLinear(respID string) (*Record, int, bool) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	for _, r := range l.order {
@@ -294,8 +554,26 @@ func (l *Log) FindByCallRespID(respID string) (*Record, int, bool) {
 // the latest call to target strictly before ts and the earliest call at or
 // after ts. They anchor a create repair's before_id/after_id (§3.1): the
 // client orders the new request relative to messages it itself exchanged
-// with the service.
+// with the service. The per-target call timeline answers both neighbors
+// with one binary search.
 func (l *Log) NeighborCalls(target string, ts int64) (beforeID, afterID string) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	sites := l.calls[target]
+	i := sort.Search(len(sites), func(i int) bool { return sites[i].ts >= ts })
+	if i > 0 {
+		beforeID = sites[i-1].remoteID
+	}
+	if i < len(sites) {
+		afterID = sites[i].remoteID
+	}
+	return beforeID, afterID
+}
+
+// NeighborCallsLinear is the pre-index reference implementation (walk the
+// whole timeline), retained for the randomized equivalence tests and the
+// before/after benchmarks.
+func (l *Log) NeighborCallsLinear(target string, ts int64) (beforeID, afterID string) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	for _, r := range l.order {
@@ -312,6 +590,65 @@ func (l *Log) NeighborCalls(target string, ts int64) (beforeID, afterID string) 
 		}
 	}
 	return beforeID, afterID
+}
+
+// RefOf returns the record's timeline reference.
+func (l *Log) RefOf(id string) (Ref, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	r, ok := l.byID[id]
+	if !ok {
+		return Ref{}, false
+	}
+	return Ref{Rec: r, TS: r.TS, Seq: r.seq}, true
+}
+
+// ReadersOf returns the records holding a read dependency on key strictly
+// after timeline position (ts, seq), in timeline order. The repair engine
+// uses it to visit only the readers of a rolled-back key instead of the
+// whole timeline; the strict bound matters for records sharing a
+// timestamp — a same-TS record ordered *before* the mutating record on the
+// timeline already passed its dependency check against the pre-mutation
+// store, exactly as a full walk would have.
+func (l *Log) ReadersOf(key vdb.Key, ts, seq int64) []Ref {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return refsAfter(l.readers[key], ts, seq)
+}
+
+// WritersOf returns the records holding a write dependency on key strictly
+// after timeline position (ts, seq), in timeline order (the rollback-redo
+// candidates).
+func (l *Log) WritersOf(key vdb.Key, ts, seq int64) []Ref {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return refsAfter(l.writers[key], ts, seq)
+}
+
+// ScannersOf returns the records holding a scan dependency on model
+// strictly after timeline position (ts, seq), in timeline order.
+func (l *Log) ScannersOf(model string, ts, seq int64) []Ref {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return refsAfter(l.scanners[model], ts, seq)
+}
+
+// refsAfter copies the tail of a sorted Ref list strictly after (ts, seq).
+func refsAfter(refs []Ref, ts, seq int64) []Ref {
+	i := searchRefs(refs, ts, seq+1)
+	if i == len(refs) {
+		return nil
+	}
+	return append([]Ref(nil), refs[i:]...)
+}
+
+// TotalModelOps returns the total model operations (reads + scans + writes)
+// recorded across all records — Table 5's denominator — maintained
+// incrementally so repair does not walk the log to report totals.
+func (l *Log) TotalModelOps() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.totalOps
 }
 
 // TSOf returns the timestamp of the record with the given ID (0, false if
@@ -337,6 +674,7 @@ func (l *Log) GC(beforeTS int64) int {
 	i := sort.Search(len(l.order), func(i int) bool { return l.order[i].TS >= beforeTS })
 	for _, r := range l.order[:i] {
 		delete(l.byID, r.ID)
+		l.unindexLocked(r)
 	}
 	l.order = append([]*Record(nil), l.order[i:]...)
 	return i

@@ -48,15 +48,54 @@ func BenchmarkAppendExact(b *testing.B) {
 	}
 }
 
-func BenchmarkFindByCallRespID(b *testing.B) {
+// benchCallLog builds a log of n records, each with one Aire-identified
+// call to "peer".
+func benchCallLog(n int) *Log {
 	l := New(false)
-	for i := 0; i < 2000; i++ {
+	for i := 0; i < n; i++ {
 		r := benchRecord(i)
-		r.Calls = []Call{{Target: "peer", RespID: fmt.Sprintf("svc-resp-%d", i)}}
+		r.Calls = []Call{{Target: "peer", RespID: fmt.Sprintf("svc-resp-%d", i), RemoteReqID: fmt.Sprintf("peer-req-%d", i)}}
 		l.Append(r)
 	}
+	return l
+}
+
+// BenchmarkFindByCallRespID measures the indexed O(1) lookup against the
+// retained pre-index reference (scan every call of every record). The
+// lookup runs on the hot incoming path for every replace_response delivery
+// and every replace/create acknowledgment.
+func BenchmarkFindByCallRespID(b *testing.B) {
+	l := benchCallLog(2000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.FindByCallRespID("svc-resp-1999")
+	}
+}
+
+func BenchmarkFindByCallRespIDLinear(b *testing.B) {
+	l := benchCallLog(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.FindByCallRespIDLinear("svc-resp-1999")
+	}
+}
+
+// BenchmarkNeighborCalls measures the binary-search create-anchor lookup
+// against the retained full-timeline reference.
+func BenchmarkNeighborCalls(b *testing.B) {
+	l := benchCallLog(2000)
+	ts := int64(1000 * 1000) // middle of the timeline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.NeighborCalls("peer", ts)
+	}
+}
+
+func BenchmarkNeighborCallsLinear(b *testing.B) {
+	l := benchCallLog(2000)
+	ts := int64(1000 * 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.NeighborCallsLinear("peer", ts)
 	}
 }

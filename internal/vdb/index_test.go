@@ -1,0 +1,176 @@
+package vdb
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestScanHashAtExcludingConsistentSnapshot is the torn-snapshot regression
+// test: the fingerprint must be computed under one lock, so a concurrent
+// writer can never interleave mid-fingerprint. The writer advances keys x
+// and y in lockstep (x first, then y), so the only consistent states are
+// (x=k, y=k) and (x=k+1, y=k). The pre-fix implementation collected member
+// IDs under one lock and hashed each member under its own, so a reader
+// could observe x at one round and y at a much earlier one — a state that
+// never existed.
+func TestScanHashAtExcludingConsistentSnapshot(t *testing.T) {
+	const rounds = 400
+	const ts = int64(100) // both keys live at this fixed timestamp
+	s := NewStore()
+	if err := s.Put(Key{"m", "x"}, fields("0"), ts, "w0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Key{"m", "y"}, fields("0"), ts, "w0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Precompute every fingerprint a consistent snapshot may produce. The
+	// writer's bump is rollback-then-put, so between the two either key is
+	// transiently absent; those single-key states are consistent too.
+	cx := func(v int) uint64 { return scanContrib("x", Version{Fields: fields(fmt.Sprint(v))}.Hash()) }
+	cy := func(v int) uint64 { return scanContrib("y", Version{Fields: fields(fmt.Sprint(v))}.Hash()) }
+	fp := func(xv, yv int) uint64 { return cx(xv) + cy(yv) }
+	legal := make(map[uint64]bool, 4*rounds+4)
+	for k := 0; k <= rounds; k++ {
+		legal[fp(k, k)] = true   // between rounds
+		legal[cy(k)] = true      // x mid-bump (absent)
+		legal[fp(k+1, k)] = true // x bumped, y not yet
+		legal[cx(k+1)] = true    // y mid-bump (absent)
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		bump := func(id string, v int) {
+			s.Rollback(Key{"m", id}, ts-1)
+			if err := s.Put(Key{"m", id}, fields(fmt.Sprint(v)), ts, "w0"); err != nil {
+				panic(err)
+			}
+		}
+		for k := 1; k <= rounds; k++ {
+			bump("x", k)
+			bump("y", k)
+		}
+	}()
+
+	for {
+		got := s.ScanHashAtExcluding("m", ts, "r-none")
+		if !legal[got] {
+			t.Fatalf("observed fingerprint %#x corresponds to no consistent (x, y) state: the snapshot tore", got)
+		}
+		select {
+		case <-done:
+			wg.Wait()
+			if got := s.ScanHashAtExcluding("m", ts, "r-none"); got != fp(rounds, rounds) {
+				t.Fatalf("final fingerprint %#x != expected %#x", got, fp(rounds, rounds))
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestIndexedScansMatchLinearReference drives the store through every
+// index-maintaining operation (Put, coalescing re-Put, Delete, Rollback,
+// GC, Dump/Restore, PutImmutable) and checks at each step that the indexed
+// IDs/IDsAt/ScanHashAt/ScanHashAtExcluding agree with the retained
+// linear-scan reference implementations.
+func TestIndexedScansMatchLinearReference(t *testing.T) {
+	s := NewStore()
+	check := func(stage string, tss ...int64) {
+		t.Helper()
+		for _, model := range []string{"kv", "other", "absent"} {
+			for _, ts := range tss {
+				if got, want := s.IDsAt(model, ts), s.IDsAtLinear(model, ts); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: IDsAt(%q, %d) = %v, linear reference %v", stage, model, ts, got, want)
+				}
+				if got, want := s.ScanHashAt(model, ts), s.ScanHashAtLinear(model, ts); got != want {
+					t.Fatalf("%s: ScanHashAt(%q, %d) = %#x, linear reference %#x", stage, model, ts, got, want)
+				}
+				for _, req := range []string{"r-none", "r2", "r5"} {
+					if got, want := s.ScanHashAtExcluding(model, ts, req), s.ScanHashAtExcludingLinear(model, ts, req); got != want {
+						t.Fatalf("%s: ScanHashAtExcluding(%q, %d, %q) = %#x, linear reference %#x", stage, model, ts, req, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	mustPut := func(k Key, val string, ts int64, req string) {
+		t.Helper()
+		if err := s.Put(k, fields(val), ts, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut(Key{"kv", "a"}, "1", 10, "r1")
+	mustPut(Key{"kv", "b"}, "1", 20, "r2")
+	mustPut(Key{"other", "z"}, "9", 25, "r2")
+	check("initial", 5, 10, 20, 25, 100)
+
+	mustPut(Key{"kv", "b"}, "2", 20, "r2") // coalesce: same ts, same request
+	mustPut(Key{"kv", "a"}, "3", 30, "r3")
+	check("coalesce+overwrite", 10, 20, 30, 100)
+
+	if err := s.Delete(Key{"kv", "a"}, 40, "r4"); err != nil {
+		t.Fatal(err)
+	}
+	check("tombstone", 30, 40, 100)
+
+	mustPut(Key{"kv", "c"}, "5", 50, "r5")
+	s.Rollback(Key{"kv", "c"}, 45) // removes c entirely
+	s.Rollback(Key{"kv", "a"}, 35) // removes the tombstone, a live again
+	check("rollback", 30, 40, 50, 100)
+
+	if err := s.PutImmutable(Key{"kv", "v1"}, fields("frozen"), 60, "r6"); err != nil {
+		t.Fatal(err)
+	}
+	check("immutable", 55, 60, 100)
+
+	s.GC(25)
+	check("gc", 30, 40, 60, 100)
+
+	fresh := NewStore()
+	if err := fresh.Restore(s.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []int64{30, 40, 60, 100} {
+		if got, want := fresh.ScanHashAt("kv", ts), s.ScanHashAt("kv", ts); got != want {
+			t.Fatalf("restore: ScanHashAt(kv, %d) = %#x, original %#x", ts, got, want)
+		}
+		if got, want := fresh.IDsAt("kv", ts), s.IDsAt("kv", ts); !reflect.DeepEqual(got, want) {
+			t.Fatalf("restore: IDsAt(kv, %d) = %v, original %v", ts, got, want)
+		}
+	}
+	s = fresh
+	check("restored", 30, 40, 60, 100)
+}
+
+// TestScanHashCurrentFastPath pins the O(1) present-time fast path to the
+// walked computation.
+func TestScanHashCurrentFastPath(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 50; i++ {
+		if err := s.Put(Key{"kv", fmt.Sprintf("k%02d", i)}, fields(fmt.Sprint(i)), int64(i+1)*10, fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(Key{"kv", "k07"}, 600, "r-del"); err != nil {
+		t.Fatal(err)
+	}
+	// ts beyond lastTS answers from the maintained fingerprint; it must
+	// equal both the historical walk at the same ts and the linear
+	// reference.
+	atNow := s.ScanHashAt("kv", 1<<40)
+	if got := s.ScanHashAtLinear("kv", 1<<40); got != atNow {
+		t.Fatalf("fast path %#x != linear %#x", atNow, got)
+	}
+	// ts == lastTS exactly also sees every version.
+	if got := s.ScanHashAt("kv", 600); got != atNow {
+		t.Fatalf("ScanHashAt at lastTS %#x != fast path %#x", got, atNow)
+	}
+}

@@ -15,7 +15,6 @@ package vdb
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -49,46 +48,100 @@ type Version struct {
 	hash uint64
 }
 
+// FNV-64a constants, inlined so the hot hashing paths need no hash.Hash64
+// allocation per call.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
 // Hash returns a compact fingerprint of the version's visible value, used by
 // the repair engine's precise read-dependency checks: a reader is affected
 // only if the value it would read now differs from the value it read
-// originally.
+// originally. Tombstones short-circuit to MissingHash before any work.
 func (v Version) Hash() uint64 {
-	if v.hash != 0 {
-		return v.hash
-	}
-	h := fnv.New64a()
 	if v.Deleted {
 		return 0
 	}
-	keys := make([]string, 0, len(v.Fields))
+	if v.hash != 0 {
+		return v.hash
+	}
+	// Small field maps (the overwhelmingly common case) sort in a
+	// stack-resident array instead of a fresh heap slice per call.
+	var kbuf [16]string
+	keys := kbuf[:0]
+	if len(v.Fields) > len(kbuf) {
+		keys = make([]string, 0, len(v.Fields))
+	}
 	for k := range v.Fields {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	h := fnvOffset64
 	for _, k := range keys {
-		h.Write([]byte(k))
-		h.Write([]byte{0})
-		h.Write([]byte(v.Fields[k]))
-		h.Write([]byte{1})
+		h = fnvString(h, k)
+		h = fnvByte(h, 0)
+		h = fnvString(h, v.Fields[k])
+		h = fnvByte(h, 1)
 	}
 	// Ensure a live version never hashes to the "missing" sentinel 0.
-	s := h.Sum64()
-	if s == 0 {
-		s = 1
+	if h == 0 {
+		h = 1
 	}
-	return s
+	return h
 }
 
 // MissingHash is the read-dependency fingerprint recorded when a read found
 // no live object.
 const MissingHash uint64 = 0
 
+// modelIndex is the per-model secondary index: the sorted member list (every
+// object of the model with at least one version) plus an incrementally
+// maintained fingerprint of the model's current live scan state. It lets
+// IDs/IDsAt/ScanHashAt(Excluding) walk only the model's members instead of
+// the whole object map, and answers present-time scan fingerprints in O(1).
+type modelIndex struct {
+	// ids is the sorted list of member object IDs (live or tombstoned).
+	ids []string
+	// curFP is the commutative scan fingerprint of the model's present
+	// state: the wrapping sum of scanContrib(id, hash) over live members,
+	// updated on every Put/Delete/Rollback.
+	curFP uint64
+	// lastTS is a high-water mark of version timestamps in the model:
+	// ScanHashAt(ts >= lastTS) can answer from curFP. Rollback may leave it
+	// higher than any remaining version, which only disables the fast path.
+	lastTS int64
+}
+
+// scanContrib is one member's contribution to a model's scan fingerprint.
+// Contributions combine by wrapping addition, so the fingerprint is
+// order-independent and can be maintained incrementally under mutation.
+func scanContrib(id string, vh uint64) uint64 {
+	h := fnvString(fnvOffset64, id)
+	h = fnvByte(h, 0)
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(vh>>(8*i)))
+	}
+	return h
+}
+
 // Store is a multi-version object store. The zero value is not usable;
 // create one with NewStore. Store is safe for concurrent use.
 type Store struct {
 	mu           sync.RWMutex
 	objects      map[Key][]Version // versions sorted by TS ascending
+	models       map[string]*modelIndex
 	confidential map[Key]bool
 	versionBytes int64 // total encoded size of versions ever written (Table 4 "DB" accounting)
 	gcBefore     int64
@@ -99,7 +152,57 @@ type Store struct {
 func NewStore() *Store {
 	return &Store{
 		objects:      make(map[Key][]Version),
+		models:       make(map[string]*modelIndex),
 		confidential: make(map[Key]bool),
+	}
+}
+
+// model returns (creating if needed) the model's index. Caller holds mu.
+func (s *Store) model(name string) *modelIndex {
+	idx := s.models[name]
+	if idx == nil {
+		idx = &modelIndex{}
+		s.models[name] = idx
+	}
+	return idx
+}
+
+// liveContribLocked returns the object's current contribution to its model's
+// scan fingerprint (0 if absent or tombstoned). Caller holds mu.
+func liveContribLocked(k Key, vs []Version) uint64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	last := vs[len(vs)-1]
+	if last.Deleted {
+		return 0
+	}
+	return scanContrib(k.ID, last.Hash())
+}
+
+// indexInsertLocked adds the object to its model's member list (no-op if
+// already present). Caller holds mu.
+func (s *Store) indexInsertLocked(k Key) {
+	idx := s.model(k.Model)
+	i := sort.SearchStrings(idx.ids, k.ID)
+	if i < len(idx.ids) && idx.ids[i] == k.ID {
+		return
+	}
+	idx.ids = append(idx.ids, "")
+	copy(idx.ids[i+1:], idx.ids[i:])
+	idx.ids[i] = k.ID
+}
+
+// indexRemoveLocked drops the object from its model's member list (when its
+// last version is removed). Caller holds mu.
+func (s *Store) indexRemoveLocked(k Key) {
+	idx := s.models[k.Model]
+	if idx == nil {
+		return
+	}
+	i := sort.SearchStrings(idx.ids, k.ID)
+	if i < len(idx.ids) && idx.ids[i] == k.ID {
+		idx.ids = append(idx.ids[:i], idx.ids[i+1:]...)
 	}
 }
 
@@ -157,6 +260,12 @@ func (s *Store) PutImmutable(k Key, fields map[string]string, ts int64, reqID st
 	nv.hash = nv.Hash()
 	s.objects[k] = []Version{nv}
 	s.versionBytes += approxSize(k, fields)
+	s.indexInsertLocked(k)
+	idx := s.model(k.Model)
+	idx.curFP += scanContrib(k.ID, nv.Hash())
+	if ts > idx.lastTS {
+		idx.lastTS = ts
+	}
 	return nil
 }
 
@@ -164,6 +273,7 @@ func (s *Store) put(k Key, fields map[string]string, ts int64, reqID string, del
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	vs := s.objects[k]
+	oldContrib := liveContribLocked(k, vs)
 	if s.latestOnly && len(vs) > 0 && !vs[len(vs)-1].Immutable {
 		vs = vs[:0] // plain-database semantics: overwrite in place
 	}
@@ -181,6 +291,7 @@ func (s *Store) put(k Key, fields map[string]string, ts int64, reqID string, del
 			nv.hash = nv.Hash()
 			vs[len(vs)-1] = nv
 			s.versionBytes += approxSize(k, fields)
+			s.finishPutLocked(k, nv, oldContrib)
 			return nil
 		}
 		if ts == last.TS {
@@ -191,7 +302,24 @@ func (s *Store) put(k Key, fields map[string]string, ts int64, reqID string, del
 	nv.hash = nv.Hash()
 	s.objects[k] = append(vs, nv)
 	s.versionBytes += approxSize(k, fields)
+	s.finishPutLocked(k, nv, oldContrib)
 	return nil
+}
+
+// finishPutLocked maintains the model index after a successful write: the
+// member list gains the object on first write, and the current-scan
+// fingerprint swaps the object's old live contribution for the new one.
+// Caller holds mu.
+func (s *Store) finishPutLocked(k Key, nv Version, oldContrib uint64) {
+	s.indexInsertLocked(k)
+	idx := s.model(k.Model)
+	idx.curFP -= oldContrib
+	if !nv.Deleted {
+		idx.curFP += scanContrib(k.ID, nv.Hash())
+	}
+	if nv.TS > idx.lastTS {
+		idx.lastTS = nv.TS
+	}
 }
 
 func copyFields(m map[string]string) map[string]string {
@@ -269,11 +397,61 @@ func (s *Store) HashAtExcluding(k Key, ts int64, reqID string) uint64 {
 	return vs[i-1].Hash()
 }
 
+// hashAtLocked is HashAt without locking. Caller holds mu (read or write).
+func (s *Store) hashAtLocked(k Key, ts int64) uint64 {
+	vs := s.objects[k]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].TS > ts })
+	if i == 0 || vs[i-1].Deleted {
+		return MissingHash
+	}
+	return vs[i-1].Hash()
+}
+
+// hashAtExcludingLocked is HashAtExcluding without locking. Caller holds mu.
+func (s *Store) hashAtExcludingLocked(k Key, ts int64, reqID string) uint64 {
+	vs := s.objects[k]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].TS > ts })
+	if i > 0 && vs[i-1].ReqID == reqID && !vs[i-1].Immutable {
+		i--
+	}
+	if i == 0 || vs[i-1].Deleted {
+		return MissingHash
+	}
+	return vs[i-1].Hash()
+}
+
 // ScanHashAtExcluding is ScanHashAt with reqID's own versions masked out,
 // for the same reason as HashAtExcluding: a scan dependency must fingerprint
 // the state the request observed from *others*, which replay regenerates
 // deterministically.
+//
+// The whole fingerprint is computed over the model's member index under one
+// read lock: it is a consistent snapshot (concurrent writers cannot
+// interleave mid-fingerprint) and costs O(members of model), not a walk and
+// sort of the entire object map plus one lock acquisition per member.
 func (s *Store) ScanHashAtExcluding(model string, ts int64, reqID string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var fp uint64
+	idx := s.models[model]
+	if idx == nil {
+		return 0
+	}
+	for _, id := range idx.ids {
+		vh := s.hashAtExcludingLocked(Key{Model: model, ID: id}, ts, reqID)
+		if vh == MissingHash {
+			continue
+		}
+		fp += scanContrib(id, vh)
+	}
+	return fp
+}
+
+// ScanHashAtExcludingLinear is the pre-index reference implementation of
+// ScanHashAtExcluding: a full object-map walk with per-member lock
+// round-trips. Retained for the randomized equivalence tests and the
+// before/after benchmarks; production code uses ScanHashAtExcluding.
+func (s *Store) ScanHashAtExcludingLinear(model string, ts int64, reqID string) uint64 {
 	s.mu.RLock()
 	ids := make([]string, 0, 16)
 	for k := range s.objects {
@@ -283,21 +461,15 @@ func (s *Store) ScanHashAtExcluding(model string, ts int64, reqID string) uint64
 	}
 	s.mu.RUnlock()
 	sort.Strings(ids)
-	h := fnv.New64a()
-	var buf [8]byte
+	var fp uint64
 	for _, id := range ids {
 		vh := s.HashAtExcluding(Key{Model: model, ID: id}, ts, reqID)
 		if vh == MissingHash {
 			continue
 		}
-		h.Write([]byte(id))
-		h.Write([]byte{0})
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(vh >> (8 * i))
-		}
-		h.Write(buf[:])
+		fp += scanContrib(id, vh)
 	}
-	return h.Sum64()
+	return fp
 }
 
 // HasVersion reports whether the object still has the exact version written
@@ -333,34 +505,63 @@ func (s *Store) Rollback(k Key, ts int64) int {
 	i := sort.Search(len(vs), func(i int) bool { return vs[i].TS > ts })
 	removed := len(vs) - i
 	if removed > 0 {
+		idx := s.model(k.Model)
+		idx.curFP -= liveContribLocked(k, vs)
 		s.objects[k] = vs[:i]
 		if i == 0 {
 			delete(s.objects, k)
+			s.indexRemoveLocked(k)
+		} else {
+			idx.curFP += liveContribLocked(k, vs[:i])
 		}
 	}
 	return removed
 }
 
 // IDs returns the sorted IDs of all live objects of the model at present.
+// The model's member index is already sorted, so this walks only the
+// model's members and performs no sort.
 func (s *Store) IDs(model string) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var ids []string
-	for k, vs := range s.objects {
-		if k.Model != model || len(vs) == 0 {
-			continue
-		}
-		if vs[len(vs)-1].Deleted {
-			continue
-		}
-		ids = append(ids, k.ID)
+	idx := s.models[model]
+	if idx == nil {
+		return nil
 	}
-	sort.Strings(ids)
+	var ids []string
+	for _, id := range idx.ids {
+		vs := s.objects[Key{Model: model, ID: id}]
+		if len(vs) == 0 || vs[len(vs)-1].Deleted {
+			continue
+		}
+		ids = append(ids, id)
+	}
 	return ids
 }
 
 // IDsAt returns the sorted IDs of all objects of the model live at ts.
 func (s *Store) IDsAt(model string, ts int64) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := s.models[model]
+	if idx == nil {
+		return nil
+	}
+	var ids []string
+	for _, id := range idx.ids {
+		vs := s.objects[Key{Model: model, ID: id}]
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].TS > ts })
+		if i == 0 || vs[i-1].Deleted {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// IDsAtLinear is the pre-index reference implementation of IDsAt (full map
+// walk plus sort), retained for equivalence tests.
+func (s *Store) IDsAtLinear(model string, ts int64) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var ids []string
@@ -382,20 +583,48 @@ func (s *Store) IDsAt(model string, ts int64) []string {
 // at ts. Scan dependencies recorded by list queries compare this fingerprint
 // during repair: a scan is affected only if membership or any member's value
 // changed.
+//
+// Fingerprints combine member contributions by wrapping addition, so the
+// model's present-time fingerprint is answered in O(1) from the
+// incrementally maintained index; historical timestamps walk the member
+// list under a single lock.
 func (s *Store) ScanHashAt(model string, ts int64) uint64 {
-	ids := s.IDsAt(model, ts)
-	h := fnv.New64a()
-	for _, id := range ids {
-		h.Write([]byte(id))
-		h.Write([]byte{0})
-		var buf [8]byte
-		vh := s.HashAt(Key{Model: model, ID: id}, ts)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(vh >> (8 * i))
-		}
-		h.Write(buf[:])
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := s.models[model]
+	if idx == nil {
+		return 0
 	}
-	return h.Sum64()
+	if ts >= idx.lastTS {
+		// Every version in the model is visible at ts: the maintained
+		// current fingerprint is the answer.
+		return idx.curFP
+	}
+	var fp uint64
+	for _, id := range idx.ids {
+		vh := s.hashAtLocked(Key{Model: model, ID: id}, ts)
+		if vh == MissingHash {
+			continue
+		}
+		fp += scanContrib(id, vh)
+	}
+	return fp
+}
+
+// ScanHashAtLinear is the pre-index reference implementation of ScanHashAt
+// (full map walk, sort, per-member lock round-trips), retained for the
+// randomized equivalence tests.
+func (s *Store) ScanHashAtLinear(model string, ts int64) uint64 {
+	ids := s.IDsAtLinear(model, ts)
+	var fp uint64
+	for _, id := range ids {
+		vh := s.HashAt(Key{Model: model, ID: id}, ts)
+		if vh == MissingHash {
+			continue
+		}
+		fp += scanContrib(id, vh)
+	}
+	return fp
 }
 
 // Versions returns a copy of all versions of the object (oldest first).
@@ -505,8 +734,9 @@ func (s *Store) Dump() []ObjectDump {
 	return out
 }
 
-// Restore loads a Dump into an empty store, recomputing cached hashes and
-// storage accounting.
+// Restore loads a Dump into an empty store, recomputing cached hashes,
+// storage accounting, and the per-model member indexes and scan
+// fingerprints.
 func (s *Store) Restore(dump []ObjectDump) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -522,7 +752,16 @@ func (s *Store) Restore(dump []ObjectDump) error {
 			vs[i] = v
 			s.versionBytes += approxSize(od.Key, v.Fields)
 		}
+		if len(vs) == 0 {
+			continue
+		}
 		s.objects[od.Key] = vs
+		s.indexInsertLocked(od.Key)
+		idx := s.model(od.Key.Model)
+		idx.curFP += liveContribLocked(od.Key, vs)
+		if last := vs[len(vs)-1].TS; last > idx.lastTS {
+			idx.lastTS = last
+		}
 	}
 	return nil
 }

@@ -55,6 +55,53 @@ func BenchmarkScanHashAt(b *testing.B) {
 	}
 }
 
+// BenchmarkScanHashAtExcluding compares the indexed single-lock fingerprint
+// against the retained pre-index reference (full map walk + sort + one lock
+// round-trip per member). The scan-dependency path runs on every List query
+// and on every scan re-check during repair.
+func BenchmarkScanHashAtExcluding(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		s := benchStore(n, 3)
+		b.Run(fmt.Sprintf("indexed/keys=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.ScanHashAtExcluding("kv", 1<<40, "r123")
+			}
+		})
+		b.Run(fmt.Sprintf("linear/keys=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.ScanHashAtExcludingLinear("kv", 1<<40, "r123")
+			}
+		})
+	}
+}
+
+// BenchmarkVersionHash measures the uncached fingerprint path: tombstones
+// must not allocate at all, and small live versions sort their field keys
+// in a stack buffer instead of a fresh slice.
+func BenchmarkVersionHash(b *testing.B) {
+	b.Run("tombstone", func(b *testing.B) {
+		v := Version{Deleted: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v.Hash() != MissingHash {
+				b.Fatal("tombstone must hash to MissingHash")
+			}
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		v := Version{Fields: map[string]string{"title": "benchmark", "body": "some typical body text", "author": "u1"}}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v.hash = 0
+			if v.Hash() == MissingHash {
+				b.Fatal("live version must not hash to MissingHash")
+			}
+		}
+	})
+}
+
 func BenchmarkRollbackRedo(b *testing.B) {
 	s := benchStore(1, 100)
 	k := Key{"kv", "k0000"}

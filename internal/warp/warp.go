@@ -7,9 +7,11 @@
 // an outgoing call), the engine:
 //
 //  1. rolls back the database versions written by affected requests,
-//  2. walks the service timeline from the earliest affected point,
-//     re-executing every request whose recorded dependencies no longer
-//     match the (partially repaired) store, and
+//  2. walks the affected slice of the service timeline — candidates come
+//     from the repair log's inverted read-dependency index (readers of
+//     rolled-back keys, scanners of touched models, writers of touched
+//     keys), in timeline order — re-executing every request whose recorded
+//     dependencies no longer match the (partially repaired) store, and
 //  3. diffs each re-execution's outgoing calls, response, and external
 //     effects against the log, emitting the cross-service repair messages
 //     (replace / delete / create / replace_response) that Aire's controller
@@ -22,6 +24,7 @@
 package warp
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -193,6 +196,16 @@ type Config struct {
 	// tracking (any request that touched a repaired key or model is
 	// re-executed) — the ablation baseline.
 	PreciseReadCheck bool
+	// LinearScan forces the pre-index repair walk: visit every record from
+	// the earliest affected time and re-check each one's dependencies
+	// (O(log × store)). When false (the default), the engine walks the
+	// log's inverted read-dependency index and visits only readers of
+	// rolled-back keys, scanners of touched models, and writers of touched
+	// keys (O(affected)); the per-record hash re-checks are retained as the
+	// correctness gate either way, so both walks repair the same records.
+	// LinearScan is kept as the equivalence-test reference and the
+	// before/after benchmark baseline.
+	LinearScan bool
 	// Verbose records a human-readable trace into Result.Trace.
 	Verbose bool
 }
@@ -367,51 +380,143 @@ func (e *Engine) Repair(actions []Action) (*Result, error) {
 		return nil, errors.New("warp: repair invoked with no actions")
 	}
 
-	// Conservative-mode taint state.
+	// Phase 2: walk the timeline — every record whose recorded dependencies
+	// no longer match the (partially repaired) store is re-executed. The
+	// indexed walk visits only plausible candidates; the linear walk visits
+	// everything after t0. Both apply the same per-record dependency gate.
+	if e.Cfg.LinearScan {
+		e.walkLinear(t0, direct, res)
+	} else {
+		e.walkIndexed(direct, res)
+	}
+
+	// Phase 3: totals, from the log's maintained counters (the pre-index
+	// engine walked the whole log here too).
+	res.TotalRequests = svc.Log.Len()
+	res.TotalModelOps = svc.Log.TotalModelOps()
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// processRecord runs one timeline record through the repair gate and, if it
+// is directed or affected, cancels or re-executes it. taint is told about
+// every key whose versions this step rolled back or rewrote — the state
+// changes that can make later records affected.
+func (e *Engine) processRecord(rec *repairlog.Record, d *directive, res *Result,
+	touchedKeys map[vdb.Key]bool, touchedModels map[string]bool, taint func([]repairlog.WriteDep)) {
+	if rec.Skipped && d == nil {
+		return // stays cancelled
+	}
+	if d == nil && !e.affected(rec, touchedKeys, touchedModels) {
+		return
+	}
+	old := rec.Clone()
+
+	if d != nil && d.cancel {
+		e.cancel(rec, old, res)
+		taint(old.Writes)
+		return
+	}
+
+	input := rec.Req
+	if d != nil && d.replace {
+		input = d.input
+	}
+	e.reexecute(rec, old, input, d, res)
+	taint(old.Writes)
+	taint(rec.Writes)
+}
+
+// walkLinear is the pre-index Phase 2: visit every record from the earliest
+// affected time (Config.LinearScan — the equivalence reference and ablation
+// baseline).
+func (e *Engine) walkLinear(t0 int64, direct map[string]*directive, res *Result) {
 	touchedKeys := make(map[vdb.Key]bool)
 	touchedModels := make(map[string]bool)
-	taintWrites := func(deps []repairlog.WriteDep) {
+	taint := func(deps []repairlog.WriteDep) {
 		for _, w := range deps {
 			touchedKeys[w.Key] = true
 			touchedModels[w.Key.Model] = true
 		}
 	}
+	for _, rec := range e.Svc.Log.From(t0) {
+		e.processRecord(rec, direct[rec.ID], res, touchedKeys, touchedModels, taint)
+	}
+}
 
-	// Phase 2: walk the timeline.
-	timeline := svc.Log.From(t0)
-	for _, rec := range timeline {
-		d := direct[rec.ID]
-		if rec.Skipped && d == nil {
-			continue // stays cancelled
-		}
-		need := d != nil || e.affected(rec, touchedKeys, touchedModels)
-		if !need {
-			continue
-		}
-		old := rec.Clone()
+// refHeap is a min-heap of timeline references ordered by (TS, insertion
+// seq) — the exact order a full timeline walk visits records.
+type refHeap []repairlog.Ref
 
-		if d != nil && d.cancel {
-			e.cancel(rec, old, res)
-			taintWrites(old.Writes)
-			continue
-		}
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].Less(h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(repairlog.Ref)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
-		input := rec.Req
-		if d != nil && d.replace {
-			input = d.input
+// walkIndexed is the O(affected) Phase 2: a candidate min-heap seeded with
+// the directed records, extended — whenever a processed record rolls back or
+// rewrites a key — with the readers and writers of that key and the
+// scanners of its model, straight from the log's inverted dependency index.
+//
+// Correctness relies on two invariants. First, a record's dependency check
+// can only start failing when some key it read (or model it scanned, or key
+// it wrote) is mutated by this repair pass, and every such mutation happens
+// in processRecord on a write-dep key — so index candidates are a superset
+// of the records the linear walk would re-execute, and the retained hash
+// re-checks gate out the rest. Second, a record at time t only mutates
+// store state at timestamps >= t, so candidates are discovered in
+// non-decreasing timeline order and each record's gate runs with exactly
+// the store state the linear walk would have shown it.
+func (e *Engine) walkIndexed(direct map[string]*directive, res *Result) {
+	log := e.Svc.Log
+	touchedKeys := make(map[vdb.Key]bool)
+	touchedModels := make(map[string]bool)
+
+	var h refHeap
+	pushed := make(map[string]bool, len(direct))
+	push := func(ref repairlog.Ref) {
+		if !pushed[ref.Rec.ID] {
+			pushed[ref.Rec.ID] = true
+			heap.Push(&h, ref)
 		}
-		e.reexecute(rec, old, input, d, res)
-		taintWrites(old.Writes)
-		taintWrites(rec.Writes)
+	}
+	for id := range direct {
+		if ref, ok := log.RefOf(id); ok {
+			push(ref)
+		}
 	}
 
-	// Phase 3: totals.
-	for _, rec := range svc.Log.All() {
-		res.TotalRequests++
-		res.TotalModelOps += len(rec.Reads) + len(rec.Scans) + len(rec.Writes)
+	var cur repairlog.Ref
+	taint := func(deps []repairlog.WriteDep) {
+		for _, w := range deps {
+			if touchedKeys[w.Key] {
+				// Tainted at an earlier (or equal) walk position: that
+				// query already pushed a superset of this one's candidates.
+				continue
+			}
+			touchedKeys[w.Key] = true
+			// Strictly after (cur.TS, cur.Seq): a same-TS record ordered
+			// before cur already passed its gate against the pre-mutation
+			// store, exactly as the linear walk would have.
+			for _, ref := range log.ReadersOf(w.Key, cur.TS, cur.Seq) {
+				push(ref)
+			}
+			for _, ref := range log.WritersOf(w.Key, cur.TS, cur.Seq) {
+				push(ref)
+			}
+			if !touchedModels[w.Key.Model] {
+				touchedModels[w.Key.Model] = true
+				for _, ref := range log.ScannersOf(w.Key.Model, cur.TS, cur.Seq) {
+					push(ref)
+				}
+			}
+		}
 	}
-	res.Duration = time.Since(start)
-	return res, nil
+	for h.Len() > 0 {
+		cur = heap.Pop(&h).(repairlog.Ref)
+		e.processRecord(cur.Rec, direct[cur.Rec.ID], res, touchedKeys, touchedModels, taint)
+	}
 }
 
 // affected re-evaluates the request's recorded dependencies against the
@@ -539,6 +644,10 @@ func (e *Engine) reexecute(rec, old *repairlog.Record, input wire.Request, d *di
 	rec.RepairGen = gen
 	rec.Skipped = false
 	diff.finish()
+	// The record's calls and dependencies were rewritten in place (the
+	// handler ran between reading the old state and committing the new);
+	// bring the log's secondary indexes back in line with it.
+	_ = e.Svc.Log.Resync(rec.ID)
 
 	// Response propagation (§3.2: "if re-execution changes the response of
 	// a previously executed request, or computes the response for a newly
