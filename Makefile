@@ -13,7 +13,7 @@ GO ?= go
 SIM_SEEDS ?= 1:20
 SIM_PROFILE ?= mixed
 
-.PHONY: all build test race bench bench-json fmt fmt-fix vet ci sim
+.PHONY: all build test race bench bench-json fmt fmt-fix vet ci sim sim-sched
 
 all: build
 
@@ -48,6 +48,13 @@ fmt-fix:
 
 sim:
 	$(GO) run ./cmd/airesim -profile $(SIM_PROFILE) -seeds $(SIM_SEEDS)
+
+# Same sweep with repair delivery on the background pump under the
+# deterministic scheduler (internal/dsched): concurrent worker
+# interleavings, seed-reproducible. A failing seed prints its step count;
+# replay with: go run ./cmd/airesim -sched -profile <p> -seeds <seed> -v
+sim-sched:
+	$(GO) run ./cmd/airesim -sched -profile $(SIM_PROFILE) -seeds $(SIM_SEEDS)
 
 vet:
 	$(GO) vet ./...

@@ -11,11 +11,21 @@
 // and create-bearing workloads under lost responses. Run them with
 // -nodedup to watch the underlying hazards fire without the dedup inbox.
 //
-// CI runs a short fixed-seed matrix per fault profile; longer local sweeps:
+// With -sched, repair delivery runs on the real background pump under the
+// deterministic scheduler (internal/dsched): pump loops, delivery workers,
+// and the workload interleave as cooperative tasks picked by a seeded rng,
+// so concurrent-pump schedules are explored seed-reproducibly. A failing
+// seed prints its scheduler step count; replaying the seed replays the
+// schedule verbatim.
+//
+// CI runs a short fixed-seed matrix per fault profile (the `sim` job
+// serial, the `sched` job under -sched); longer local sweeps:
 //
 //	make sim SIM_PROFILE=mixed SIM_SEEDS=1:500
+//	make sim-sched SIM_PROFILE=mixed SIM_SEEDS=1:500
 //	go run ./cmd/airesim -profile crash -seeds 17 -v   # replay one failure
 //	go run ./cmd/airesim -profile stale -seeds 1:20 -nodedup
+//	go run ./cmd/airesim -sched -profile mixed -seeds 7 -v
 package main
 
 import (
@@ -37,6 +47,7 @@ func main() {
 		services  = flag.Int("services", 0, "number of services (0 = profile default)")
 		topology  = flag.String("topology", "", `"chain" or "fanout" (empty = profile default)`)
 		repairs   = flag.Int("repairs", 0, "attacked puts per run (0 = profile default)")
+		sched     = flag.Bool("sched", false, "run repair delivery on the background pump under the deterministic scheduler (internal/dsched): seeded task interleavings instead of the serial Flush loop")
 		nodedup   = flag.Bool("nodedup", false, "disable the peer-side exactly-once dedup inbox (demonstrates the stale/dupcreate hazards)")
 		verbose   = flag.Bool("v", false, "print the fault schedule of failing seeds")
 		listProfs = flag.Bool("profiles", false, "list fault profiles and exit")
@@ -73,6 +84,7 @@ func main() {
 		base.Repairs = *repairs
 	}
 	base.DisableDedup = *nodedup
+	base.ScheduledPump = *sched
 
 	failed := 0
 	for _, seed := range seedList {
@@ -84,14 +96,20 @@ func main() {
 			failed++
 			continue
 		}
+		steps := ""
+		if *sched {
+			steps = fmt.Sprintf(" steps=%d", res.SchedSteps)
+		}
 		if res.Passed {
-			fmt.Printf("seed %-6d PASS   repairs=%d crashes=%d partitions=%d rounds=%d faults=%s\n",
-				seed, res.RepairCount, res.CrashCount, res.PartitionCount, res.Rounds, faultSummary(res.FaultCounts))
+			fmt.Printf("seed %-6d PASS   repairs=%d crashes=%d partitions=%d rounds=%d%s faults=%s\n",
+				seed, res.RepairCount, res.CrashCount, res.PartitionCount, res.Rounds, steps, faultSummary(res.FaultCounts))
 			continue
 		}
 		failed++
-		fmt.Printf("seed %-6d FAIL   repairs=%d crashes=%d partitions=%d rounds=%d faults=%s\n",
-			seed, res.RepairCount, res.CrashCount, res.PartitionCount, res.Rounds, faultSummary(res.FaultCounts))
+		// A failing seed names everything a replay needs: the seed itself
+		// and (under -sched) the scheduler step count of the found schedule.
+		fmt.Printf("seed %-6d FAIL   repairs=%d crashes=%d partitions=%d rounds=%d%s faults=%s\n",
+			seed, res.RepairCount, res.CrashCount, res.PartitionCount, res.Rounds, steps, faultSummary(res.FaultCounts))
 		for _, f := range res.Failures {
 			fmt.Printf("             %s\n", f)
 		}
@@ -99,13 +117,20 @@ func main() {
 			for _, line := range res.Trace {
 				fmt.Printf("             | %s\n", line)
 			}
+			for _, line := range res.SchedTrace {
+				fmt.Printf("             > %s\n", line)
+			}
 		}
 	}
+	schedFlag := ""
+	if *sched {
+		schedFlag = " -sched"
+	}
 	if failed > 0 {
-		fmt.Printf("airesim: %d/%d seeds failed (profile %s); rerun one with -seeds <seed> -v\n", failed, len(seedList), *profile)
+		fmt.Printf("airesim: %d/%d seeds failed (profile %s); rerun one with%s -seeds <seed> -v\n", failed, len(seedList), *profile, schedFlag)
 		os.Exit(1)
 	}
-	fmt.Printf("airesim: %d seeds passed (profile %s)\n", len(seedList), *profile)
+	fmt.Printf("airesim: %d seeds passed (profile %s%s)\n", len(seedList), *profile, schedFlag)
 }
 
 // parseSeeds accepts "lo:hi" (inclusive range) or a comma-separated list.

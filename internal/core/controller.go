@@ -24,6 +24,7 @@ import (
 	"aire/internal/deliver"
 	"aire/internal/orm"
 	"aire/internal/repairlog"
+	"aire/internal/sched"
 	"aire/internal/transport"
 	"aire/internal/warp"
 	"aire/internal/web"
@@ -151,6 +152,19 @@ type Config struct {
 	// deliver.DefaultCap). Deliveries evicted from the bound stay covered
 	// by a per-origin watermark.
 	InboxCap int
+	// Sched is the concurrency substrate the background pump runs on (nil
+	// means real goroutines — sched.Goroutines()). The deterministic
+	// simulator injects internal/dsched here so pump workers, backoff
+	// sleeps, and shutdown interleave under a seeded schedule.
+	Sched sched.Scheduler
+	// FaultUngatedReconcile (fault injection, tests only): reconcile
+	// delivery outcomes without the per-message generation gate,
+	// reintroducing the pre-PR-1 race where a message superseded while a
+	// delivery of its old content was in flight is reconciled as if the
+	// old content were still the queued one — the superseding repair is
+	// silently dropped. Exists so the deterministic scheduler can prove it
+	// rediscovers the historical bug; never set it outside tests.
+	FaultUngatedReconcile bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -230,10 +244,14 @@ type Controller struct {
 	nextID int
 	peers  map[string]*peerState // per-peer delivery health, guarded by qmu
 
+	// sd is the resolved concurrency substrate (Cfg.Sched, or production
+	// goroutines); immutable after NewController.
+	sd sched.Scheduler
+
 	pumpMu     sync.Mutex
 	pumpCancel context.CancelFunc
 	pumpDone   chan struct{}
-	pumpWake   chan struct{}
+	pumpPacer  sched.Pacer // active pump's pacer; wakePump's target
 
 	tokmu     sync.Mutex
 	tokens    map[string]tokenEntry
@@ -276,7 +294,10 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 		mailboxes: make(map[string][]string),
 		dedup:     deliver.NewInbox(cfg.InboxCap),
 		peers:     make(map[string]*peerState),
-		pumpWake:  make(chan struct{}, 1),
+		sd:        cfg.Sched,
+	}
+	if c.sd == nil {
+		c.sd = sched.Goroutines()
 	}
 	c.qcond = sync.NewCond(&c.qmu)
 	return c

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
+	"aire/internal/sched"
 	"aire/internal/transport"
 	"aire/internal/warp"
 )
@@ -259,10 +259,12 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 	var failErr string
 
 	for i := range cl.ptrs {
+		c.sd.Yield()       // schedule point: about to deliver one claimed message
 		snap := cl.snap[i] // private copy; deliver mutates LastErr/token
 		st := c.deliver(&snap)
 		heldAttempts := 0
 
+		c.sd.Yield() // schedule point: delivered, not yet reconciled
 		c.qmu.Lock()
 		p := cl.ptrs[i]
 		// p.queued: still a live entry (it may have been Dropped since it
@@ -271,7 +273,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		// content must still go out, so the entry stays queued whatever
 		// happened to the old one — and its reset LastErr is preserved.
 		live := p.queued
-		fresh := live && p.Gen == cl.gens[i]
+		fresh := live && (p.Gen == cl.gens[i] || c.Cfg.FaultUngatedReconcile)
 		if live {
 			// Tokens are per-response and deliberately reused across
 			// attempts and content revisions.
@@ -372,6 +374,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		}
 	}
 
+	c.sd.Yield() // schedule point: batch done, peer state not yet reconciled
 	c.qmu.Lock()
 	if removed > 0 {
 		c.compactLocked()
@@ -412,7 +415,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 					continue
 				}
 				p.inflight = false
-				if p.Gen != cl.gens[j] {
+				if p.Gen != cl.gens[j] && !c.Cfg.FaultUngatedReconcile {
 					continue
 				}
 				p.Attempts++
@@ -520,11 +523,14 @@ func (c *Controller) releaseBatches(batches []*claimedBatch) {
 }
 
 // wakePump nudges the background pump (non-blocking; no-op when the pump is
-// not running).
+// not running). Callers may hold qmu: the pacer's Wake latches a flag (or
+// does a non-blocking buffered send) and never blocks.
 func (c *Controller) wakePump() {
-	select {
-	case c.pumpWake <- struct{}{}:
-	default:
+	c.pumpMu.Lock()
+	pacer := c.pumpPacer
+	c.pumpMu.Unlock()
+	if pacer != nil {
+		pacer.Wake()
 	}
 }
 
@@ -546,7 +552,9 @@ func (c *Controller) StartPump(ctx context.Context) error {
 	c.pumpCancel = cancel
 	done := make(chan struct{})
 	c.pumpDone = done
-	go c.pumpLoop(ctx, done)
+	pacer := c.sd.NewPacer(c.pumpInterval())
+	c.pumpPacer = pacer
+	c.sd.Go("pump:"+c.Svc.Name, func() { c.pumpLoop(ctx, done, pacer) })
 	return nil
 }
 
@@ -555,7 +563,7 @@ func (c *Controller) StartPump(ctx context.Context) error {
 func (c *Controller) StopPump() {
 	c.pumpMu.Lock()
 	cancel, done := c.pumpCancel, c.pumpDone
-	c.pumpCancel, c.pumpDone = nil, nil
+	c.pumpCancel, c.pumpDone, c.pumpPacer = nil, nil, nil
 	c.pumpMu.Unlock()
 	if cancel == nil {
 		return
@@ -600,8 +608,14 @@ func StartPumps(ctx context.Context, ctrls ...*Controller) (stop func(), err err
 // per-peer and per-message inflight flags already make overlapping passes
 // safe — claimBatches skips anything a slow worker still holds. StopPump
 // still waits for workers holding claimed batches to reconcile.
-func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}) {
-	var wg sync.WaitGroup
+//
+// Every concurrency primitive comes from the controller's scheduler
+// (Config.Sched): in production these are real goroutines, a channel
+// semaphore, and a wall-clock ticker; under the deterministic simulator
+// (internal/dsched) the same loop runs as a cooperative task whose worker
+// interleavings and sleeps are chosen by a seeded schedule.
+func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}, pacer sched.Pacer) {
+	wg := c.sd.NewGroup()
 	defer func() {
 		// Wait out in-flight deliveries so StopPump's "reconciled" promise
 		// holds, then detach the lifecycle state so PumpRunning turns false
@@ -609,46 +623,43 @@ func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}) {
 		// already-dead pump. Detach before closing done: a waiter woken by
 		// done must observe the pump as fully stopped.
 		wg.Wait()
+		pacer.Stop()
 		c.pumpMu.Lock()
 		if c.pumpDone == done {
 			c.pumpCancel = nil
 			c.pumpDone = nil
+			c.pumpPacer = nil
 		}
 		c.pumpMu.Unlock()
 		close(done)
 	}()
-	sem := make(chan struct{}, c.pumpWorkers())
-	ticker := time.NewTicker(c.pumpInterval())
-	defer ticker.Stop()
+	sem := c.sd.NewSem(c.pumpWorkers())
 	for {
+		c.sd.Yield() // schedule point: a pass is about to claim
 		batches := c.claimBatches(c.batchSize())
 		for i, cl := range batches {
-			select {
-			case sem <- struct{}{}:
-				wg.Add(1)
-				go func(cl *claimedBatch) {
-					defer wg.Done()
-					c.deliverBatch(cl)
-					<-sem
-					// Capacity freed and (likely) a peer drained: nudge the
-					// loop so that peer's next FIFO batch goes out promptly.
-					c.wakePump()
-				}(cl)
-			case <-ctx.Done():
+			if !sem.Acquire(ctx) {
 				// Shutting down with every worker busy: hand the remaining
 				// claims back so nothing is stranded inflight.
 				c.releaseBatches(batches[i:])
 				return
 			}
+			wg.Add(1)
+			cl := cl
+			c.sd.Go("worker:"+c.Svc.Name+"->"+cl.peer, func() {
+				defer wg.Done()
+				c.deliverBatch(cl)
+				sem.Release()
+				// Capacity freed and (likely) a peer drained: nudge the
+				// loop so that peer's next FIFO batch goes out promptly.
+				c.wakePump()
+			})
 		}
 		if c.Cfg.BatchIncoming {
 			c.ProcessIncoming()
 		}
-		select {
-		case <-ctx.Done():
+		if !pacer.Wait(ctx) {
 			return
-		case <-c.pumpWake:
-		case <-ticker.C:
 		}
 	}
 }

@@ -26,7 +26,10 @@
 // watermark covering deliveries evicted from it. Delivery IDs carry the
 // sender's monotonic sequence number, so an arrival whose entry was evicted
 // but whose sequence is at or below the watermark is classified as a
-// duplicate rather than re-applied. Entries are garbage-collected together
+// duplicate rather than re-applied — unless the sequence is recorded as a
+// hole (begun and rolled back without ever committing: known never-applied),
+// in which case it is re-applied however far the watermark has advanced.
+// Entries, the watermark, and the holes are garbage-collected together
 // with the repair log horizon (Controller.GC) and persisted through
 // internal/persist so crash-restart keeps the exactly-once guarantee.
 package deliver
@@ -117,6 +120,23 @@ type originState struct {
 	// applied), so arrivals are refused as Forgotten instead of silently
 	// acked or re-applied.
 	gcSeq uint64
+	// holes records sequences known to be *never applied*: deliveries
+	// whose apply was begun and rolled back with no previously committed
+	// state (the sender typically parks such a message Held awaiting
+	// Retry). The watermark assumes every sequence below it was applied;
+	// without this set, a Held message retried after InboxCap+ later
+	// deliveries from the same origin pushed the watermark past it would
+	// be misread as a duplicate and the repair silently lost. A hole is
+	// cleared when its delivery is reserved again, pruned by GC, and
+	// persisted with the origin. It cannot cover deliveries the inbox
+	// never saw at all (dropped in the network before the first Begin);
+	// those retain the watermark's InboxCap-bounded misread, quantified in
+	// TestEvictionWatermarkBound.
+	holes map[uint64]bool
+}
+
+func newOriginState() *originState {
+	return &originState{entries: map[string]*entry{}, lru: list.New(), holes: map[uint64]bool{}}
 }
 
 // Inbox is a per-origin dedup memory for repair-plane deliveries. Safe for
@@ -168,7 +188,7 @@ func (ib *Inbox) Begin(origin, id string, gen uint64, once bool) (Decision, stri
 	defer ib.mu.Unlock()
 	o := ib.origins[origin]
 	if o == nil {
-		o = &originState{entries: map[string]*entry{}, lru: list.New()}
+		o = newOriginState()
 		ib.origins[origin] = o
 	}
 	e, ok := o.entries[id]
@@ -180,10 +200,15 @@ func (ib *Inbox) Begin(origin, id string, gen uint64, once bool) (Decision, stri
 			// The eviction watermark vouches only for the generation-zero
 			// copy: an arrival carrying a bumped generation is superseding
 			// content that must still land (re-applying replace/delete is
-			// idempotent), so only gen-0 arrivals are swallowed here.
-			if seq <= o.watermark && gen == 0 {
+			// idempotent), so only gen-0 arrivals are swallowed here — and
+			// never one recorded as a hole (begun, rolled back, entry
+			// removed): that delivery is known never-applied, so a retry
+			// must re-apply however far the watermark has advanced.
+			if seq <= o.watermark && gen == 0 && !o.holes[seq] {
 				return Duplicate, ""
 			}
+			// Reserving closes the hole; a failed apply re-opens it.
+			delete(o.holes, seq)
 		}
 		e = &entry{id: id, seq: Seq(id), gen: gen, pending: true}
 		e.elem = o.lru.PushFront(e)
@@ -257,6 +282,11 @@ func (ib *Inbox) Rollback(origin, id string, gen uint64) {
 	}
 	o.lru.Remove(e.elem)
 	delete(o.entries, id)
+	// Nothing of this delivery was ever applied: remember that, so the
+	// eviction watermark cannot later misread its retry as a duplicate.
+	if e.seq > 0 {
+		o.holes[e.seq] = true
+	}
 }
 
 // evictLocked enforces the per-origin bound, advancing the watermark over
@@ -300,6 +330,13 @@ func (ib *Inbox) GC(beforeTS int64) {
 				o.gcSeq = e.seq
 			}
 		}
+		// Holes at or below the horizon are moot: arrivals there are
+		// refused as Forgotten before the watermark is consulted.
+		for seq := range o.holes {
+			if seq <= o.gcSeq {
+				delete(o.holes, seq)
+			}
+		}
 	}
 }
 
@@ -328,6 +365,10 @@ type OriginDump struct {
 	Watermark uint64      `json:"watermark,omitempty"`
 	GCSeq     uint64      `json:"gc_seq,omitempty"`
 	Entries   []EntryDump `json:"entries,omitempty"`
+	// Holes are sequences known never-applied (begun and rolled back);
+	// they survive crash-restart or an evicted Held message's Retry would
+	// be swallowed by the restored watermark.
+	Holes []uint64 `json:"holes,omitempty"`
 }
 
 // Dump serializes the inbox for persistence: origins sorted by name,
@@ -353,9 +394,20 @@ func (ib *Inbox) Dump() []OriginDump {
 				d.Entries = append(d.Entries, EntryDump{ID: e.id, Gen: e.gen, Outcome: e.outcome, TS: e.ts})
 			case e.prevOK:
 				d.Entries = append(d.Entries, EntryDump{ID: e.id, Gen: e.prevGen, Outcome: e.prevOutcome, TS: e.prevTS})
+			case e.seq > 0:
+				// Pending with nothing ever committed: the crash interrupts
+				// the apply, so the restored inbox must re-apply — exactly
+				// what Rollback would have recorded. Without this hole the
+				// restored watermark (advanced by higher-seq evictions) would
+				// swallow the retry as a Duplicate.
+				d.Holes = append(d.Holes, e.seq)
 			}
 		}
-		if d.Watermark > 0 || d.GCSeq > 0 || len(d.Entries) > 0 {
+		for seq := range o.holes {
+			d.Holes = append(d.Holes, seq)
+		}
+		sort.Slice(d.Holes, func(i, j int) bool { return d.Holes[i] < d.Holes[j] })
+		if d.Watermark > 0 || d.GCSeq > 0 || len(d.Entries) > 0 || len(d.Holes) > 0 {
 			out = append(out, d)
 		}
 	}
@@ -369,7 +421,7 @@ func (ib *Inbox) Restore(dump []OriginDump) {
 	for _, d := range dump {
 		o := ib.origins[d.Origin]
 		if o == nil {
-			o = &originState{entries: map[string]*entry{}, lru: list.New()}
+			o = newOriginState()
 			ib.origins[d.Origin] = o
 		}
 		if d.Watermark > o.watermark {
@@ -377,6 +429,11 @@ func (ib *Inbox) Restore(dump []OriginDump) {
 		}
 		if d.GCSeq > o.gcSeq {
 			o.gcSeq = d.GCSeq
+		}
+		for _, seq := range d.Holes {
+			if seq > o.gcSeq {
+				o.holes[seq] = true
+			}
 		}
 		for _, de := range d.Entries {
 			e := &entry{id: de.ID, seq: Seq(de.ID), gen: de.Gen, outcome: de.Outcome, ts: de.TS}

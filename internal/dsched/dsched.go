@@ -1,0 +1,332 @@
+// Package dsched is a deterministic cooperative scheduler: the simulation
+// implementation of internal/sched's Scheduler interface.
+//
+// Every task runs on a real goroutine, but at most one task executes at a
+// time: at each yield point (an explicit Yield, or blocking in a Sem,
+// Group, or Pacer) the task hands control back, and a seeded rng picks the
+// next runnable task. The whole interleaving — which pump claims first,
+// which worker reconciles before which supersede, when a backoff sleep
+// elapses — becomes a pure function of the seed, so a schedule that
+// exposes a concurrency bug is replayed exactly by re-running the seed.
+// Small-step operational semantics is the model: the pump is reduced to
+// explicit steps, and the scheduler explores their interleavings.
+//
+// Time is virtual: blocking primitives never sleep. A Pacer's deadline is
+// read from a simnet.Clock, and a task waiting on one simply stays
+// unrunnable until the driver advances the clock. When RunUntilIdle
+// returns, every live task is parked on an unsatisfied condition (a
+// deadline in the virtual future, an empty semaphore, a pending group) —
+// the driver then advances the clock, injects workload, or declares the
+// system quiesced.
+//
+// Protocol: driver code (the code calling Step/RunUntilIdle) and task code
+// never run concurrently — the scheduler blocks the driver while a task
+// runs and blocks every task while the driver runs. Code that executes
+// outside any task (the driver) may call Yield freely (it is a no-op
+// there), but must not block on a Sem, Group, or Pacer, since no task
+// would ever be scheduled to unblock it; those primitives panic instead of
+// deadlocking silently.
+package dsched
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aire/internal/sched"
+	"aire/internal/simnet"
+)
+
+// task is one cooperative task.
+type task struct {
+	id   int
+	name string
+	// resume hands control to the task (scheduler → task).
+	resume chan struct{}
+	// pred, when non-nil, is the task's wake condition, evaluated by the
+	// scheduler under its lock; nil means runnable.
+	pred func() bool
+	done bool
+}
+
+// Sched is a deterministic cooperative scheduler. Create one with New.
+type Sched struct {
+	// MaxSteps bounds the total steps a Sched will execute before
+	// panicking with the tail of its trace — a livelocked schedule must
+	// fail loudly with a reproducible seed, not hang CI. The default set
+	// by New is generous; raise it for very long simulations.
+	MaxSteps int
+
+	clock *simnet.Clock
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	tasks   []*task
+	running *task
+	nextID  int
+	steps   int
+	trace   []string
+	// yielded signals the driver that the running task parked or finished
+	// (task → scheduler).
+	yielded chan struct{}
+}
+
+var _ sched.Scheduler = (*Sched)(nil)
+
+// New returns a scheduler whose decisions are driven by seed and whose
+// virtual time is read from clock.
+func New(seed int64, clock *simnet.Clock) *Sched {
+	return &Sched{
+		MaxSteps: 2_000_000,
+		clock:    clock,
+		rng:      rand.New(rand.NewSource(seed)),
+		yielded:  make(chan struct{}),
+	}
+}
+
+// Go registers a task. It may be called from the driver or from inside a
+// running task; the task does not execute until the scheduler picks it.
+func (s *Sched) Go(name string, f func()) {
+	s.mu.Lock()
+	t := &task{id: s.nextID, name: name, resume: make(chan struct{})}
+	s.nextID++
+	s.tasks = append(s.tasks, t)
+	s.mu.Unlock()
+	go func() {
+		<-t.resume
+		f()
+		s.mu.Lock()
+		t.done = true
+		s.running = nil
+		// Compact the finished task out so Step's runnable scan stays
+		// O(live tasks): the pump spawns one task per claimed batch, and a
+		// long sweep would otherwise scan every task ever spawned. Done
+		// tasks were never runnable, so removal cannot shift an rng choice.
+		for i, tt := range s.tasks {
+			if tt == t {
+				s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		s.yielded <- struct{}{}
+	}()
+}
+
+// Yield parks the calling task as immediately runnable, letting the
+// scheduler pick any runnable task (possibly the caller again). Outside a
+// task it is a no-op.
+func (s *Sched) Yield() { s.park(nil) }
+
+// park hands control back to the scheduler until pred is true (nil parks
+// as runnable). No-op outside a task.
+func (s *Sched) park(pred func() bool) {
+	s.mu.Lock()
+	t := s.running
+	if t == nil {
+		s.mu.Unlock()
+		return
+	}
+	t.pred = pred
+	s.running = nil
+	s.mu.Unlock()
+	s.yielded <- struct{}{}
+	<-t.resume
+}
+
+// InTask reports whether the caller is running inside a scheduled task
+// (true) or is the driver (false). Driver code uses it to decide between
+// yielding and stepping the scheduler when waiting a condition out.
+func (s *Sched) InTask() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running != nil
+}
+
+// Step runs one scheduling step: a seeded-random choice among the runnable
+// tasks executes until its next yield point (or completion). It reports
+// false when no task is runnable — every live task is blocked on an
+// unsatisfied condition, or all tasks are done.
+func (s *Sched) Step() bool {
+	s.mu.Lock()
+	var runnable []*task
+	for _, t := range s.tasks { // task-id order: the rng choice is stable
+		if !t.done && (t.pred == nil || t.pred()) {
+			runnable = append(runnable, t)
+		}
+	}
+	if len(runnable) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	t := runnable[s.rng.Intn(len(runnable))]
+	t.pred = nil
+	s.running = t
+	s.steps++
+	if s.steps > s.MaxSteps {
+		tail := s.trace
+		if len(tail) > 40 {
+			tail = tail[len(tail)-40:]
+		}
+		panic(fmt.Sprintf("dsched: exceeded MaxSteps=%d (livelocked schedule?); trace tail: %v", s.MaxSteps, tail))
+	}
+	s.trace = append(s.trace, t.name)
+	s.mu.Unlock()
+	t.resume <- struct{}{}
+	<-s.yielded
+	return true
+}
+
+// RunUntilIdle steps until no task is runnable and returns how many steps
+// ran. On return every live task is parked on an unsatisfied condition;
+// the driver typically advances the virtual clock or injects new work, and
+// calls RunUntilIdle again.
+func (s *Sched) RunUntilIdle() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// Steps returns the total number of scheduling steps executed.
+func (s *Sched) Steps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steps
+}
+
+// Trace returns the schedule so far, one task name per step. Two runs of
+// the same seed and workload produce identical traces.
+func (s *Sched) Trace() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.trace...)
+}
+
+// Live returns how many tasks have not finished; a clean shutdown drives
+// it to zero before the Sched is abandoned (a task parked forever would
+// leak its goroutine).
+func (s *Sched) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.tasks {
+		if !t.done {
+			n++
+		}
+	}
+	return n
+}
+
+// NewSem returns a deterministic counting semaphore with n slots.
+func (s *Sched) NewSem(n int) sched.Sem { return &dsem{s: s, free: n} }
+
+type dsem struct {
+	s    *Sched
+	free int // guarded by s.mu
+}
+
+func (m *dsem) Acquire(ctx context.Context) bool {
+	for {
+		m.s.mu.Lock()
+		if ctx.Err() != nil {
+			m.s.mu.Unlock()
+			return false
+		}
+		if m.free > 0 {
+			m.free--
+			m.s.mu.Unlock()
+			return true
+		}
+		inTask := m.s.running != nil
+		m.s.mu.Unlock()
+		if !inTask {
+			panic("dsched: Sem.Acquire would block outside a task (deadlock)")
+		}
+		m.s.park(func() bool { return m.free > 0 || ctx.Err() != nil })
+	}
+}
+
+func (m *dsem) Release() {
+	m.s.mu.Lock()
+	m.free++
+	m.s.mu.Unlock()
+}
+
+// NewGroup returns a deterministic task group.
+func (s *Sched) NewGroup() sched.Group { return &dgroup{s: s} }
+
+type dgroup struct {
+	s *Sched
+	n int // guarded by s.mu
+}
+
+func (g *dgroup) Add(n int) {
+	g.s.mu.Lock()
+	g.n += n
+	g.s.mu.Unlock()
+}
+
+func (g *dgroup) Done() { g.Add(-1) }
+
+func (g *dgroup) Wait() {
+	for {
+		g.s.mu.Lock()
+		if g.n <= 0 {
+			g.s.mu.Unlock()
+			return
+		}
+		inTask := g.s.running != nil
+		g.s.mu.Unlock()
+		if !inTask {
+			panic("dsched: Group.Wait would block outside a task (deadlock)")
+		}
+		g.s.park(func() bool { return g.n <= 0 })
+	}
+}
+
+// NewPacer returns a pacer firing every interval of virtual time (read
+// from the Sched's clock) or on Wake.
+func (s *Sched) NewPacer(interval time.Duration) sched.Pacer {
+	return &dpacer{s: s, interval: interval}
+}
+
+type dpacer struct {
+	s        *Sched
+	interval time.Duration
+	woken    bool // guarded by s.mu; latched by Wake, consumed by Wait
+}
+
+func (p *dpacer) Wait(ctx context.Context) bool {
+	p.s.mu.Lock()
+	deadline := p.s.clock.Now().Add(p.interval)
+	fire := func() bool {
+		return p.woken || ctx.Err() != nil || !p.s.clock.Now().Before(deadline)
+	}
+	if !fire() {
+		if p.s.running == nil {
+			p.s.mu.Unlock()
+			panic("dsched: Pacer.Wait would block outside a task (deadlock)")
+		}
+		p.s.mu.Unlock()
+		p.s.park(fire)
+		p.s.mu.Lock()
+	}
+	p.woken = false
+	ok := ctx.Err() == nil
+	p.s.mu.Unlock()
+	return ok
+}
+
+// Wake latches a nudge: the current (or next) Wait fires without waiting
+// for its deadline. Safe from the driver or any task.
+func (p *dpacer) Wake() {
+	p.s.mu.Lock()
+	p.woken = true
+	p.s.mu.Unlock()
+}
+
+func (p *dpacer) Stop() {}

@@ -34,6 +34,14 @@ type ScalingPoint struct {
 	// Repaired is the number of requests each repair pass re-executed
 	// (identical under both walks — the equivalence tests enforce it).
 	Repaired int `json:"repaired_per_pass"`
+	// DBIndexBytes and LogIndexBytes are the approximate memory of the
+	// secondary index layers at measurement end (vdb per-model member
+	// lists + scan fingerprints; repairlog respID map, call timelines,
+	// inverted dep index, indexed-state bookkeeping) — the storage
+	// overhead the paper-mirroring Table 4 byte accounting ignores, now
+	// reported so the O(affected) speedup's memory price is on the record.
+	DBIndexBytes  int64 `json:"db_index_bytes"`
+	LogIndexBytes int64 `json:"log_index_bytes"`
 }
 
 // NewScalingWorld builds the fixed-attack repair-scaling scenario — one
@@ -98,6 +106,8 @@ func MeasureRepairScaling(sizes []int, readers, iters int) ([]ScalingPoint, erro
 				p.IndexedNs = per.Nanoseconds()
 				p.LogRecords = c.Svc.Log.Len()
 				p.Repaired = repaired
+				p.DBIndexBytes = c.Svc.Store.IndexBytes()
+				p.LogIndexBytes = c.Svc.Log.IndexBytes()
 			}
 		}
 		if p.IndexedNs > 0 {

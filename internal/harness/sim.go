@@ -15,6 +15,7 @@ package harness
 // fault, not the workload's.
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"aire/internal/core"
+	"aire/internal/dsched"
 	"aire/internal/orm"
 	"aire/internal/persist"
 	"aire/internal/simnet"
@@ -70,6 +72,22 @@ type SimConfig struct {
 	// full-timeline walk (warp.Config.LinearScan). The index-equivalence
 	// tests run each seed both ways and require identical results.
 	LinearScan bool
+	// ScheduledPump runs the attacked world's repair delivery on the real
+	// background pump (core.StartPump) instead of the serial Flush loop,
+	// with every pump loop, delivery worker, and the workload itself
+	// multiplexed as cooperative tasks of a deterministic scheduler
+	// (internal/dsched): a seeded rng picks the next runnable task at
+	// every yield point, and backoff sleeps elapse on the virtual clock.
+	// The run explores concurrent pump interleavings — supersedes landing
+	// mid-delivery, workers of different services overlapping, shutdown
+	// racing claims — while remaining a pure function of the seed.
+	ScheduledPump bool
+	// faultUngatedReconcile injects the historical (pre-PR-1) pump bug:
+	// reconcile without the per-message generation gate, so a message
+	// superseded while its old content is in flight is dropped as
+	// delivered. Regression tests set it to prove the deterministic
+	// scheduler rediscovers the race on a fixed seed.
+	faultUngatedReconcile bool
 	// inspect, when non-nil, is called with the attacked world after it
 	// quiesces (before the golden run), with no requests in flight; the
 	// equivalence tests use it to cross-check the secondary indexes
@@ -126,7 +144,13 @@ type SimResult struct {
 	// Failures lists oracle violations; Passed means none.
 	Failures []string
 	Passed   bool
-	// StateDigest fingerprints the converged state plus the fault schedule.
+	// SchedSteps and SchedTrace report the deterministic scheduler's run
+	// (ScheduledPump only): how many scheduling steps executed, and which
+	// task ran at each. A failing seed's schedule replays verbatim.
+	SchedSteps int
+	SchedTrace []string
+	// StateDigest fingerprints the converged state plus the fault schedule
+	// (and, under ScheduledPump, the task schedule).
 	StateDigest uint64
 }
 
@@ -259,6 +283,12 @@ type simWorld struct {
 	apps  map[string]*simApp
 	ctrls map[string]*core.Controller
 	order []string
+
+	// Scheduled-pump mode (SimConfig.ScheduledPump; attacked world only).
+	sched      *dsched.Sched
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	pumpCancel map[string]context.CancelFunc
 }
 
 func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
@@ -281,6 +311,16 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 	ccfg.Clock = w.clock.Now
 	ccfg.DisableDedupInbox = cfg.DisableDedup
 	ccfg.Engine.LinearScan = cfg.LinearScan
+	if faulted && cfg.ScheduledPump {
+		// A third seed stream drives the task schedule; the pump paces on
+		// the virtual clock, one pulse step per interval.
+		w.sched = dsched.New(cfg.Seed*3+2, w.clock)
+		ccfg.Sched = w.sched
+		ccfg.PumpInterval = simPulseStep
+		ccfg.FaultUngatedReconcile = cfg.faultUngatedReconcile
+		w.rootCtx, w.rootCancel = context.WithCancel(context.Background())
+		w.pumpCancel = map[string]context.CancelFunc{}
+	}
 	w.ccfg = ccfg
 
 	for i := 0; i < cfg.Services; i++ {
@@ -312,13 +352,56 @@ func (w *simWorld) addController(name string) *core.Controller {
 	return c
 }
 
+// startPump starts the named controller's background pump as a scheduled
+// task (ScheduledPump mode only).
+func (w *simWorld) startPump(name string) error {
+	ctx, cancel := context.WithCancel(w.rootCtx)
+	if err := w.ctrls[name].StartPump(ctx); err != nil {
+		cancel()
+		return fmt.Errorf("sim: start pump on %s: %w", name, err)
+	}
+	w.pumpCancel[name] = cancel
+	return nil
+}
+
+// stopPump cancels the named controller's pump and waits its tasks out —
+// by yielding when called from inside a scheduled task (the workload's
+// crash events), by stepping the scheduler when called from the driver.
+func (w *simWorld) stopPump(name string) {
+	cancel := w.pumpCancel[name]
+	if cancel == nil {
+		return
+	}
+	delete(w.pumpCancel, name)
+	cancel()
+	for w.ctrls[name].PumpRunning() {
+		if w.sched.InTask() {
+			w.sched.Yield()
+		} else if w.sched.RunUntilIdle() == 0 {
+			// A cancelled pump is always runnable; no progress means a
+			// scheduler bug — fail loudly with the seed-reproducible state.
+			panic(fmt.Sprintf("sim: pump on %s will not stop (scheduler idle)", name))
+		}
+	}
+}
+
 // crashRestart simulates a crash: the controller is discarded and rebuilt
-// from a persist snapshot, resuming delivery of its outgoing queue.
+// from a persist snapshot, resuming delivery of its outgoing queue. Under
+// ScheduledPump the pump is torn down before the snapshot and restarted on
+// the rebuilt controller — the crash point sits between delivery passes
+// (crash mid-pass is a future fault class; the snapshot layer is
+// write-ahead either way).
 func (w *simWorld) crashRestart(name string) error {
+	if w.sched != nil {
+		w.stopPump(name)
+	}
 	snap := persist.Capture(w.ctrls[name])
 	fresh := w.addController(name)
 	if err := persist.Apply(fresh, snap); err != nil {
 		return fmt.Errorf("sim: restore %s: %w", name, err)
+	}
+	if w.sched != nil {
+		return w.startPump(name)
 	}
 	return nil
 }
@@ -553,6 +636,158 @@ func buildSchedule(cfg SimConfig) ([]simEvent, []simOp, []simCreate) {
 	return events, ops, creates
 }
 
+// applyEvent executes one schedule event against the attacked world,
+// recording request IDs and repair decisions for the golden re-execution.
+func (w *simWorld) applyEvent(ev simEvent, ops []simOp, creates []simCreate, res *SimResult, ids map[int]string, cancelled map[int]bool, replaced map[int]string) error {
+	switch ev.kind {
+	case evExec:
+		id, err := w.execOp(ops[ev.op])
+		if err != nil {
+			return err
+		}
+		if id != "" {
+			ids[ev.op] = id
+		}
+	case evRepair:
+		rep := ev.repair
+		id := ids[rep.opIdx]
+		if id == "" {
+			return fmt.Errorf("sim: repair target op %d has no request ID", rep.opIdx)
+		}
+		head := w.ctrls[w.order[0]]
+		if rep.cancel {
+			if _, err := head.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: id}); err != nil {
+				return fmt.Errorf("sim: cancel %s: %w", id, err)
+			}
+			cancelled[rep.opIdx] = true
+		} else {
+			newReq := wire.NewRequest("POST", "/put").
+				WithForm("key", ops[rep.opIdx].key, "val", rep.newVal)
+			if _, err := head.ApplyLocal(warp.Action{Kind: warp.ReplaceReq, ReqID: id, NewReq: newReq}); err != nil {
+				return fmt.Errorf("sim: replace %s: %w", id, err)
+			}
+			replaced[rep.opIdx] = rep.newVal
+		}
+		res.RepairCount++
+	case evCreate:
+		cr := creates[ev.create]
+		anchorID := ids[cr.anchor]
+		if anchorID == "" {
+			return fmt.Errorf("sim: create anchor op %d has no request ID", cr.anchor)
+		}
+		head := w.ctrls[w.order[0]]
+		newReq := wire.NewRequest("POST", "/add").WithForm("key", cr.key, "delta", cr.delta)
+		// before_id anchors the created request after an existing put;
+		// with no after bound it lands at the end of the head's current
+		// timeline, which is exactly where the golden world runs it.
+		if _, err := head.ApplyLocal(warp.Action{Kind: warp.CreateReq, NewReq: newReq, BeforeID: anchorID}); err != nil {
+			return fmt.Errorf("sim: create %s: %w", cr.key, err)
+		}
+		res.CreateCount++
+	case evCrash:
+		if err := w.crashRestart(ev.crash); err != nil {
+			return err
+		}
+		res.CrashCount++
+	case evPartition:
+		w.sim.Partition(ev.groups...)
+		res.PartitionCount++
+	case evHeal:
+		w.sim.Heal()
+	}
+	return nil
+}
+
+// deliveredTally sums terminal delivery outcomes across all services — the
+// scheduled-pump progress metric (a backoff retry that fails again moves
+// nothing and must not count as progress).
+func (w *simWorld) deliveredTally() int64 {
+	var n int64
+	for _, name := range w.order {
+		st := w.ctrls[name].Stats()
+		n += st.MsgsDelivered + st.MsgsFailed
+	}
+	return n
+}
+
+// runScheduled executes the event schedule with repair delivery on the
+// background pumps, every pump and worker a task of the deterministic
+// scheduler, and the workload itself the task injecting events — so the
+// seeded schedule interleaves workload steps (including supersedes and
+// crash-restarts) *into* claim/deliver/reconcile windows, not just between
+// delivery passes. Quiesce alternates scheduler drains with virtual-clock
+// advances, then shuts every pump down; the run leaks no task.
+func (w *simWorld) runScheduled(cfg SimConfig, events []simEvent, ops []simOp, creates []simCreate, res *SimResult, ids map[int]string, cancelled map[int]bool, replaced map[int]string) error {
+	for _, name := range w.order {
+		if err := w.startPump(name); err != nil {
+			return err
+		}
+	}
+	var runErr error
+	done := false
+	w.sched.Go("workload", func() {
+		defer func() { done = true }()
+		for _, ev := range events {
+			if err := w.applyEvent(ev, ops, creates, res, ids, cancelled, replaced); err != nil {
+				runErr = err
+				return
+			}
+			w.sched.Yield() // pumps and workers interleave with the workload
+			w.sim.Tick()    // delayed repair-plane deliveries land
+			w.clock.Advance(simPulseStep)
+			w.sched.Yield()
+		}
+	})
+	w.sched.RunUntilIdle()
+	if !done {
+		panic(fmt.Sprintf("sim: seed %d: workload task parked with the scheduler idle", cfg.Seed))
+	}
+	if runErr != nil {
+		w.rootCancel()
+		w.sched.RunUntilIdle()
+		return runErr
+	}
+
+	// Quiesce: heal the fabric, then drain the scheduler and elapse
+	// virtual time until deliveries stop moving and nothing is queued or
+	// held in the network.
+	w.sim.Heal()
+	last := w.deliveredTally()
+	quiesced := false
+	for ; res.Rounds < cfg.MaxRounds; res.Rounds++ {
+		w.sched.RunUntilIdle()
+		ticked := w.sim.Tick()
+		w.sched.RunUntilIdle()
+		cur := w.deliveredTally()
+		progress := int(cur-last) + ticked
+		last = cur
+		w.clock.Advance(simPulseStep)
+		if progress == 0 {
+			if w.queued() == 0 && w.sim.HeldCount() == 0 {
+				quiesced = true
+				break
+			}
+			w.clock.Advance(simBackoffMax)
+		}
+	}
+	if !quiesced {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("did not quiesce after %d rounds: %d queued, %d held in network", res.Rounds, w.queued(), w.sim.HeldCount()))
+	}
+
+	// Tear the pumps down. Every task must exit: a stuck worker here is a
+	// shutdown bug, reproducible from the seed.
+	w.rootCancel()
+	w.sched.RunUntilIdle()
+	if live := w.sched.Live(); live != 0 {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("scheduler: %d tasks still live after pump shutdown", live))
+	}
+	res.SchedSteps = w.sched.Steps()
+	res.SchedTrace = w.sched.Trace()
+	return nil
+}
+
 // RunSim executes one simulation run: the attacked world under faults,
 // then the golden reference, then the convergence oracle. The returned
 // error reports harness-level breakage (a repair call that could not even
@@ -567,86 +802,39 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	cancelled := map[int]bool{}
 	replaced := map[int]string{}
 
-	for _, ev := range events {
-		switch ev.kind {
-		case evExec:
-			id, err := w.execOp(ops[ev.op])
-			if err != nil {
-				return nil, err
-			}
-			if id != "" {
-				ids[ev.op] = id
-			}
-		case evRepair:
-			rep := ev.repair
-			id := ids[rep.opIdx]
-			if id == "" {
-				return nil, fmt.Errorf("sim: repair target op %d has no request ID", rep.opIdx)
-			}
-			head := w.ctrls[w.order[0]]
-			if rep.cancel {
-				if _, err := head.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: id}); err != nil {
-					return nil, fmt.Errorf("sim: cancel %s: %w", id, err)
-				}
-				cancelled[rep.opIdx] = true
-			} else {
-				newReq := wire.NewRequest("POST", "/put").
-					WithForm("key", ops[rep.opIdx].key, "val", rep.newVal)
-				if _, err := head.ApplyLocal(warp.Action{Kind: warp.ReplaceReq, ReqID: id, NewReq: newReq}); err != nil {
-					return nil, fmt.Errorf("sim: replace %s: %w", id, err)
-				}
-				replaced[rep.opIdx] = rep.newVal
-			}
-			res.RepairCount++
-		case evCreate:
-			cr := creates[ev.create]
-			anchorID := ids[cr.anchor]
-			if anchorID == "" {
-				return nil, fmt.Errorf("sim: create anchor op %d has no request ID", cr.anchor)
-			}
-			head := w.ctrls[w.order[0]]
-			newReq := wire.NewRequest("POST", "/add").WithForm("key", cr.key, "delta", cr.delta)
-			// before_id anchors the created request after an existing put;
-			// with no after bound it lands at the end of the head's current
-			// timeline, which is exactly where the golden world runs it.
-			if _, err := head.ApplyLocal(warp.Action{Kind: warp.CreateReq, NewReq: newReq, BeforeID: anchorID}); err != nil {
-				return nil, fmt.Errorf("sim: create %s: %w", cr.key, err)
-			}
-			res.CreateCount++
-		case evCrash:
-			if err := w.crashRestart(ev.crash); err != nil {
-				return nil, err
-			}
-			res.CrashCount++
-		case evPartition:
-			w.sim.Partition(ev.groups...)
-			res.PartitionCount++
-		case evHeal:
-			w.sim.Heal()
+	if cfg.ScheduledPump {
+		if err := w.runScheduled(cfg, events, ops, creates, res, ids, cancelled, replaced); err != nil {
+			return nil, err
 		}
-		w.pulse()
-		w.clock.Advance(simPulseStep)
-	}
+	} else {
+		for _, ev := range events {
+			if err := w.applyEvent(ev, ops, creates, res, ids, cancelled, replaced); err != nil {
+				return nil, err
+			}
+			w.pulse()
+			w.clock.Advance(simPulseStep)
+		}
 
-	// Quiesce: heal the fabric and pump until nothing moves and nothing is
-	// queued or held in flight. Backoff windows are elapsed by advancing
-	// the simulated clock, never by waiting.
-	w.sim.Heal()
-	quiesced := false
-	for ; res.Rounds < cfg.MaxRounds; res.Rounds++ {
-		progress := w.pulse()
-		w.clock.Advance(simPulseStep)
-		if progress == 0 {
-			if w.queued() == 0 && w.sim.HeldCount() == 0 {
-				quiesced = true
-				break
+		// Quiesce: heal the fabric and pump until nothing moves and nothing
+		// is queued or held in flight. Backoff windows are elapsed by
+		// advancing the simulated clock, never by waiting.
+		w.sim.Heal()
+		quiesced := false
+		for ; res.Rounds < cfg.MaxRounds; res.Rounds++ {
+			progress := w.pulse()
+			w.clock.Advance(simPulseStep)
+			if progress == 0 {
+				if w.queued() == 0 && w.sim.HeldCount() == 0 {
+					quiesced = true
+					break
+				}
+				w.clock.Advance(simBackoffMax)
 			}
-			w.clock.Advance(simBackoffMax)
 		}
-	}
-	if !quiesced {
-		res.Failures = append(res.Failures,
-			fmt.Sprintf("did not quiesce after %d rounds: %d queued, %d held in network", res.Rounds, w.queued(), w.sim.HeldCount()))
+		if !quiesced {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("did not quiesce after %d rounds: %d queued, %d held in network", res.Rounds, w.queued(), w.sim.HeldCount()))
+		}
 	}
 	for _, h := range w.heldMessages() {
 		res.Failures = append(res.Failures, "message parked (Held): "+h)
@@ -703,6 +891,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	res.FaultCounts = w.sim.Counts()
 	res.Trace = w.sim.Trace()
 	for _, line := range res.Trace {
+		fmt.Fprintln(digest, line)
+	}
+	// Under ScheduledPump the task schedule is part of the run's identity:
+	// two runs of one seed must agree on every scheduling decision, not
+	// just the converged state.
+	fmt.Fprintln(digest, "sched-steps", res.SchedSteps)
+	for _, line := range res.SchedTrace {
 		fmt.Fprintln(digest, line)
 	}
 	res.StateDigest = digest.Sum64()

@@ -171,3 +171,31 @@ func TestNeighborCallsMatchesLinearOnTies(t *testing.T) {
 		}
 	}
 }
+
+// TestIndexBytesAccounting: the index memory estimate is positive once
+// dependencies are indexed, grows with the indexed population, and shrinks
+// when GC unindexes records — the coherence property that makes it a
+// usable storage-overhead metric (ROADMAP: "index memory is unaccounted").
+func TestIndexBytesAccounting(t *testing.T) {
+	l := New(false)
+	if got := l.IndexBytes(); got != 0 {
+		t.Fatalf("empty log IndexBytes = %d, want 0", got)
+	}
+	var sizes []int64
+	for i := 1; i <= 20; i++ {
+		if err := l.Append(depRec(fmt.Sprintf("r%d", i), int64(i*10), fmt.Sprintf("k%d", i), fmt.Sprintf("resp-%d", i), fmt.Sprintf("rem-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, l.IndexBytes())
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("IndexBytes did not grow on append %d: %v", i+1, sizes)
+		}
+	}
+	full := l.IndexBytes()
+	l.GC(105) // drops the first ten records
+	if after := l.IndexBytes(); after >= full || after <= 0 {
+		t.Fatalf("IndexBytes after GC = %d (was %d): want smaller but positive", after, full)
+	}
+}

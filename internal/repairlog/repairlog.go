@@ -651,6 +651,66 @@ func (l *Log) TotalModelOps() int {
 	return l.totalOps
 }
 
+// IndexBytes estimates the memory footprint of the log's secondary index
+// layer: the respID→call map, the per-target call timelines, the inverted
+// read-dependency index (readers/writers per key, scanners per model), and
+// the per-record indexed-state bookkeeping that keeps them coherent under
+// Update/Resync/GC. Table 4's log accounting (raw/compressed JSON bytes)
+// ignores this overhead — roughly three 16–24 byte slots per recorded
+// dependency — so storage-cost claims can now include it (ROADMAP: "index
+// memory is unaccounted"). Fixed per-slot overheads approximate Go's map
+// and slice costs; this is an estimate, not allocator truth.
+func (l *Log) IndexBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	const (
+		refSize  = 24 // Ref: pointer + TS + Seq
+		strHdr   = 16 // string header
+		sliceHdr = 24 // slice header
+	)
+	var n int64
+	for respID := range l.respIdx {
+		n += int64(len(respID)) + strHdr + 16 // callPos: pointer + index
+	}
+	for target, sites := range l.calls {
+		n += int64(len(target)) + strHdr + sliceHdr
+		for _, s := range sites {
+			n += 32 + int64(len(s.remoteID)) + strHdr // callSite: ts, seq, idx, remoteID
+		}
+	}
+	keyRefs := func(m map[vdb.Key][]Ref) {
+		for key, refs := range m {
+			n += int64(len(key.Model)+len(key.ID)) + 2*strHdr + sliceHdr
+			n += int64(len(refs)) * refSize
+		}
+	}
+	keyRefs(l.readers)
+	keyRefs(l.writers)
+	for model, refs := range l.scanners {
+		n += int64(len(model)) + strHdr + sliceHdr
+		n += int64(len(refs)) * refSize
+	}
+	for _, st := range l.indexed {
+		n += 8 + 5*sliceHdr + 8 // map slot + indexedState headers + ops
+		for _, s := range st.respIDs {
+			n += int64(len(s)) + strHdr
+		}
+		for _, s := range st.callTargets {
+			n += int64(len(s)) + strHdr
+		}
+		for _, k := range st.readKeys {
+			n += int64(len(k.Model)+len(k.ID)) + 2*strHdr
+		}
+		for _, k := range st.writeKeys {
+			n += int64(len(k.Model)+len(k.ID)) + 2*strHdr
+		}
+		for _, s := range st.scanModels {
+			n += int64(len(s)) + strHdr
+		}
+	}
+	return n
+}
+
 // TSOf returns the timestamp of the record with the given ID (0, false if
 // absent or garbage-collected).
 func (l *Log) TSOf(id string) (int64, bool) {

@@ -1,0 +1,132 @@
+// Package sched abstracts the concurrency substrate the background repair
+// pump runs on, so the same pump code drives two very different worlds:
+//
+//   - Production (this package's Goroutines implementation): real
+//     goroutines, buffered-channel semaphores, sync.WaitGroup, and a
+//     time.Ticker pacer — exactly the machinery the pump used before the
+//     abstraction existed. Yield is a no-op; the Go runtime preempts.
+//
+//   - Simulation (internal/dsched): cooperative tasks multiplexed one at a
+//     time by a seeded scheduler that picks the next runnable task at every
+//     yield point and elapses a virtual clock instead of sleeping. The
+//     entire interleaving of pump loops, delivery workers, and the
+//     simulated workload becomes a pure function of the seed, so a
+//     schedule that exposes a concurrency bug replays exactly.
+//
+// The interface is deliberately the pump's vocabulary, not a general
+// threading library: spawn a task, bound concurrent workers with a
+// semaphore, wait a group of workers out, and pace periodic passes with a
+// wakeable timer.
+package sched
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Scheduler is the concurrency substrate: production goroutines or a
+// deterministic simulation scheduler.
+type Scheduler interface {
+	// Go starts a task. The name labels the task in simulation traces;
+	// the production implementation ignores it.
+	Go(name string, f func())
+	// NewSem returns a counting semaphore with n slots.
+	NewSem(n int) Sem
+	// NewGroup returns an empty task group (WaitGroup semantics).
+	NewGroup() Group
+	// NewPacer returns a pacer that fires every interval of the
+	// scheduler's time (wall time in production, virtual time in
+	// simulation) and can be nudged to fire early.
+	NewPacer(interval time.Duration) Pacer
+	// Yield marks a point where the simulation scheduler may switch to
+	// another runnable task. In production it is a no-op; called from
+	// outside any scheduled task it is a no-op everywhere.
+	Yield()
+}
+
+// Sem is a counting semaphore.
+type Sem interface {
+	// Acquire takes a slot, blocking until one frees or ctx is done;
+	// it reports whether the slot was acquired.
+	Acquire(ctx context.Context) bool
+	// Release returns a slot.
+	Release()
+}
+
+// Group tracks a set of tasks (sync.WaitGroup semantics).
+type Group interface {
+	Add(n int)
+	Done()
+	Wait()
+}
+
+// Pacer paces a periodic loop: Wait blocks until the next interval tick, a
+// Wake nudge, or context cancellation.
+type Pacer interface {
+	// Wait blocks until the pacer fires (interval elapsed or Wake called)
+	// or ctx is done; it reports false on cancellation.
+	Wait(ctx context.Context) bool
+	// Wake nudges the pacer: the current (or next) Wait returns
+	// immediately. Non-blocking, safe from any goroutine, and coalescing —
+	// wakes are not counted, only latched.
+	Wake()
+	// Stop releases the pacer's resources (the production ticker).
+	Stop()
+}
+
+// Goroutines returns the production scheduler: real goroutines and real
+// time. It is stateless; the same instance is shared process-wide.
+func Goroutines() Scheduler { return goSched{} }
+
+type goSched struct{}
+
+func (goSched) Go(name string, f func()) { go f() }
+
+func (goSched) NewSem(n int) Sem { return goSem(make(chan struct{}, n)) }
+
+func (goSched) NewGroup() Group { return &sync.WaitGroup{} }
+
+func (goSched) NewPacer(interval time.Duration) Pacer {
+	return &goPacer{ticker: time.NewTicker(interval), wake: make(chan struct{}, 1)}
+}
+
+func (goSched) Yield() {}
+
+type goSem chan struct{}
+
+func (s goSem) Acquire(ctx context.Context) bool {
+	select {
+	case s <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s goSem) Release() { <-s }
+
+type goPacer struct {
+	ticker *time.Ticker
+	wake   chan struct{}
+}
+
+func (p *goPacer) Wait(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-p.wake:
+		return true
+	case <-p.ticker.C:
+		return true
+	}
+}
+
+func (p *goPacer) Wake() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (p *goPacer) Stop() { p.ticker.Stop() }

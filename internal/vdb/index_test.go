@@ -174,3 +174,38 @@ func TestScanHashCurrentFastPath(t *testing.T) {
 		t.Fatalf("ScanHashAt at lastTS %#x != fast path %#x", got, atNow)
 	}
 }
+
+// TestIndexBytesAccounting: the store's index memory estimate tracks the
+// per-model member lists — positive once members exist, growing with new
+// members, flat for new versions of existing members (versions are
+// VersionBytes' ledger, not the index's), and shrinking when GC removes a
+// model's last versions.
+func TestIndexBytesAccounting(t *testing.T) {
+	s := NewStore()
+	if got := s.IndexBytes(); got != 0 {
+		t.Fatalf("empty store IndexBytes = %d, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(Key{"m", fmt.Sprintf("id%d", i)}, fields("v"), int64(i+1), "w"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := s.IndexBytes()
+	if base <= 0 {
+		t.Fatalf("IndexBytes = %d after 10 members", base)
+	}
+	// A new version of an existing member adds no index memory.
+	if err := s.Put(Key{"m", "id0"}, fields("v2"), 50, "w"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IndexBytes(); got != base {
+		t.Fatalf("IndexBytes changed on re-put of a member: %d -> %d", base, got)
+	}
+	// A new member in a new model grows it.
+	if err := s.Put(Key{"other", "x"}, fields("v"), 60, "w"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IndexBytes(); got <= base {
+		t.Fatalf("IndexBytes did not grow with a new model+member: %d -> %d", base, got)
+	}
+}

@@ -670,6 +670,27 @@ func (s *Store) VersionBytes() int64 {
 	return s.versionBytes
 }
 
+// IndexBytes estimates the memory footprint of the store's secondary
+// index layer: the per-model sorted member lists plus the incrementally
+// maintained scan fingerprints. Table 4's "DB" accounting (VersionBytes)
+// deliberately mirrors the paper and ignores this overhead; IndexBytes
+// makes it visible so storage-cost claims can include it (ROADMAP: "index
+// memory is unaccounted"). The estimate mirrors approxSize's spirit —
+// string bytes plus fixed per-slot overheads — not Go allocator truth.
+func (s *Store) IndexBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for name, idx := range s.models {
+		// map slot + model name + modelIndex (slice header, curFP, lastTS).
+		n += int64(len(name)) + 16 + 40
+		for _, id := range idx.ids {
+			n += int64(len(id)) + 16 // member slot: string header + bytes
+		}
+	}
+	return n
+}
+
 // ObjectCount returns the number of objects with at least one version.
 func (s *Store) ObjectCount() int {
 	s.mu.RLock()
