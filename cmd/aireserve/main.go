@@ -27,12 +27,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"aire"
 	"aire/internal/harness"
+	"aire/internal/persist"
 	"aire/internal/transport"
+	"aire/internal/wal"
 )
 
 func main() {
@@ -43,6 +46,9 @@ func main() {
 	interval := flag.Duration("pump-interval", 100*time.Millisecond, "pacing of background pump passes")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry delay for unreachable peers (0 = park after max attempts)")
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "cap on the exponential retry delay")
+	waldir := flag.String("waldir", "aireserve-data", `durable state directory (per-service WAL + checkpoints); "" disables durability`)
+	fsync := flag.String("fsync", "every", "WAL fsync policy: every, interval, none")
+	cpEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often each service checkpoints and truncates its WAL")
 	flag.Parse()
 
 	cfg := aire.DefaultConfig()
@@ -60,15 +66,43 @@ func main() {
 	ctrlA := aire.NewServiceWithConfig(&harness.KVApp{ServiceName: "a", Mirror: "b"}, caller, cfg)
 	ctrlB := aire.NewServiceWithConfig(&harness.KVApp{ServiceName: "b"}, caller, cfg)
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// Recover durable state (and attach the WAL) before serving traffic: a
+	// restarted aireserve resumes with its repair logs, versioned stores,
+	// outgoing queues, and dedup inboxes intact, then checkpoints in the
+	// background so the WAL stays bounded.
+	if *waldir != "" {
+		pol, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			log.Fatalf("aire: %v", err)
+		}
+		for _, s := range []struct {
+			name string
+			ctrl *aire.Controller
+		}{{"a", ctrlA}, {"b", ctrlB}} {
+			dir := filepath.Join(*waldir, s.name)
+			w, err := persist.Recover(s.ctrl, dir, wal.Options{Policy: pol})
+			if err != nil {
+				log.Fatalf("aire: recover %s from %s: %v", s.name, dir, err)
+			}
+			name := s.name
+			stopCp := persist.StartCheckpointer(ctx, s.ctrl, w, dir, *cpEvery, func(err error) {
+				log.Printf("aire: checkpoint %s: %v", name, err)
+			})
+			defer stopCp()
+			defer w.Close()
+		}
+		fmt.Printf("aire: durable state in %s (fsync=%s, checkpoint every %v)\n", *waldir, pol, *cpEvery)
+	}
+
 	go func() {
 		log.Fatal(http.ListenAndServe(*addrA, transport.NewHTTPHandler(ctrlA)))
 	}()
 	go func() {
 		log.Fatal(http.ListenAndServe(*addrB, transport.NewHTTPHandler(ctrlB)))
 	}()
-
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
 	stopPumps, err := aire.StartPumps(ctx, ctrlA, ctrlB)
 	if err != nil {
 		log.Fatal(err)

@@ -18,12 +18,20 @@
 // seed prints its scheduler step count; replaying the seed replays the
 // schedule verbatim.
 //
+// The crash and fsynclag profiles are the crash-durability gate: their
+// services run on an on-disk write-ahead log (internal/wal) and every crash
+// discards in-memory state, recovering from checkpoint + WAL replay. Under
+// crash (fsync=every + power loss) zero committed state may be lost; run
+// with -fsync none to watch the unsynced tail genuinely disappear.
+//
 // CI runs a short fixed-seed matrix per fault profile (the `sim` job
-// serial, the `sched` job under -sched); longer local sweeps:
+// serial, the `sched` job under -sched, the `durability` job over the
+// crash/fsynclag profiles); longer local sweeps:
 //
 //	make sim SIM_PROFILE=mixed SIM_SEEDS=1:500
 //	make sim-sched SIM_PROFILE=mixed SIM_SEEDS=1:500
 //	go run ./cmd/airesim -profile crash -seeds 17 -v   # replay one failure
+//	go run ./cmd/airesim -profile crash -seeds 1:20 -fsync none
 //	go run ./cmd/airesim -profile stale -seeds 1:20 -nodedup
 //	go run ./cmd/airesim -sched -profile mixed -seeds 7 -v
 package main
@@ -48,6 +56,7 @@ func main() {
 		topology  = flag.String("topology", "", `"chain" or "fanout" (empty = profile default)`)
 		repairs   = flag.Int("repairs", 0, "attacked puts per run (0 = profile default)")
 		sched     = flag.Bool("sched", false, "run repair delivery on the background pump under the deterministic scheduler (internal/dsched): seeded task interleavings instead of the serial Flush loop")
+		fsync     = flag.String("fsync", "", `override the WAL fsync policy of WAL-backed profiles (crash, fsynclag): "every", "interval", "none" (empty = profile default; "none" demonstrates tail loss)`)
 		nodedup   = flag.Bool("nodedup", false, "disable the peer-side exactly-once dedup inbox (demonstrates the stale/dupcreate hazards)")
 		verbose   = flag.Bool("v", false, "print the fault schedule of failing seeds")
 		listProfs = flag.Bool("profiles", false, "list fault profiles and exit")
@@ -85,6 +94,13 @@ func main() {
 	}
 	base.DisableDedup = *nodedup
 	base.ScheduledPump = *sched
+	if *fsync != "" {
+		if !base.WAL {
+			fmt.Fprintf(os.Stderr, "airesim: -fsync only applies to WAL-backed profiles (crash, fsynclag); %s is not\n", *profile)
+			os.Exit(2)
+		}
+		base.WALFsync = *fsync
+	}
 
 	failed := 0
 	for _, seed := range seedList {
@@ -125,6 +141,9 @@ func main() {
 	schedFlag := ""
 	if *sched {
 		schedFlag = " -sched"
+	}
+	if *fsync != "" {
+		schedFlag += " -fsync " + *fsync
 	}
 	if failed > 0 {
 		fmt.Printf("airesim: %d/%d seeds failed (profile %s); rerun one with%s -seeds <seed> -v\n", failed, len(seedList), *profile, schedFlag)

@@ -270,6 +270,9 @@ type Controller struct {
 	smu   sync.Mutex
 	stats Stats
 
+	// walst mirrors committed mutations into a write-ahead log (wal.go).
+	walst walState
+
 	events eventHub
 
 	rmu            sync.Mutex
@@ -327,6 +330,10 @@ var _ transport.Handler = (*Controller)(nil)
 func (c *Controller) handleNormal(from string, req wire.Request) wire.Response {
 	c.Svc.Mu.Lock()
 	defer c.Svc.Mu.Unlock()
+	// The request's store writes and log append form one commit: they land
+	// in the WAL as a single entry, applied all-or-nothing on recovery.
+	c.walBegin("exec")
+	defer c.walCommit()
 	c.smu.Lock()
 	c.stats.Requests++
 	c.smu.Unlock()
@@ -637,13 +644,23 @@ func (c *Controller) handlePoll(from string, req wire.Request) wire.Response {
 }
 
 // applyActions runs local repair and queues the resulting repair messages.
+// The repair's store and log mutations commit as one WAL entry.
 func (c *Controller) applyActions(actions []warp.Action) (*warp.Result, error) {
 	c.Svc.Mu.Lock()
+	c.walBegin("repair")
 	res, err := c.Engine.Repair(actions)
+	c.walCommit()
 	c.Svc.Mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	c.finishRepair(actions, res)
+	return res, nil
+}
+
+// finishRepair does a completed local repair's unlocked bookkeeping:
+// counters, queuing the outbound messages, notifications.
+func (c *Controller) finishRepair(actions []warp.Action, res *warp.Result) {
 	c.smu.Lock()
 	c.stats.RepairsRun++
 	c.smu.Unlock()
@@ -660,7 +677,6 @@ func (c *Controller) applyActions(actions []warp.Action) (*warp.Result, error) {
 	}
 	c.emit(EvRepairApplied, fmt.Sprintf("%d action(s)", len(actions)),
 		"re-executed %d/%d requests, queued %d message(s)", res.RepairedRequests, res.TotalRequests, len(res.Msgs))
-	return res, nil
 }
 
 // ApplyLocal lets a local administrator (or application code) initiate
@@ -673,12 +689,10 @@ func (c *Controller) ApplyLocal(actions ...warp.Action) (*warp.Result, error) {
 // queuedAction is one batched incoming repair action plus the delivery
 // gate that admitted it: the gate's reservation is held until the batch
 // applies, so a redelivery in the meantime is answered retryably instead
-// of being acked for an apply that has not happened. Note the batch queue
-// itself is in-memory only: the 202 ack dequeues the sender's message, so
-// a crash before ProcessIncoming loses the accepted actions — a
-// pre-existing batch-mode durability window (see ROADMAP) that the dedup
-// inbox does not widen (the unapplied reservation is not persisted either)
-// but cannot close.
+// of being acked for an apply that has not happened. With a WAL attached,
+// acceptance is logged (batch-accept) and persisted snapshots carry the
+// pending batch, so the 202 ack no longer races a crash: accepted actions
+// are recovered and applied by the next ProcessIncoming.
 type queuedAction struct {
 	action warp.Action
 	gate   deliveryGate
@@ -686,10 +700,17 @@ type queuedAction struct {
 
 // enqueueIncoming stashes an admitted action in the incoming batch queue,
 // taking ownership of its delivery gate (the caller's commit/rollback
-// become no-ops).
+// become no-ops). The acceptance is WAL-logged inside the same critical
+// section, so accepted actions survive a crash before ProcessIncoming —
+// closing the batch-mode durability window the 202 ack used to open.
 func (c *Controller) enqueueIncoming(action warp.Action, gate *deliveryGate) {
 	c.inmu.Lock()
 	c.inbox = append(c.inbox, queuedAction{action: action, gate: *gate})
+	if c.walAttached() {
+		c.walEmit("batch", mustOp("batch-accept", batchAcceptOp{
+			Action: action, Origin: gate.origin, ID: gate.id, Gen: gate.gen, Once: gate.once,
+		}), false)
+	}
 	c.inmu.Unlock()
 	gate.active = false
 }
@@ -708,14 +729,27 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 		return nil, nil
 	}
 	actions := make([]warp.Action, len(queued))
+	drainIDs := make([]string, 0, len(queued))
 	for i, q := range queued {
 		actions[i] = q.action
+		if q.gate.id != "" {
+			drainIDs = append(drainIDs, q.gate.id)
+		}
 	}
-	res, err := c.applyActions(actions)
+	// The whole batch — the repair's mutations, the gates' inbox outcomes,
+	// and the drain of the accepted actions — commits as ONE WAL entry, so
+	// a recovered service has either the applied batch or the still-pending
+	// accepted actions, never half of each.
+	c.Svc.Mu.Lock()
+	c.walBegin("batch")
+	res, err := c.Engine.Repair(actions)
 	if err != nil {
 		for _, q := range queued {
-			q.gate.rollback()
+			q.gate.rollbackEmit(true)
 		}
+		c.walEmit("batch", mustOp("batch-drain", batchDrainOp{N: len(queued), IDs: drainIDs}), true)
+		c.walCommit()
+		c.Svc.Mu.Unlock()
 		return nil, err
 	}
 	created := 0
@@ -725,8 +759,12 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 			outcome = res.CreatedIDs[created]
 			created++
 		}
-		q.gate.commit(outcome)
+		q.gate.commitEmit(outcome, true)
 	}
+	c.walEmit("batch", mustOp("batch-drain", batchDrainOp{N: len(queued), IDs: drainIDs}), true)
+	c.walCommit()
+	c.Svc.Mu.Unlock()
+	c.finishRepair(actions, res)
 	return res, nil
 }
 
@@ -802,8 +840,13 @@ func (c *Controller) BlastRadius(reqID string) []string {
 // watermark so late duplicates stay deduplicated.
 func (c *Controller) GC(beforeTS int64) {
 	c.Svc.Mu.Lock()
+	c.walBegin("gc")
 	c.Svc.Log.GC(beforeTS)
 	c.Svc.Store.GC(beforeTS)
-	c.Svc.Mu.Unlock()
 	c.dedup.GC(beforeTS)
+	if c.walAttached() {
+		c.walEmit("gc", mustOp("in-gc", inGCOp{BeforeTS: beforeTS}), true)
+	}
+	c.walCommit()
+	c.Svc.Mu.Unlock()
 }

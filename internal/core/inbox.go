@@ -27,6 +27,9 @@ type deliveryGate struct {
 	origin string
 	id     string
 	gen    uint64
+	// once records the delivery's once-only classification (creates), so a
+	// WAL replay of the gate's outcome re-reserves it identically.
+	once bool
 }
 
 // gateDelivery classifies an arriving repair-plane carrier against the
@@ -95,24 +98,44 @@ func (c *Controller) gateDelivery(from string, req wire.Request) (deliveryGate, 
 		resp := wire.NewResponse(410, "aire: delivery predates the dedup horizon; repair permanently unavailable")
 		return deliveryGate{}, &resp
 	}
-	return deliveryGate{c: c, active: true, origin: origin, id: id, gen: gen}, nil
+	return deliveryGate{c: c, active: true, origin: origin, id: id, gen: gen, once: once}, nil
 }
 
 // commit records the applied delivery's outcome (for creates, the minted
 // request ID a future duplicate is re-acknowledged with). The entry is
 // stamped with the service's logical clock so Controller.GC ages it with
 // the repair log horizon.
-func (g deliveryGate) commit(outcome string) {
-	if g.active {
-		g.c.dedup.Commit(g.origin, g.id, g.gen, outcome, g.c.Svc.Clock.Now())
+func (g deliveryGate) commit(outcome string) { g.commitEmit(outcome, false) }
+
+// commitEmit is commit with control over WAL placement: join puts the
+// in-commit op inside the open commit batch (ProcessIncoming, which holds
+// Svc.Mu with a batch open); standalone commits append their own entry.
+func (g deliveryGate) commitEmit(outcome string, join bool) {
+	if !g.active {
+		return
+	}
+	ts := g.c.Svc.Clock.Now()
+	g.c.dedup.Commit(g.origin, g.id, g.gen, outcome, ts)
+	if g.c.walAttached() {
+		g.c.walEmit("inbox", mustOp("in-commit", inboxOp{
+			Origin: g.origin, ID: g.id, Gen: g.gen, Once: g.once, Outcome: outcome, TS: ts,
+		}), join)
 	}
 }
 
 // rollback releases the reservation of a delivery whose apply failed, so a
 // later retry of the same delivery is classified Apply again.
-func (g deliveryGate) rollback() {
-	if g.active {
-		g.c.dedup.Rollback(g.origin, g.id, g.gen)
+func (g deliveryGate) rollback() { g.rollbackEmit(false) }
+
+func (g deliveryGate) rollbackEmit(join bool) {
+	if !g.active {
+		return
+	}
+	g.c.dedup.Rollback(g.origin, g.id, g.gen)
+	if g.c.walAttached() {
+		g.c.walEmit("inbox", mustOp("in-rollback", inboxOp{
+			Origin: g.origin, ID: g.id, Gen: g.gen, Once: g.once,
+		}), join)
 	}
 }
 

@@ -210,6 +210,13 @@ func (c *Controller) claimBatches(limit int) []*claimedBatch {
 		cl.snap = append(cl.snap, *p)
 		cl.gens = append(cl.gens, p.Gen)
 	}
+	for _, cl := range order {
+		ids := make([]string, len(cl.ptrs))
+		for i, p := range cl.ptrs {
+			ids[i] = p.MsgID
+		}
+		c.walEmitClaimLocked(cl.peer, ids)
+	}
 	return order
 }
 
@@ -287,6 +294,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 			if fresh {
 				p.queued = false
 				c.queueShrunkLocked()
+				c.walEmitQDelLocked(p.MsgID)
 				removed++
 				delivered++
 			} else if live {
@@ -296,6 +304,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 			if fresh {
 				p.queued = false
 				c.queueShrunkLocked()
+				c.walEmitQDelLocked(p.MsgID)
 				removed++
 			} else if live {
 				p.inflight = false
@@ -304,6 +313,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 			if live {
 				if fresh {
 					p.Held = true
+					c.walEmitQSetLocked(p)
 				}
 				p.inflight = false
 			}
@@ -317,6 +327,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 						p.Held = true
 						heldAttempts = p.Attempts
 					}
+					c.walEmitQSetLocked(p)
 				}
 				p.inflight = false
 			}
@@ -397,6 +408,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 				p.inflight = false
 				if p.Gen == cl.gens[j] {
 					p.LastErr = failErr
+					c.walEmitQSetLocked(p)
 				}
 			}
 			if ps.failures >= c.Cfg.MaxAttempts && !ps.notified {
@@ -428,6 +440,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 						Detail: fmt.Sprintf("peer unreachable after %d attempts; message held for Retry: %s", p.Attempts, failErr),
 					})
 				}
+				c.walEmitQSetLocked(p)
 			}
 		}
 		ps.inflight = false

@@ -33,6 +33,7 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 					p.Held = false
 					p.Attempts = 0
 					p.Gen++ // supersede any delivery of the old content in flight
+					c.walEmitQSetLocked(p)
 					replaced = true
 					break
 				}
@@ -50,6 +51,7 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 		}
 		c.queue = append(c.queue, p)
 		c.qlive++
+		c.walEmitQSetLocked(p)
 		c.emit(EvMsgQueued, p.MsgID, "%s -> %s (req=%s resp=%s)", m.Kind, m.Target, m.RemoteReqID, m.RespID)
 	}
 	c.wakePump()
@@ -139,6 +141,7 @@ func (c *Controller) Retry(msgID string, updatedHeaders map[string]string) error
 		p.Held = false
 		p.Attempts = 0
 		p.LastErr = ""
+		c.walEmitQSetLocked(p)
 		c.wakePump()
 		return nil
 	}
@@ -155,6 +158,7 @@ func (c *Controller) Drop(msgID string) error {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			p.queued = false
 			c.queueShrunkLocked()
+			c.walEmitQDelLocked(p.MsgID)
 			// Dropping a peer's last message leaves no delivery pass to
 			// clean up its backoff bookkeeping — do it here.
 			if peer := peerKey(p.Msg); !c.peerHasQueuedLocked(peer) {

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"aire/internal/simnet"
 	"aire/internal/transport"
 	"aire/internal/vdb"
+	"aire/internal/wal"
 	"aire/internal/warp"
 	"aire/internal/web"
 	"aire/internal/wire"
@@ -102,6 +105,29 @@ type SimConfig struct {
 	// service: its controller is torn down and rebuilt from an
 	// internal/persist snapshot mid-repair.
 	CrashRate float64
+	// WAL backs every attacked-world service with an on-disk write-ahead
+	// log (internal/wal). Crash events then discard the controller AND its
+	// in-memory state, rebuilding it from checkpoint + WAL replay
+	// (persist.Recover) instead of the in-memory snapshot handoff. Every
+	// other crash of a given service also writes a checkpoint and truncates
+	// the replayed segments, so later recoveries exercise the
+	// snapshot-plus-tail path, not just pure replay.
+	WAL bool
+	// WALFsync is the fsync policy ("every", "interval", "none"; default
+	// "every"). Under "every" a power-loss crash loses no committed state;
+	// under "none" the whole unsynced tail is lost — the fsync-lag
+	// durability tests assert both.
+	WALFsync string
+	// WALInterval is the commit count between fsyncs under "interval".
+	WALInterval int
+	// WALPowerLoss makes each crash a power failure: the WAL's unsynced
+	// tail is truncated (wal.Writer.CrashLose) before recovery. Without it
+	// the crash is a process kill — buffered appends survive the way the
+	// OS page cache outlives a dead process.
+	WALPowerLoss bool
+	// WALDir overrides the WAL base directory (default: a fresh temp
+	// directory, removed when the run ends).
+	WALDir string
 	// MaxRounds bounds the post-workload quiesce loop.
 	MaxRounds int
 }
@@ -289,6 +315,64 @@ type simWorld struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	pumpCancel map[string]context.CancelFunc
+
+	// WAL mode (SimConfig.WAL; attacked world only).
+	walBase      string
+	walOwned     bool // we created walBase and must remove it
+	walOpts      wal.Options
+	walPowerLoss bool
+	walDirs      map[string]string
+	walWriters   map[string]*wal.Writer
+	walCrashes   map[string]int
+}
+
+// enableWAL puts every service of the (already built) world on an on-disk
+// write-ahead log: each controller gets a WAL directory and an attached
+// writer via persist.Recover (a no-op recovery on the empty directory).
+func (w *simWorld) enableWAL(cfg SimConfig) error {
+	base := cfg.WALDir
+	if base == "" {
+		d, err := os.MkdirTemp("", "airesim-wal-")
+		if err != nil {
+			return fmt.Errorf("sim: wal dir: %w", err)
+		}
+		base = d
+		w.walOwned = true
+	}
+	w.walBase = base
+	pol := wal.FsyncEveryCommit
+	if cfg.WALFsync != "" {
+		p, err := wal.ParsePolicy(cfg.WALFsync)
+		if err != nil {
+			return err
+		}
+		pol = p
+	}
+	w.walOpts = wal.Options{Policy: pol, Interval: cfg.WALInterval}
+	w.walPowerLoss = cfg.WALPowerLoss
+	w.walDirs = map[string]string{}
+	w.walWriters = map[string]*wal.Writer{}
+	w.walCrashes = map[string]int{}
+	for _, name := range w.order {
+		dir := filepath.Join(base, name)
+		w.walDirs[name] = dir
+		wr, err := persist.Recover(w.ctrls[name], dir, w.walOpts)
+		if err != nil {
+			return fmt.Errorf("sim: wal init %s: %w", name, err)
+		}
+		w.walWriters[name] = wr
+	}
+	return nil
+}
+
+// closeWAL closes every writer and removes the temp directory (if owned).
+func (w *simWorld) closeWAL() {
+	for _, wr := range w.walWriters {
+		wr.Close()
+	}
+	if w.walOwned && w.walBase != "" {
+		os.RemoveAll(w.walBase)
+	}
 }
 
 func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
@@ -385,20 +469,53 @@ func (w *simWorld) stopPump(name string) {
 	}
 }
 
-// crashRestart simulates a crash: the controller is discarded and rebuilt
-// from a persist snapshot, resuming delivery of its outgoing queue. Under
-// ScheduledPump the pump is torn down before the snapshot and restarted on
-// the rebuilt controller — the crash point sits between delivery passes
-// (crash mid-pass is a future fault class; the snapshot layer is
-// write-ahead either way).
+// crashRestart simulates a crash. Without WAL mode the controller is
+// discarded and rebuilt from a persist snapshot of its live state (the
+// legacy handoff, which by construction cannot lose anything). In WAL mode
+// the live state is genuinely thrown away: the crash is a power failure
+// (the WAL's unsynced tail is truncated) or a process kill (buffered
+// appends survive), and the fresh controller is rebuilt purely from disk —
+// latest checkpoint plus WAL replay. Under ScheduledPump the pump is torn
+// down first and restarted on the rebuilt controller, so the crash point
+// sits between delivery passes.
 func (w *simWorld) crashRestart(name string) error {
 	if w.sched != nil {
 		w.stopPump(name)
 	}
-	snap := persist.Capture(w.ctrls[name])
-	fresh := w.addController(name)
-	if err := persist.Apply(fresh, snap); err != nil {
-		return fmt.Errorf("sim: restore %s: %w", name, err)
+	if w.walWriters != nil {
+		if err := w.ctrls[name].WALError(); err != nil {
+			return fmt.Errorf("sim: %s had a wal append error before its crash: %w", name, err)
+		}
+		old := w.ctrls[name].DetachWAL()
+		if w.walPowerLoss {
+			if _, err := old.CrashLose(); err != nil {
+				return fmt.Errorf("sim: power-loss crash %s: %w", name, err)
+			}
+		} else if err := old.Close(); err != nil {
+			return fmt.Errorf("sim: crash %s: %w", name, err)
+		}
+		fresh := w.addController(name)
+		wr, err := persist.Recover(fresh, w.walDirs[name], w.walOpts)
+		if err != nil {
+			return fmt.Errorf("sim: wal recovery %s: %w", name, err)
+		}
+		w.walWriters[name] = wr
+		w.walCrashes[name]++
+		// Every other crash of a service, the recovered incarnation
+		// compacts: checkpoint, truncate replayed segments, delete the
+		// superseded checkpoint — so its NEXT crash recovers from
+		// snapshot + tail rather than pure replay.
+		if w.walCrashes[name]%2 == 0 {
+			if _, err := persist.CheckpointAndTruncate(fresh, wr, w.walDirs[name]); err != nil {
+				return fmt.Errorf("sim: checkpoint %s: %w", name, err)
+			}
+		}
+	} else {
+		snap := persist.Capture(w.ctrls[name])
+		fresh := w.addController(name)
+		if err := persist.Apply(fresh, snap); err != nil {
+			return fmt.Errorf("sim: restore %s: %w", name, err)
+		}
 	}
 	if w.sched != nil {
 		return w.startPump(name)
@@ -798,6 +915,12 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 
 	res := &SimResult{Seed: cfg.Seed, Ops: cfg.Ops}
 	w := buildSimWorld(cfg, true)
+	if cfg.WAL {
+		if err := w.enableWAL(cfg); err != nil {
+			return nil, err
+		}
+		defer w.closeWAL()
+	}
 	ids := map[int]string{}
 	cancelled := map[int]bool{}
 	replaced := map[int]string{}
@@ -838,6 +961,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 	for _, h := range w.heldMessages() {
 		res.Failures = append(res.Failures, "message parked (Held): "+h)
+	}
+	// A WAL append failure is a silent-durability-loss hazard: surface it as
+	// an oracle failure even if the in-memory state happens to converge.
+	for _, name := range w.order {
+		if err := w.ctrls[name].WALError(); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: wal append error: %v", name, err))
+		}
 	}
 	if cfg.inspect != nil {
 		cfg.inspect(w)
@@ -913,7 +1043,21 @@ var simProfiles = map[string]SimConfig{
 	"duplicate": {Services: 3, Topology: "chain", Faults: simnet.FaultPlan{Duplicate: 0.3, DropResponse: 0.2}},
 	"delay":     {Services: 3, Topology: "chain", Faults: simnet.FaultPlan{Delay: 0.35}},
 	"partition": {Services: 4, Topology: "fanout", PartitionRate: 0.2},
-	"crash":     {Services: 3, Topology: "chain", CrashRate: 0.12},
+	// crash: power-loss crash-restarts against the on-disk WAL with
+	// fsync-every-commit — the durability gate. Recovery is checkpoint +
+	// WAL replay of genuinely persisted bytes (the in-memory state is
+	// discarded, and CrashLose drops anything unsynced); with fsync=every
+	// nothing is unsynced, so zero committed state may be lost. Run with
+	// -fsync none to watch the tail genuinely disappear.
+	"crash": {Services: 3, Topology: "chain", CrashRate: 0.12,
+		WAL: true, WALFsync: "every", WALPowerLoss: true},
+	// fsynclag: deferred fsync (every 4th commit) under process crashes —
+	// the fsync-lag fault class. A process kill keeps buffered appends (the
+	// page cache outlives the process), so recovery still loses nothing;
+	// only power loss (the crash profile) interacts with the sync schedule.
+	"fsynclag": {Services: 3, Topology: "chain", CrashRate: 0.15,
+		WAL: true, WALFsync: "interval", WALInterval: 4,
+		Faults: simnet.FaultPlan{Drop: 0.1, DropResponse: 0.1}},
 	"mixed": {Services: 4, Topology: "fanout", PartitionRate: 0.08, CrashRate: 0.05,
 		Faults: simnet.FaultPlan{Drop: 0.15, DropResponse: 0.1, Duplicate: 0.1, Delay: 0.15}},
 	// stale: repair-of-repair workloads under multi-tick delay faults put
@@ -935,7 +1079,7 @@ var simProfiles = map[string]SimConfig{
 
 // SimProfileNames lists the named fault profiles in a fixed order.
 func SimProfileNames() []string {
-	return []string{"drop", "duplicate", "delay", "partition", "crash", "mixed", "stale", "dupcreate"}
+	return []string{"drop", "duplicate", "delay", "partition", "crash", "fsynclag", "mixed", "stale", "dupcreate"}
 }
 
 // SimProfileConfig returns the SimConfig for a named fault profile; the

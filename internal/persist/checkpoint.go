@@ -1,0 +1,208 @@
+// Checkpointing compacts the write-ahead log (internal/wal): a checkpoint
+// file pairs a full Snapshot with the WAL sequence it covers, and recovery
+// is "load latest checkpoint, then replay the WAL tail". Checkpoints are
+// incremental in the storage sense — each one lets wal.Truncate delete the
+// segments it covers, so the on-disk footprint stays proportional to the
+// activity since the last checkpoint, not to history.
+//
+// The covered sequence is read from the writer BEFORE the snapshot is
+// captured. Mutations racing the capture may therefore land both in the
+// snapshot and in the replayed tail; every replay operation is idempotent
+// against state the snapshot already contains (see core.ApplyWALEntry), so
+// the overlap is harmless. Reading the sequence after the capture would
+// have the opposite, fatal property: a commit between the capture and the
+// read would be neither in the snapshot nor in the replayed tail.
+package persist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"aire/internal/core"
+	"aire/internal/wal"
+)
+
+// Checkpoint is one on-disk checkpoint: a snapshot plus the WAL sequence up
+// to which the snapshot is guaranteed complete.
+type Checkpoint struct {
+	// UpToSeq is the last WAL sequence certainly reflected in Snap; recovery
+	// replays the WAL from UpToSeq+1 (tolerating overlap).
+	UpToSeq uint64 `json:"up_to_seq"`
+	// Snap is the full state snapshot.
+	Snap *Snapshot `json:"snapshot"`
+}
+
+// CheckpointName returns the file name for a checkpoint covering upToSeq.
+// The zero-padded sequence makes lexical order equal coverage order.
+func CheckpointName(upToSeq uint64) string {
+	return fmt.Sprintf("checkpoint-%020d.json", upToSeq)
+}
+
+func checkpointSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".json"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// checkpointFiles lists checkpoint files in dir, oldest first.
+func checkpointFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if _, ok := checkpointSeq(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LatestCheckpoint loads the newest checkpoint in dir, or (nil, nil) when
+// the directory holds none.
+func LatestCheckpoint(dir string) (*Checkpoint, error) {
+	names, err := checkpointFiles(dir)
+	if err != nil || len(names) == 0 {
+		return nil, err
+	}
+	path := filepath.Join(dir, names[len(names)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("persist: decode checkpoint %s: %w", path, err)
+	}
+	if cp.Snap == nil {
+		return nil, fmt.Errorf("persist: checkpoint %s has no snapshot", path)
+	}
+	return &cp, nil
+}
+
+// WriteCheckpoint captures c and writes a checkpoint into dir (atomically,
+// via a temporary file). w must be the WAL writer attached to c; its
+// sequence is read before the capture so the checkpoint never claims to
+// cover a commit the snapshot might miss. Returns the covered sequence.
+func WriteCheckpoint(c *core.Controller, w *wal.Writer, dir string) (uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	upTo := w.Seq()
+	cp := Checkpoint{UpToSeq: upTo, Snap: Capture(c)}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return 0, err
+	}
+	path := filepath.Join(dir, CheckpointName(upTo))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return upTo, nil
+}
+
+// CheckpointAndTruncate writes a checkpoint and then compacts: WAL segments
+// wholly covered by it are deleted (wal.Truncate never touches the active
+// segment or any entry past UpToSeq), and older checkpoint files are
+// removed. Returns the covered sequence.
+func CheckpointAndTruncate(c *core.Controller, w *wal.Writer, dir string) (uint64, error) {
+	upTo, err := WriteCheckpoint(c, w, dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := wal.Truncate(dir, upTo); err != nil {
+		return upTo, err
+	}
+	names, err := checkpointFiles(dir)
+	if err != nil {
+		return upTo, err
+	}
+	for _, name := range names {
+		if seq, _ := checkpointSeq(name); seq < upTo {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return upTo, err
+			}
+		}
+	}
+	return upTo, nil
+}
+
+// Recover rebuilds a freshly constructed controller from dir: it loads the
+// latest checkpoint (if any), replays the WAL tail from the checkpoint's
+// covered sequence, and opens the WAL for appending, attaching it to the
+// controller. A torn final record — a commit interrupted mid-write — is
+// tolerated and truncated; any other corruption is returned loudly (the
+// error wraps wal.ErrCorrupt) rather than silently dropping committed
+// state. Call before serving traffic.
+func Recover(c *core.Controller, dir string, opts wal.Options) (*wal.Writer, error) {
+	cp, err := LatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	var from uint64
+	if cp != nil {
+		if err := Apply(c, cp.Snap); err != nil {
+			return nil, err
+		}
+		from = cp.UpToSeq
+	}
+	if _, _, err := wal.Replay(dir, from, c.ApplyWALEntry); err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.AttachWAL(w)
+	return w, nil
+}
+
+// StartCheckpointer runs CheckpointAndTruncate every interval until ctx is
+// cancelled, reporting failures to onErr (which may be nil). It returns a
+// stop function that halts the loop and waits for any in-progress
+// checkpoint to finish.
+func StartCheckpointer(ctx context.Context, c *core.Controller, w *wal.Writer, dir string, interval time.Duration, onErr func(error)) (stop func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := CheckpointAndTruncate(c, w, dir); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

@@ -41,27 +41,30 @@ type Snapshot struct {
 	// restoring it keeps a crash-restarted service from re-applying a
 	// repair delivery it already applied when the sender redelivers.
 	Inbox []deliver.OriginDump `json:"inbox,omitempty"`
+	// Batch is the accepted-but-unapplied incoming repair batch
+	// (Config.BatchIncoming), with delivery identities so restore can
+	// re-reserve each delivery in the dedup inbox.
+	Batch []core.BatchedAction `json:"batch,omitempty"`
 }
 
-// Capture snapshots a controller. The caller should quiesce the service
-// first (no in-flight requests).
+// Capture snapshots a controller. The cut is atomic — the repair log, the
+// store, the outgoing queue, the dedup inbox, and the accepted incoming
+// batch are all read in one critical section (core.ExportAtomic) that also
+// holds the pump's claim/reconcile lock — so Capture is safe with the
+// background pump running: it sees the queue either before or after any
+// delivery's reconcile, never between a claim and its ack.
 func Capture(c *core.Controller) *Snapshot {
-	c.Svc.Mu.Lock()
-	defer c.Svc.Mu.Unlock()
-	recs := c.Svc.Log.All()
-	cp := make([]*repairlog.Record, len(recs))
-	for i, r := range recs {
-		cp[i] = r.Clone()
-	}
+	ex := c.ExportAtomic()
 	return &Snapshot{
 		Service:   c.Svc.Name,
-		ClockNow:  c.Svc.Clock.Now(),
-		IDCounter: c.Svc.IDs.Counter(),
-		GCBefore:  c.Svc.Log.GCBefore(),
-		Records:   cp,
-		Objects:   c.Svc.Store.Dump(),
-		Queue:     c.ExportQueue(),
-		Inbox:     c.ExportInbox(),
+		ClockNow:  ex.ClockNow,
+		IDCounter: ex.IDCounter,
+		GCBefore:  ex.GCBefore,
+		Records:   ex.Records,
+		Objects:   ex.Objects,
+		Queue:     ex.Queue,
+		Inbox:     ex.Inbox,
+		Batch:     ex.Batch,
 	}
 }
 
@@ -92,6 +95,7 @@ func Apply(c *core.Controller, s *Snapshot) error {
 	c.Svc.IDs.SetCounter(s.IDCounter)
 	c.ImportInbox(s.Inbox)
 	c.ImportQueue(s.Queue)
+	c.ImportBatch(s.Batch)
 	return nil
 }
 

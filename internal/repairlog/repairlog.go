@@ -215,6 +215,9 @@ type Log struct {
 	indexed  map[*Record]*indexedState
 	totalOps int // sum of len(Reads)+len(Scans)+len(Writes) over all records
 
+	// sink observes every mutation for write-ahead logging (see wal.go).
+	sink func(Change)
+
 	compress    bool
 	sampleEvery int64
 	rawBytes    int64 // cumulative raw JSON size of all records
@@ -271,6 +274,9 @@ func (l *Log) Append(r *Record) error {
 	l.order[i] = r
 	l.indexLocked(r)
 	l.accountSize(r)
+	if l.sink != nil {
+		l.emitLocked(Change{Kind: "append", Record: r.Clone()})
+	}
 	return nil
 }
 
@@ -486,6 +492,9 @@ func (l *Log) Update(id string, fn func(*Record)) error {
 	l.unindexLocked(r)
 	fn(r)
 	l.indexLocked(r)
+	if l.sink != nil {
+		l.emitLocked(Change{Kind: "update", Record: r.Clone()})
+	}
 	return nil
 }
 
@@ -728,6 +737,12 @@ func (l *Log) TSOf(id string) (int64, bool) {
 func (l *Log) GC(beforeTS int64) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	n := l.gcLocked(beforeTS)
+	l.emitLocked(Change{Kind: "gc", BeforeTS: beforeTS})
+	return n
+}
+
+func (l *Log) gcLocked(beforeTS int64) int {
 	if beforeTS > l.gcBefore {
 		l.gcBefore = beforeTS
 	}

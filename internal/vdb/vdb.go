@@ -146,6 +146,8 @@ type Store struct {
 	versionBytes int64 // total encoded size of versions ever written (Table 4 "DB" accounting)
 	gcBefore     int64
 	latestOnly   bool
+	// sink observes every mutation for write-ahead logging (see wal.go).
+	sink func(Change)
 }
 
 // NewStore returns an empty versioned store.
@@ -266,6 +268,7 @@ func (s *Store) PutImmutable(k Key, fields map[string]string, ts int64, reqID st
 	if ts > idx.lastTS {
 		idx.lastTS = ts
 	}
+	s.emitPutLocked(k, nv)
 	return nil
 }
 
@@ -292,6 +295,7 @@ func (s *Store) put(k Key, fields map[string]string, ts int64, reqID string, del
 			vs[len(vs)-1] = nv
 			s.versionBytes += approxSize(k, fields)
 			s.finishPutLocked(k, nv, oldContrib)
+			s.emitPutLocked(k, nv)
 			return nil
 		}
 		if ts == last.TS {
@@ -303,6 +307,7 @@ func (s *Store) put(k Key, fields map[string]string, ts int64, reqID string, del
 	s.objects[k] = append(vs, nv)
 	s.versionBytes += approxSize(k, fields)
 	s.finishPutLocked(k, nv, oldContrib)
+	s.emitPutLocked(k, nv)
 	return nil
 }
 
@@ -495,6 +500,14 @@ func (s *Store) HasVersion(k Key, ts int64, reqID string) bool {
 func (s *Store) Rollback(k Key, ts int64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	removed := s.rollbackLocked(k, ts)
+	if removed > 0 {
+		s.emitLocked(Change{Kind: "rollback", Key: k, TS: ts})
+	}
+	return removed
+}
+
+func (s *Store) rollbackLocked(k Key, ts int64) int {
 	vs := s.objects[k]
 	if len(vs) == 0 {
 		return 0
@@ -706,6 +719,11 @@ func (s *Store) ObjectCount() int {
 func (s *Store) GC(beforeTS int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gcLocked(beforeTS)
+	s.emitLocked(Change{Kind: "gc", TS: beforeTS})
+}
+
+func (s *Store) gcLocked(beforeTS int64) {
 	if beforeTS > s.gcBefore {
 		s.gcBefore = beforeTS
 	}
