@@ -263,6 +263,7 @@ type Controller struct {
 
 	inmu  sync.Mutex
 	inbox []queuedAction
+	inseq uint64 // accept sequence of the newest inbox entry ever; guarded by inmu
 
 	nmu           sync.Mutex
 	notifications []Notification
@@ -328,6 +329,10 @@ var _ transport.Handler = (*Controller)(nil)
 // handleNormal executes one live request: assign identifiers, run the
 // handler with full interception, commit the record and effects.
 func (c *Controller) handleNormal(from string, req wire.Request) wire.Response {
+	// Deferred LIFO: walCommit (writes the entry, under the lock), then
+	// Svc.Mu unlocks, then walSettle runs the owed fsync outside every
+	// lock — still before the response reaches the client.
+	defer c.walSettle()
 	c.Svc.Mu.Lock()
 	defer c.Svc.Mu.Unlock()
 	// The request's store writes and log append form one commit: they land
@@ -651,6 +656,7 @@ func (c *Controller) applyActions(actions []warp.Action) (*warp.Result, error) {
 	res, err := c.Engine.Repair(actions)
 	c.walCommit()
 	c.Svc.Mu.Unlock()
+	c.walSettle()
 	if err != nil {
 		return nil, err
 	}
@@ -694,6 +700,9 @@ func (c *Controller) ApplyLocal(actions ...warp.Action) (*warp.Result, error) {
 // pending batch, so the 202 ack no longer races a crash: accepted actions
 // are recovered and applied by the next ProcessIncoming.
 type queuedAction struct {
+	// seq is the accept sequence (Controller.inseq at admission): the
+	// entry's durable identity, matched by replayed batch-drain watermarks.
+	seq    uint64
 	action warp.Action
 	gate   deliveryGate
 }
@@ -705,10 +714,12 @@ type queuedAction struct {
 // closing the batch-mode durability window the 202 ack used to open.
 func (c *Controller) enqueueIncoming(action warp.Action, gate *deliveryGate) {
 	c.inmu.Lock()
-	c.inbox = append(c.inbox, queuedAction{action: action, gate: *gate})
+	c.inseq++
+	seq := c.inseq
+	c.inbox = append(c.inbox, queuedAction{seq: seq, action: action, gate: *gate})
 	if c.walAttached() {
 		c.walEmit("batch", mustOp("batch-accept", batchAcceptOp{
-			Action: action, Origin: gate.origin, ID: gate.id, Gen: gate.gen, Once: gate.once,
+			Seq: seq, Action: action, Origin: gate.origin, ID: gate.id, Gen: gate.gen, Once: gate.once,
 		}), false)
 	}
 	c.inmu.Unlock()
@@ -736,6 +747,10 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 			drainIDs = append(drainIDs, q.gate.id)
 		}
 	}
+	// Accept seqs ascend in inbox order, so the last entry's seq is the
+	// drain watermark: replay removes entries at or below it and nothing
+	// accepted afterwards.
+	drainUpTo := queued[len(queued)-1].seq
 	// The whole batch — the repair's mutations, the gates' inbox outcomes,
 	// and the drain of the accepted actions — commits as ONE WAL entry, so
 	// a recovered service has either the applied batch or the still-pending
@@ -747,9 +762,10 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 		for _, q := range queued {
 			q.gate.rollbackEmit(true)
 		}
-		c.walEmit("batch", mustOp("batch-drain", batchDrainOp{N: len(queued), IDs: drainIDs}), true)
+		c.walEmit("batch", mustOp("batch-drain", batchDrainOp{UpToSeq: drainUpTo, N: len(queued), IDs: drainIDs}), true)
 		c.walCommit()
 		c.Svc.Mu.Unlock()
+		c.walSettle()
 		return nil, err
 	}
 	created := 0
@@ -761,9 +777,10 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 		}
 		q.gate.commitEmit(outcome, true)
 	}
-	c.walEmit("batch", mustOp("batch-drain", batchDrainOp{N: len(queued), IDs: drainIDs}), true)
+	c.walEmit("batch", mustOp("batch-drain", batchDrainOp{UpToSeq: drainUpTo, N: len(queued), IDs: drainIDs}), true)
 	c.walCommit()
 	c.Svc.Mu.Unlock()
+	c.walSettle()
 	c.finishRepair(actions, res)
 	return res, nil
 }
@@ -849,4 +866,5 @@ func (c *Controller) GC(beforeTS int64) {
 	}
 	c.walCommit()
 	c.Svc.Mu.Unlock()
+	c.walSettle()
 }

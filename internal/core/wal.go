@@ -35,6 +35,12 @@ type walState struct {
 	batchOpen bool
 	batchKind string
 	batch     []wal.Op
+
+	// pendingSync is the highest batch-commit seq still owing an fsync
+	// (high-water mark; never reset — wal.SyncTo is a no-op once the seq is
+	// durable). walCommit raises it under Svc.Mu; walSettle flushes it
+	// after the lock is released.
+	pendingSync uint64
 }
 
 // AttachWAL starts mirroring every committed mutation into w. Attach after
@@ -42,6 +48,7 @@ type walState struct {
 func (c *Controller) AttachWAL(w *wal.Writer) {
 	c.walst.mu.Lock()
 	c.walst.w = w
+	c.walst.pendingSync = 0 // seqs are writer-relative; drop any stale mark
 	c.walst.mu.Unlock()
 	c.Svc.Store.SetChangeSink(c.walVDBSink)
 	c.Svc.Log.SetChangeSink(c.walLogSink)
@@ -86,7 +93,11 @@ func (c *Controller) walBegin(kind string) {
 }
 
 // walCommit closes the batch and appends it as one entry. Caller still
-// holds Svc.Mu. Empty batches append nothing.
+// holds Svc.Mu. Empty batches append nothing. The entry is written but NOT
+// flushed here: the fsync the policy may owe is deferred to walSettle, which
+// the commit path runs after releasing Svc.Mu — so a disk flush never
+// serializes request execution, and concurrent commits share one group
+// fsync instead of queueing a flush each behind the service lock.
 func (c *Controller) walCommit() {
 	c.walst.mu.Lock()
 	if !c.walst.batchOpen {
@@ -97,9 +108,43 @@ func (c *Controller) walCommit() {
 	kind := c.walst.batchKind
 	ops := append([]wal.Op(nil), c.walst.batch...)
 	c.walst.batch = c.walst.batch[:0]
+	w := c.walst.w
 	c.walst.mu.Unlock()
-	if len(ops) > 0 {
-		c.walAppend(kind, ops)
+	if w == nil || len(ops) == 0 {
+		return
+	}
+	seq, syncNeeded, err := w.AppendDeferred(kind, c.Svc.Clock.Now(), c.Svc.IDs.Counter(), ops)
+	c.walst.mu.Lock()
+	if err != nil {
+		if c.walst.err == nil {
+			c.walst.err = err
+		}
+	} else if syncNeeded && seq > c.walst.pendingSync {
+		c.walst.pendingSync = seq
+	}
+	c.walst.mu.Unlock()
+}
+
+// walSettle makes the caller's last walCommit durable; run it after
+// releasing Svc.Mu and before replying to the client. pendingSync is a
+// high-water mark, so a settle whose commit another settle's fsync already
+// covered returns without touching the disk (wal.Writer.SyncTo blocks until
+// the covering flush has actually completed — a commit is never
+// acknowledged on the strength of an fsync still in flight).
+func (c *Controller) walSettle() {
+	c.walst.mu.Lock()
+	w := c.walst.w
+	seq := c.walst.pendingSync
+	c.walst.mu.Unlock()
+	if w == nil || seq == 0 {
+		return
+	}
+	if err := w.SyncTo(seq); err != nil {
+		c.walst.mu.Lock()
+		if c.walst.err == nil {
+			c.walst.err = err
+		}
+		c.walst.mu.Unlock()
 	}
 }
 
@@ -189,6 +234,10 @@ type inGCOp struct {
 }
 
 type batchAcceptOp struct {
+	// Seq is the action's accept sequence (Controller.inseq): a monotone
+	// per-controller counter that names inbox entries exactly, including
+	// gate-less ones, so a replayed drain can match what it drained.
+	Seq    uint64      `json:"seq"`
 	Action warp.Action `json:"action"`
 	Origin string      `json:"origin,omitempty"`
 	ID     string      `json:"id,omitempty"`
@@ -197,8 +246,13 @@ type batchAcceptOp struct {
 }
 
 type batchDrainOp struct {
-	N   int      `json:"n"`
-	IDs []string `json:"ids,omitempty"`
+	// UpToSeq is the drain watermark: every inbox entry with accept seq at
+	// or below it was applied by this commit. Replay removes exactly those
+	// entries — never later accepts that a racing checkpoint snapshot may
+	// already contain. N and IDs are forensic.
+	UpToSeq uint64   `json:"up_to_seq"`
+	N       int      `json:"n"`
+	IDs     []string `json:"ids,omitempty"`
 }
 
 // walEmitQSetLocked logs a queue entry's current state. Caller holds qmu.
@@ -317,19 +371,26 @@ func (c *Controller) applyWALOp(op wal.Op) error {
 		if err := json.Unmarshal(op.Data, &o); err != nil {
 			return err
 		}
-		c.walBatchAccept(BatchedAction{Action: o.Action, Origin: o.Origin, ID: o.ID, Gen: o.Gen, Once: o.Once})
+		c.walBatchAccept(BatchedAction{Seq: o.Seq, Action: o.Action, Origin: o.Origin, ID: o.ID, Gen: o.Gen, Once: o.Once})
 		return nil
 	case "batch-drain":
 		var o batchDrainOp
 		if err := json.Unmarshal(op.Data, &o); err != nil {
 			return err
 		}
+		// Drain by watermark, not by count: in the checkpoint-overlap
+		// window the restored inbox may hold only entries accepted AFTER
+		// this drain (the drained ones never made it into the snapshot),
+		// and dropping a prefix by count would discard those survivors
+		// while their dedup reservations stay stuck in-flight.
 		c.inmu.Lock()
-		n := o.N
-		if n > len(c.inbox) {
-			n = len(c.inbox)
+		kept := c.inbox[:0]
+		for _, q := range c.inbox {
+			if q.seq > o.UpToSeq {
+				kept = append(kept, q)
+			}
 		}
-		c.inbox = append([]queuedAction(nil), c.inbox[n:]...)
+		c.inbox = kept
 		c.inmu.Unlock()
 		return nil
 	}
@@ -398,7 +459,15 @@ func (c *Controller) walBatchAccept(b BatchedAction) {
 		}
 	}
 	c.inmu.Lock()
-	c.inbox = append(c.inbox, queuedAction{action: b.Action, gate: g})
+	seq := b.Seq
+	if seq == 0 {
+		// Snapshot written before accept seqs existed: assign a fresh one.
+		c.inseq++
+		seq = c.inseq
+	} else if seq > c.inseq {
+		c.inseq = seq
+	}
+	c.inbox = append(c.inbox, queuedAction{seq: seq, action: b.Action, gate: g})
 	c.inmu.Unlock()
 }
 
@@ -408,6 +477,9 @@ func (c *Controller) walBatchAccept(b BatchedAction) {
 // action (batch-incoming mode) plus its delivery identity, so restore can
 // re-reserve the delivery and ProcessIncoming can commit it exactly once.
 type BatchedAction struct {
+	// Seq is the accept sequence assigned when the action entered the
+	// inbox; replayed batch-drain entries use it as their watermark.
+	Seq    uint64      `json:"seq,omitempty"`
 	Action warp.Action `json:"action"`
 	Origin string      `json:"origin,omitempty"`
 	ID     string      `json:"id,omitempty"`
@@ -460,7 +532,7 @@ func (c *Controller) ExportAtomic() AtomicExport {
 	}
 	for _, q := range c.inbox {
 		ex.Batch = append(ex.Batch, BatchedAction{
-			Action: q.action, Origin: q.gate.origin, ID: q.gate.id, Gen: q.gate.gen, Once: q.gate.once,
+			Seq: q.seq, Action: q.action, Origin: q.gate.origin, ID: q.gate.id, Gen: q.gate.gen, Once: q.gate.once,
 		})
 	}
 	return ex

@@ -12,6 +12,20 @@
 // the overlap is harmless. Reading the sequence after the capture would
 // have the opposite, fatal property: a commit between the capture and the
 // read would be neither in the snapshot nor in the replayed tail.
+//
+// Checkpoints make two durability promises, both kept before the covered
+// WAL segments are allowed to disappear:
+//
+//   - UpToSeq never exceeds the WAL's durable tail: the covered sequence is
+//     read with wal.Writer.SyncedSeq, so even under fsync=interval/none a
+//     power loss cannot leave the log ending below what a checkpoint
+//     claims. Recovery still verifies this and fails loudly (wrapping
+//     wal.ErrCorrupt) if the log ends short of the checkpoint — committed
+//     state is missing, and resuming would silently reuse its sequences.
+//   - The checkpoint file itself is on disk — contents fsynced, rename
+//     pinned by a directory fsync — before CheckpointAndTruncate deletes
+//     the segments (or prior checkpoints) it supersedes, so a power loss
+//     mid-compaction always leaves a recoverable pairing.
 package persist
 
 import (
@@ -100,12 +114,20 @@ func LatestCheckpoint(dir string) (*Checkpoint, error) {
 // WriteCheckpoint captures c and writes a checkpoint into dir (atomically,
 // via a temporary file). w must be the WAL writer attached to c; its
 // sequence is read before the capture so the checkpoint never claims to
-// cover a commit the snapshot might miss. Returns the covered sequence.
+// cover a commit the snapshot might miss, and the read forces the log
+// durable up to that sequence first (SyncedSeq), so the claim also never
+// exceeds what a power loss would leave on disk. The checkpoint itself is
+// fsynced — contents before the rename, the directory entry after — before
+// the function returns, so a caller may delete what it supersedes. Returns
+// the covered sequence.
 func WriteCheckpoint(c *core.Controller, w *wal.Writer, dir string) (uint64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
-	upTo := w.Seq()
+	upTo, err := w.SyncedSeq()
+	if err != nil {
+		return 0, err
+	}
 	cp := Checkpoint{UpToSeq: upTo, Snap: Capture(c)}
 	data, err := json.Marshal(&cp)
 	if err != nil {
@@ -113,11 +135,29 @@ func WriteCheckpoint(c *core.Controller, w *wal.Writer, dir string) (uint64, err
 	}
 	path := filepath.Join(dir, CheckpointName(upTo))
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		// The data blocks must be on disk before the rename publishes the
+		// file: rename-then-sync can survive a power loss as a durable
+		// directory entry pointing at zero/garbage content.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return 0, err
+	}
+	if err := wal.SyncDir(dir); err != nil {
 		return 0, err
 	}
 	return upTo, nil
@@ -168,8 +208,17 @@ func Recover(c *core.Controller, dir string, opts wal.Options) (*wal.Writer, err
 		}
 		from = cp.UpToSeq
 	}
-	if _, _, err := wal.Replay(dir, from, c.ApplyWALEntry); err != nil {
+	last, _, err := wal.Replay(dir, from, c.ApplyWALEntry)
+	if err != nil {
 		return nil, err
+	}
+	if cp != nil && last < cp.UpToSeq {
+		// The checkpoint covers sequences the log no longer reaches.
+		// WriteCheckpoint forces the log durable before claiming coverage,
+		// so this means durably committed entries went missing; resuming
+		// anyway would hand out sequences the next recovery's replay-from-
+		// UpToSeq silently skips.
+		return nil, fmt.Errorf("persist: %w: checkpoint covers wal seq %d but the log ends at %d", wal.ErrCorrupt, cp.UpToSeq, last)
 	}
 	w, err := wal.Open(dir, opts)
 	if err != nil {

@@ -139,6 +139,12 @@ func (o Options) withDefaults() Options {
 }
 
 // Writer appends entries to the log directory. Safe for concurrent use.
+//
+// Fsyncs are group commits: the frame write happens under mu, but the
+// flush itself runs under syncMu only, so concurrent Appends never queue
+// behind each other's disk latency — whichever appender reaches the disk
+// first makes every already-written entry durable, and the rest return
+// without issuing their own fsync.
 type Writer struct {
 	mu   sync.Mutex
 	dir  string
@@ -150,7 +156,36 @@ type Writer struct {
 	seq     uint64   // last appended entry seq
 	pending int      // appends since last fsync (FsyncInterval)
 	closed  bool
+
+	// durSeq is the last entry seq known durable; epoch counts segment
+	// rotations so a sync completion can tell whether its captured offsets
+	// still describe the active segment. Both guarded by mu.
+	durSeq uint64
+	epoch  uint64
+
+	// syncMu serializes fsyncs; it is never held together with mu, so an
+	// in-flight flush blocks neither appends nor crash simulation.
+	syncMu sync.Mutex
 }
+
+// syncDir flushes dir's entry table so renames, creations, and removals
+// inside it survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SyncDir fsyncs a directory, making file creations, renames, and removals
+// inside it durable. Checkpointing uses it to pin the checkpoint's
+// directory entry before the covered WAL segments are deleted.
+func SyncDir(dir string) error { return syncDir(dir) }
 
 func segName(firstSeq uint64) string {
 	return fmt.Sprintf("wal-%016d.seg", firstSeq)
@@ -252,6 +287,7 @@ func Open(dir string, opts Options) (*Writer, error) {
 			w.off = end
 			w.durable = end // survived restart ⇒ treat as durable baseline
 			w.seq = lastSeq
+			w.durSeq = lastSeq
 		}
 	}
 	return w, nil
@@ -340,75 +376,138 @@ func (w *Writer) rotateLocked(firstSeq uint64) error {
 		f.Close()
 		return err
 	}
+	// Pin the new segment's directory entry: without this a power loss can
+	// drop the file itself even though its contents were synced, leaving a
+	// sequence gap that replay reports as corruption.
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
 	w.f = f
 	w.off = headerSize
 	w.durable = headerSize
 	w.pending = 0
+	// Everything before the fresh segment was synced above (or at Open),
+	// so every already-assigned seq is durable.
+	w.durSeq = w.seq
+	w.epoch++
 	return nil
 }
 
-// Append writes one entry and applies the fsync policy. It returns the
-// entry's assigned sequence number.
+// Append writes one entry and applies the fsync policy, returning the
+// entry's assigned sequence number. The flush (when the policy demands one)
+// happens outside w.mu as a group commit — see SyncTo.
 func (w *Writer) Append(kind string, clock, ids int64, ops []Op) (uint64, error) {
+	seq, syncNeeded, err := w.AppendDeferred(kind, clock, ids, ops)
+	if err != nil {
+		return 0, err
+	}
+	if syncNeeded {
+		if err := w.SyncTo(seq); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// AppendDeferred writes one entry without flushing it, reporting whether
+// the fsync policy owes a flush. Callers on a hot lock-held path use it to
+// commit under their own lock and run the owed SyncTo after releasing it,
+// so the disk flush serializes nothing but the disk.
+func (w *Writer) AppendDeferred(kind string, clock, ids int64, ops []Op) (seq uint64, syncNeeded bool, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return 0, errors.New("wal: writer closed")
+		return 0, false, errors.New("wal: writer closed")
 	}
 	if w.off >= w.opts.SegmentBytes {
 		if err := w.rotateLocked(w.seq + 1); err != nil {
-			return 0, err
+			return 0, false, err
 		}
 	}
 	e := Entry{Seq: w.seq + 1, Kind: kind, Clock: clock, IDs: ids, Ops: ops}
 	payload, err := json.Marshal(e)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	buf := make([]byte, frameSize+len(payload))
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	copy(buf[frameSize:], payload)
 	if _, err := w.f.Write(buf); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	w.off += int64(len(buf))
 	w.seq = e.Seq
 
 	switch w.opts.Policy {
 	case FsyncEveryCommit:
-		if err := w.f.Sync(); err != nil {
-			return 0, err
-		}
-		w.durable = w.off
+		syncNeeded = true
 	case FsyncInterval:
 		w.pending++
 		if w.pending >= w.opts.Interval {
-			if err := w.f.Sync(); err != nil {
-				return 0, err
-			}
-			w.durable = w.off
 			w.pending = 0
+			syncNeeded = true
 		}
 	case FsyncNone:
-		// leave durable where it is
+		// never owed
 	}
-	return e.Seq, nil
+	return e.Seq, syncNeeded, nil
+}
+
+// SyncTo blocks until every entry up to and including seq is durable. It is
+// the group-commit rendezvous: concurrent callers pile up on syncMu, the
+// first fsync covers everything written before it started, and the rest
+// observe durSeq and return without touching the disk.
+func (w *Writer) SyncTo(seq uint64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.durSeq >= seq || w.f == nil {
+		w.mu.Unlock()
+		return nil
+	}
+	f, off, cur, epoch := w.f, w.off, w.seq, w.epoch
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if w.epoch == epoch {
+		// The captured offsets still describe the active segment; a
+		// rotation in the window would have marked everything durable
+		// itself (finished segments are synced on rotation).
+		if off > w.durable {
+			w.durable = off
+		}
+		if cur > w.durSeq {
+			w.durSeq = cur
+		}
+		w.pending = 0
+	}
+	w.mu.Unlock()
+	return nil
 }
 
 // Sync forces everything appended so far onto disk.
 func (w *Writer) Sync() error {
+	_, err := w.SyncedSeq()
+	return err
+}
+
+// SyncedSeq forces everything appended so far onto disk and returns the
+// sequence it covered: on return every entry at or below it is durable.
+// Checkpointing uses this (rather than Sync then Seq) so the covered
+// sequence can never include an entry appended — but not yet flushed —
+// between the two calls.
+func (w *Writer) SyncedSeq() (uint64, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed || w.f == nil {
-		return nil
+	seq := w.seq
+	w.mu.Unlock()
+	if err := w.SyncTo(seq); err != nil {
+		return 0, err
 	}
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	w.durable = w.off
-	w.pending = 0
-	return nil
+	return seq, nil
 }
 
 // Seq returns the sequence of the last appended entry (0 if none).
@@ -563,6 +662,14 @@ func Truncate(dir string, upToSeq uint64) ([]string, error) {
 			removed = append(removed, names[i])
 		} else {
 			break
+		}
+	}
+	if len(removed) > 0 {
+		// Make the removals durable together: a power loss that resurrects
+		// only some of a run of deleted segments would leave a sequence gap
+		// that replay reports as corruption.
+		if err := syncDir(dir); err != nil {
+			return removed, err
 		}
 	}
 	return removed, nil
