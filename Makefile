@@ -13,7 +13,7 @@ GO ?= go
 SIM_SEEDS ?= 1:20
 SIM_PROFILE ?= mixed
 
-.PHONY: all build test race bench bench-json fmt fmt-fix vet lint ci sim sim-sched durability fuzz-wal
+.PHONY: all build test race bench bench-json bench5 fmt fmt-fix vet lint ci sim sim-sched durability fuzz-wal
 
 all: build
 
@@ -36,6 +36,15 @@ bench:
 # a build artifact; regenerate the committed copy with this target.
 bench-json:
 	$(GO) run ./cmd/airebench -table bench4 -out BENCH_4.json
+
+# Repair-plane-under-load measurement (ISSUE 7): closed-loop mixed
+# workload (paced mirror puts + periodic repair cascades) over the real
+# HTTP adapter with adaptive batching and admission control. CI runs a
+# short non-gating pass and uploads the JSON; regenerate the committed
+# copy with this target.
+BENCH5_DUR ?= 5s
+bench5:
+	$(GO) run ./cmd/airebench -table bench5 -dur $(BENCH5_DUR) -out BENCH_5.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

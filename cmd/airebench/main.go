@@ -8,6 +8,10 @@
 //	                              # ISSUE 4: O(affected) repair scaling,
 //	                              # indexed vs pre-index walk, optionally
 //	                              # written as machine-readable JSON
+//	airebench -table bench5 [-dur -rps -peers -out BENCH_5.json]
+//	                              # ISSUE 7: repair-plane under load —
+//	                              # closed-loop mixed workload over real
+//	                              # HTTP with adaptive batching + admission
 //	airebench -table all
 package main
 
@@ -18,6 +22,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"aire/internal/core"
 	"aire/internal/harness"
@@ -30,7 +35,10 @@ func main() {
 	users := flag.Int("users", 100, "legitimate users for Table 5")
 	posts := flag.Int("posts", 5, "posts per user for Table 5")
 	iters := flag.Int("iters", 200, "timed repair passes per bench4 point")
-	out := flag.String("out", "", "write bench4 results as JSON to this file")
+	out := flag.String("out", "", "write bench4/bench5 results as JSON to this file")
+	dur := flag.Duration("dur", 5*time.Second, "paced-load duration for bench5")
+	rps := flag.Int("rps", 300, "target mirror-traffic rate for bench5")
+	peers := flag.Int("peers", 3, "mirror peers behind the bench5 hub")
 	flag.Parse()
 
 	switch *table {
@@ -46,6 +54,8 @@ func main() {
 		sweep(*posts)
 	case "bench4":
 		bench4(os.Stdout, *iters, *out)
+	case "bench5":
+		bench5(os.Stdout, *dur, *rps, *peers, *out)
 	case "all":
 		table3()
 		fmt.Println()
@@ -97,6 +107,54 @@ func bench4(w io.Writer, iters int, out string) {
 		Readers:     readers,
 		Iters:       iters,
 		Points:      points,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// bench5Doc is the schema of BENCH_5.json: the repair-plane-under-load
+// measurements for ISSUE 7.
+type bench5Doc struct {
+	Issue       int                 `json:"issue"`
+	Description string              `json:"description"`
+	GeneratedBy string              `json:"generated_by"`
+	Result      *harness.LoadResult `json:"result"`
+}
+
+func bench5(w io.Writer, dur time.Duration, rps, peers int, out string) {
+	fmt.Fprintln(w, "== ISSUE 7: repair-plane under load (closed-loop mixed workload over real HTTP) ==")
+	res, err := harness.RunLoad(harness.LoadConfig{
+		Peers:       peers,
+		TargetRPS:   rps,
+		Duration:    dur,
+		RepairEvery: 20,
+		BatchPolicy: core.DefaultAdaptiveBatch(),
+		Admission:   core.DefaultAdmission(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(w, harness.FormatLoad(res))
+	fmt.Fprintln(w, "(mirror = client-visible paced puts; repair = delete-cascade carrier sojourn through the pump; adaptive batching + admission control on)")
+	if out == "" {
+		return
+	}
+	doc := bench5Doc{
+		Issue:       7,
+		Description: "Closed-loop mixed load against a mirroring hub over the real HTTP adapter: paced mirror puts (client round-trip latency) plus periodic repair cascades (queue sojourn of delete carriers), with the pooled HTTP client, adaptive batch sizing, and sender-side admission control enabled.",
+		GeneratedBy: fmt.Sprintf("go run ./cmd/airebench -table bench5 -dur %s -rps %d -peers %d -out BENCH_5.json", dur, rps, peers),
+		Result:      res,
 	}
 	f, err := os.Create(out)
 	if err != nil {

@@ -128,6 +128,17 @@ type Config struct {
 	// background pump pass carries (0 means a default). Flush is not
 	// capped: one synchronous pass attempts every deliverable message.
 	BatchSize int
+	// BatchPolicy, when non-nil, sizes each peer's claim adaptively from
+	// its backlog (see AdaptiveBatch) instead of the fixed BatchSize. The
+	// background pump snapshots per-peer backlogs, asks the policy for a
+	// limit per peer at a dedicated scheduler decision point
+	// ("batch-policy"), and claims under those limits. Flush ignores it.
+	BatchPolicy BatchPolicy
+	// Admission bounds the share of pump capacity repair cascades may
+	// consume so a repair storm cannot starve user-visible traffic (see
+	// Admission). The zero value disables admission control. Flush ignores
+	// it.
+	Admission Admission
 	// PumpInterval paces the background pump's periodic passes — the ones
 	// that retry peers whose backoff delay has elapsed (0 means a default).
 	PumpInterval time.Duration
@@ -165,6 +176,16 @@ type Config struct {
 	// silently dropped. Exists so the deterministic scheduler can prove it
 	// rediscovers the historical bug; never set it outside tests.
 	FaultUngatedReconcile bool
+	// FaultSplitRepairCommit (fault injection, tests only): commit a
+	// repair's WAL entry without its queue effects and inbox outcome,
+	// reintroducing the historical split-entry windows — a crash after the
+	// repair entry but before the standalone q-set/in-commit entries
+	// recovers a repaired service whose downstream messages were lost, or
+	// (crashing between the queue effects and the inbox commit) re-applies
+	// the redelivered repair and double-queues its downstream messages.
+	// Exists so the double-queue regression test can prove the atomic
+	// entry closes the window; never set it outside tests.
+	FaultSplitRepairCommit bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -243,6 +264,14 @@ type Controller struct {
 	qlive  int // entries with queued=true (the queue slice may briefly hold dead ones)
 	nextID int
 	peers  map[string]*peerState // per-peer delivery health, guarded by qmu
+	// liveCalls counts in-flight live (non-repair) outbound calls per peer;
+	// admission control trickles repair delivery to peers that are actively
+	// serving the live workload. Guarded by qmu.
+	liveCalls map[string]int
+	// cascadeInflight counts claimed-but-unreconciled cascade-class batches;
+	// admission's MaxShare budget is enforced against it at claim time.
+	// Guarded by qmu.
+	cascadeInflight int
 
 	// sd is the resolved concurrency substrate (Cfg.Sched, or production
 	// goroutines); immutable after NewController.
@@ -298,6 +327,7 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 		mailboxes: make(map[string][]string),
 		dedup:     deliver.NewInbox(cfg.InboxCap),
 		peers:     make(map[string]*peerState),
+		liveCalls: make(map[string]int),
 		sd:        cfg.Sched,
 	}
 	if c.sd == nil {
@@ -377,7 +407,9 @@ func (c *Controller) outboundNormal(seq int, target string, req wire.Request) (w
 		wire.HdrNotifierURL, transport.NotifierURL(c.Svc.Name),
 	)
 	call := repairlog.Call{Target: target, RespID: respID, Req: req.Clone()}
+	c.beginLiveCall(target)
 	resp, err := c.Net.Call(c.Svc.Name, target, out)
+	c.endLiveCall(target)
 	if err != nil {
 		resp = wire.NewResponse(wire.StatusTimeout, "aire: peer unavailable: "+err.Error())
 		call.Failed = true
@@ -491,7 +523,7 @@ func (c *Controller) applyRepairRequest(from string, req wire.Request, gate *del
 		return wire.NewResponse(202, "aire: repair queued")
 	}
 
-	res, err := c.applyActions([]warp.Action{action})
+	res, err := c.applyActionsGated([]warp.Action{action}, gate)
 	if err != nil {
 		if errors.Is(err, warp.ErrGarbageCollected) {
 			return wire.NewResponse(410, "aire: "+err.Error())
@@ -649,24 +681,77 @@ func (c *Controller) handlePoll(from string, req wire.Request) wire.Response {
 }
 
 // applyActions runs local repair and queues the resulting repair messages.
-// The repair's store and log mutations commit as one WAL entry.
+// The repair's store/log mutations and its queue effects commit as ONE WAL
+// entry (see applyActionsGated), so a crash-recovered service never holds
+// the repaired state without the downstream messages it produced.
 func (c *Controller) applyActions(actions []warp.Action) (*warp.Result, error) {
+	return c.applyActionsGated(actions, nil)
+}
+
+// applyActionsGated runs local repair with everything the repair implies —
+// the store/log mutations, the q-set ops of the downstream messages it
+// queues, and (when a delivery gate is supplied) the gate's exactly-once
+// inbox outcome — folded into ONE WAL entry. Replay is then all-or-nothing:
+// either the delivery fully happened (inbox committed, so a redelivery is
+// re-acknowledged; messages queued exactly once) or none of it did (the
+// redelivery re-applies cleanly). The historical split-entry behavior — the
+// documented double-queue/lost-cascade crash windows — is preserved behind
+// Config.FaultSplitRepairCommit for the regression test.
+func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate) (*warp.Result, error) {
+	if c.Cfg.FaultSplitRepairCommit {
+		// Historical ordering: repair entry, then standalone q-set entries,
+		// with the gate left for the caller to commit afterwards.
+		c.Svc.Mu.Lock()
+		c.walBegin("repair")
+		res, err := c.Engine.Repair(actions)
+		c.walCommit()
+		c.Svc.Mu.Unlock()
+		c.walSettle()
+		if err != nil {
+			return nil, err
+		}
+		c.finishRepair(actions, res, false)
+		return res, nil
+	}
 	c.Svc.Mu.Lock()
 	c.walBegin("repair")
 	res, err := c.Engine.Repair(actions)
+	if err != nil {
+		if gate != nil {
+			// Take ownership of the gate (the caller's rollback-on-error
+			// becomes a no-op) so its outcome lands inside this entry.
+			gate.rollbackEmit(true)
+			gate.active = false
+		}
+		c.walCommit()
+		c.Svc.Mu.Unlock()
+		c.walSettle()
+		return nil, err
+	}
+	// Queue effects join the open batch (qmu nests inside Svc.Mu), then the
+	// gate's inbox commit — with the minted request ID as the outcome for
+	// creates — lands in the same entry. Ownership of the gate transfers
+	// here: the caller's commit-on-OK becomes a no-op.
+	c.enqueueJoin(res.Msgs, true)
+	if gate != nil {
+		outcome := ""
+		if len(res.CreatedIDs) > 0 {
+			outcome = res.CreatedIDs[0]
+		}
+		gate.commitEmit(outcome, true)
+		gate.active = false
+	}
 	c.walCommit()
 	c.Svc.Mu.Unlock()
 	c.walSettle()
-	if err != nil {
-		return nil, err
-	}
-	c.finishRepair(actions, res)
+	c.finishRepair(actions, res, true)
 	return res, nil
 }
 
 // finishRepair does a completed local repair's unlocked bookkeeping:
-// counters, queuing the outbound messages, notifications.
-func (c *Controller) finishRepair(actions []warp.Action, res *warp.Result) {
+// counters, notifications, and — unless the caller already queued them
+// inside its WAL batch (enqueued) — the outbound messages.
+func (c *Controller) finishRepair(actions []warp.Action, res *warp.Result, enqueued bool) {
 	c.smu.Lock()
 	c.stats.RepairsRun++
 	c.smu.Unlock()
@@ -677,7 +762,9 @@ func (c *Controller) finishRepair(actions []warp.Action, res *warp.Result) {
 	c.lastTotalOps = res.TotalModelOps
 	c.repairDuration += res.Duration
 	c.rmu.Unlock()
-	c.enqueue(res.Msgs)
+	if !enqueued {
+		c.enqueue(res.Msgs)
+	}
 	for _, n := range res.Notices {
 		c.notify(Notification{Kind: string(n.Kind), Detail: n.Detail, RepairType: "local"})
 	}
@@ -777,11 +864,21 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 		}
 		q.gate.commitEmit(outcome, true)
 	}
+	// The queue effects of the batch's repair join the same entry: a
+	// recovered service must not hold the applied batch (inbox committed,
+	// actions drained) without the downstream messages it produced. The
+	// historical split — queue effects as separate entries after the batch
+	// commit, i.e. the documented lost-cascade crash window — is preserved
+	// behind Config.FaultSplitRepairCommit for the regression test.
+	enqueued := !c.Cfg.FaultSplitRepairCommit
+	if enqueued {
+		c.enqueueJoin(res.Msgs, true)
+	}
 	c.walEmit("batch", mustOp("batch-drain", batchDrainOp{UpToSeq: drainUpTo, N: len(queued), IDs: drainIDs}), true)
 	c.walCommit()
 	c.Svc.Mu.Unlock()
 	c.walSettle()
-	c.finishRepair(actions, res)
+	c.finishRepair(actions, res, enqueued)
 	return res, nil
 }
 

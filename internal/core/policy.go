@@ -1,0 +1,122 @@
+package core
+
+// This file holds the pump's load-management policies: adaptive batch
+// sizing (how many messages one pass claims for a peer) and sender-side
+// admission control (how much of the delivery capacity repair cascades may
+// consume while user-visible traffic is waiting). Both are decided at
+// claim time, between scheduler yield points, so the deterministic
+// scheduler (internal/dsched) explores their interleavings like any other
+// pump decision — see the "batch-policy" and "admission" labels in
+// SchedTrace.
+
+// BatchPolicy decides how many messages one background pump pass may claim
+// for a single peer. Limit is called outside any controller lock with a
+// snapshot of the peer's backlog (live, deliverable messages bound for it)
+// and the limit used by the peer's previous claim (0 when the peer has no
+// retained delivery state — first contact, or fully drained since). The
+// returned limit is advisory: the queue may have changed by the time the
+// claim runs, and 0 means unbounded.
+type BatchPolicy interface {
+	Limit(backlog, prev int) int
+}
+
+// defaultAdaptiveMax caps AdaptiveBatch when Max is unset. It is deliberately
+// larger than the fixed defaultBatchSize: the adaptive policy only reaches it
+// under sustained backlog, and shrinks back to Min as soon as the queue
+// drains.
+const defaultAdaptiveMax = 64
+
+// AdaptiveBatch grows a peer's batch limit toward Max while backlog outruns
+// the previous claim (doubling, so a burst reaches the cap in O(log) passes)
+// and shrinks it to the observed backlog — down to Min — when the peer is
+// draining or idle. Small batches keep latency low when the queue is short;
+// large batches amortize per-pass claim/reconcile overhead when a repair
+// cascade piles up behind one peer.
+type AdaptiveBatch struct {
+	// Min is the smallest limit returned (default 1).
+	Min int
+	// Max caps the limit (default defaultAdaptiveMax).
+	Max int
+}
+
+// Limit implements BatchPolicy.
+func (a AdaptiveBatch) Limit(backlog, prev int) int {
+	lo := a.Min
+	if lo < 1 {
+		lo = 1
+	}
+	hi := a.Max
+	if hi < 1 {
+		hi = defaultAdaptiveMax
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if prev < lo {
+		prev = lo
+	}
+	next := backlog // draining or idle: claim exactly what is there
+	if backlog > prev {
+		next = prev * 2 // backlog outran the last claim: grow toward the cap
+	}
+	if next < lo {
+		next = lo
+	}
+	if next > hi {
+		next = hi
+	}
+	return next
+}
+
+// DefaultAdaptiveBatch returns the adaptive policy used by the load
+// experiments: limits in [1, 64].
+func DefaultAdaptiveBatch() AdaptiveBatch { return AdaptiveBatch{Min: 1, Max: defaultAdaptiveMax} }
+
+// Admission is sender-side admission control for the background pump: it
+// bounds how much of the delivery capacity repair *cascades* (replace,
+// delete, create carriers fanning out to peer services) may consume, so a
+// repair storm degrades repair latency — never the latency of user-visible
+// traffic. Two budgets compose, both enforced when a pass claims batches:
+//
+//   - MaxShare bounds the fraction of pump workers that may concurrently
+//     carry cascade-class batches while response-class messages
+//     (replace_response — the repaired answers flowing back toward clients)
+//     are waiting in the queue. The reserved workers keep the user-visible
+//     plane draining no matter how deep the cascade backlog is.
+//
+//   - Burst caps how many messages one pass claims for a peer that this
+//     service currently has live (non-repair) outbound calls in flight to:
+//     repair delivery trickles to a peer that is actively serving the
+//     live workload instead of flooding its connection pool and lock.
+//
+// The zero value disables admission control entirely (the legacy
+// behavior).
+type Admission struct {
+	// MaxShare is the maximum fraction of PumpWorkers cascade-class batches
+	// may occupy while response-class messages are queued (0 disables this
+	// budget; values are clamped so at least one worker may always carry
+	// cascades).
+	MaxShare float64
+	// Burst is the per-pass claim cap for peers with live outbound calls in
+	// flight (0 disables this budget).
+	Burst int
+}
+
+// Enabled reports whether any admission budget is active.
+func (a Admission) Enabled() bool { return a.MaxShare > 0 || a.Burst > 0 }
+
+// maxCascade returns the worker budget for cascade-class batches given the
+// pump's worker count (at least 1 so cascades always make progress).
+func (a Admission) maxCascade(workers int) int {
+	n := int(a.MaxShare * float64(workers))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DefaultAdmission returns the admission budgets used by the load
+// experiments: cascades may fill 3/4 of the workers while responses wait,
+// and a peer with live traffic in flight receives one repair message per
+// pass.
+func DefaultAdmission() Admission { return Admission{MaxShare: 0.75, Burst: 1} }

@@ -140,6 +140,11 @@ type peerState struct {
 	// notified marks that the administrator was told about this outage
 	// (reset when the peer becomes reachable again).
 	notified bool
+	// limit is the per-peer claim limit the last claim used — the adaptive
+	// batch policy's growth state. It survives successful reconciles while
+	// the peer still has backlog and resets (entry deleted) once the peer
+	// drains, which is exactly the policy's shrink-to-idle behavior.
+	limit int
 }
 
 // peerKey names the destination a repair message is delivered to: the target
@@ -164,17 +169,108 @@ type claimedBatch struct {
 	ptrs []*PendingMsg // live queue entries (reconciled under qmu)
 	snap []PendingMsg  // private copies delivered without locks
 	gens []uint64      // generation of each entry at claim time
+	// limit is the batch's claim cap (0 = unbounded), resolved per peer.
+	limit int
+	// cascade marks a cascade-class batch (first message is a repair
+	// carrier, not a replace_response); it holds one unit of the admission
+	// MaxShare budget until the batch reconciles.
+	cascade bool
 }
 
-// claimBatches partitions the deliverable queue by peer and claims up to
-// limit messages per peer (0 = unbounded), preserving queue (FIFO) order
-// within each batch. Held messages, messages already in flight, peers with
-// a batch in flight, and peers still backing off are skipped. Batches are
-// returned in queue order of their first message.
-func (c *Controller) claimBatches(limit int) []*claimedBatch {
-	now := c.now()
+// beginLiveCall / endLiveCall bracket one live (non-repair) outbound call
+// to a peer; admission control reads the count at claim time to trickle
+// repair delivery to peers that are actively serving live traffic. No-ops
+// unless admission is enabled, keeping the live hot path lock-free.
+func (c *Controller) beginLiveCall(peer string) {
+	if !c.Cfg.Admission.Enabled() {
+		return
+	}
+	c.qmu.Lock()
+	c.liveCalls[peer]++
+	c.qmu.Unlock()
+}
+
+func (c *Controller) endLiveCall(peer string) {
+	if !c.Cfg.Admission.Enabled() {
+		return
+	}
+	c.qmu.Lock()
+	if c.liveCalls[peer]--; c.liveCalls[peer] <= 0 {
+		delete(c.liveCalls, peer)
+	}
+	c.qmu.Unlock()
+}
+
+// peerBacklogs snapshots, for every peer with deliverable messages, how
+// many are queued for it and the claim limit its previous batch used — the
+// inputs the batch policy sizes the next claim from. Skipped peers
+// (in-flight batch, backing off) are included: their limits are computed
+// but unused this pass, which keeps the snapshot cheap and the policy
+// stateless.
+func (c *Controller) peerBacklogs() map[string][2]int {
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
+	m := map[string][2]int{}
+	for _, p := range c.queue {
+		if !p.queued || p.Held || p.inflight {
+			continue
+		}
+		k := peerKey(p.Msg)
+		v := m[k]
+		v[0]++
+		m[k] = v
+	}
+	for k, v := range m {
+		if ps := c.peers[k]; ps != nil {
+			v[1] = ps.limit
+			m[k] = v
+		}
+	}
+	return m
+}
+
+// batchLimits asks the configured batch policy for a per-peer claim limit.
+// Called with no locks held — the limits are advisory caps applied at claim
+// time, not a reservation.
+func (c *Controller) batchLimits(backlogs map[string][2]int) map[string]int {
+	pol := c.Cfg.BatchPolicy
+	if pol == nil {
+		return nil
+	}
+	limits := make(map[string]int, len(backlogs))
+	for peer, v := range backlogs {
+		limits[peer] = pol.Limit(v[0], v[1])
+	}
+	return limits
+}
+
+// claimBatches partitions the deliverable queue by peer and claims up to a
+// per-peer limit of messages, preserving queue (FIFO) order within each
+// batch. The limit for a peer is perPeer[peer] when present, else limit
+// (0 = unbounded). Held messages, messages already in flight, peers with a
+// batch in flight, and peers still backing off are skipped. With admit set
+// (background pump passes only), the admission budgets also apply: peers
+// with live outbound calls in flight are capped at Admission.Burst, and a
+// new cascade-class batch is skipped entirely while the cascade worker
+// budget is exhausted and response-class messages are waiting. Batches are
+// returned in queue order of their first message.
+func (c *Controller) claimBatches(limit int, perPeer map[string]int, admit bool) []*claimedBatch {
+	now := c.now()
+	adm := c.Cfg.Admission
+	admit = admit && adm.Enabled()
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	// The MaxShare budget only bites while user-visible (response-class)
+	// messages are actually waiting; one pre-pass answers that.
+	respWaiting := false
+	if admit && adm.MaxShare > 0 {
+		for _, p := range c.queue {
+			if p.queued && !p.Held && !p.inflight && p.Msg.Kind == warp.OutReplaceResponse {
+				respWaiting = true
+				break
+			}
+		}
+	}
 	var order []*claimedBatch
 	byPeer := map[string]*claimedBatch{}
 	skipPeer := map[string]bool{}
@@ -197,12 +293,32 @@ func (c *Controller) claimBatches(limit int) []*claimedBatch {
 				skipPeer[peer] = true
 				continue
 			}
+			cascade := p.Msg.Kind != warp.OutReplaceResponse
+			if admit && cascade && respWaiting && c.cascadeInflight >= adm.maxCascade(c.pumpWorkers()) {
+				// Cascade budget exhausted while responses wait: leave this
+				// peer for a later pass so the reserved workers stay free
+				// for the user-visible plane.
+				skipPeer[peer] = true
+				continue
+			}
+			l := limit
+			if pl, ok := perPeer[peer]; ok {
+				l = pl
+			}
+			if admit && adm.Burst > 0 && c.liveCalls[peer] > 0 && (l <= 0 || l > adm.Burst) {
+				// The peer is serving our live traffic right now: trickle.
+				l = adm.Burst
+			}
 			ps.inflight = true
-			cl = &claimedBatch{peer: peer}
+			ps.limit = l
+			if cascade && admit {
+				c.cascadeInflight++
+			}
+			cl = &claimedBatch{peer: peer, limit: l, cascade: cascade && admit}
 			byPeer[peer] = cl
 			order = append(order, cl)
 		}
-		if limit > 0 && len(cl.ptrs) >= limit {
+		if cl.limit > 0 && len(cl.ptrs) >= cl.limit {
 			continue
 		}
 		p.inflight = true
@@ -390,6 +506,9 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 	if removed > 0 {
 		c.compactLocked()
 	}
+	if cl.cascade {
+		c.cascadeInflight--
+	}
 	ps := c.peers[cl.peer]
 	if failedAt >= 0 {
 		ps.failures++
@@ -451,10 +570,19 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 			delete(c.peers, cl.peer)
 		}
 	} else {
-		// The peer is healthy and its batch reconciled: the zero state is
-		// equivalent to no entry, so drop it rather than let per-peer
-		// bookkeeping (e.g. one-shot poll:// clients) accumulate forever.
-		delete(c.peers, cl.peer)
+		// The peer is healthy and its batch reconciled. While it still has
+		// backlog, keep the entry (cleared to health) so the adaptive batch
+		// limit carries into the next claim; once drained, drop it — the
+		// zero state is equivalent to no entry, so per-peer bookkeeping
+		// (e.g. one-shot poll:// clients) cannot accumulate forever, and the
+		// batch limit resets to the policy's idle floor.
+		ps.inflight = false
+		ps.failures = 0
+		ps.nextTry = time.Time{}
+		ps.notified = false
+		if !c.peerHasQueuedLocked(cl.peer) {
+			delete(c.peers, cl.peer)
+		}
 	}
 	c.qmu.Unlock()
 
@@ -511,8 +639,9 @@ func (c *Controller) WaitQueueEmpty(timeout time.Duration) bool {
 // elapses.
 func (c *Controller) Flush() (delivered, remaining int) {
 	// Unbounded claim: one Flush attempts every deliverable message, as the
-	// legacy serial Flush did; BatchSize only paces the background pump.
-	for _, cl := range c.claimBatches(0) {
+	// legacy serial Flush did; BatchSize, BatchPolicy, and Admission only
+	// shape the background pump.
+	for _, cl := range c.claimBatches(0, nil, false) {
 		delivered += c.deliverBatch(cl)
 	}
 	return delivered, c.QueueLen()
@@ -531,6 +660,9 @@ func (c *Controller) releaseBatches(batches []*claimedBatch) {
 		}
 		if ps := c.peers[cl.peer]; ps != nil {
 			ps.inflight = false
+		}
+		if cl.cascade {
+			c.cascadeInflight--
 		}
 	}
 }
@@ -649,7 +781,22 @@ func (c *Controller) pumpLoop(ctx context.Context, done chan struct{}, pacer sch
 	sem := c.sd.NewSem(c.pumpWorkers())
 	for {
 		c.sd.Yield() // schedule point: a pass is about to claim
-		batches := c.claimBatches(c.batchSize())
+		// Decide per-peer claim limits (adaptive batching) and admission
+		// caps before claiming. Each decision sits at its own labeled yield
+		// point, outside every lock, so the deterministic scheduler can
+		// interleave enqueues, supersedes, and other pumps between the
+		// snapshot and the claim that acts on it — the limits are advisory
+		// caps, so any such race is benign.
+		var limits map[string]int
+		if c.Cfg.BatchPolicy != nil {
+			backlogs := c.peerBacklogs()
+			c.sd.YieldNamed("batch-policy") // schedule point: batch sizes decided
+			limits = c.batchLimits(backlogs)
+		}
+		if c.Cfg.Admission.Enabled() {
+			c.sd.YieldNamed("admission") // schedule point: admission caps about to apply
+		}
+		batches := c.claimBatches(c.batchSize(), limits, true)
 		for i, cl := range batches {
 			if !sem.Acquire(ctx) {
 				// Shutting down with every worker busy: hand the remaining

@@ -16,6 +16,16 @@ import (
 // messages refer to the same request or the same response, Aire can
 // collapse them, by keeping only the most recent repair message").
 func (c *Controller) enqueue(msgs []warp.OutMsg) {
+	c.enqueueJoin(msgs, false)
+}
+
+// enqueueJoin is enqueue with control over WAL batching: with join set the
+// q-set ops fold into the caller's open WAL batch instead of landing as
+// standalone entries, making the enqueue atomic with whatever the caller is
+// committing (a repair's mutations, a batch's inbox outcomes). Only callers
+// holding Svc.Mu with a batch open may pass join=true — a standalone
+// caller's join would race another goroutine's open batch.
+func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool) {
 	if len(msgs) == 0 {
 		return
 	}
@@ -33,7 +43,7 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 					p.Held = false
 					p.Attempts = 0
 					p.Gen++ // supersede any delivery of the old content in flight
-					c.walEmitQSetLocked(p)
+					c.walEmitQSetJoinLocked(p, join)
 					replaced = true
 					break
 				}
@@ -51,7 +61,7 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 		}
 		c.queue = append(c.queue, p)
 		c.qlive++
-		c.walEmitQSetLocked(p)
+		c.walEmitQSetJoinLocked(p, join)
 		c.emit(EvMsgQueued, p.MsgID, "%s -> %s (req=%s resp=%s)", m.Kind, m.Target, m.RemoteReqID, m.RespID)
 	}
 	c.wakePump()

@@ -257,10 +257,17 @@ type batchDrainOp struct {
 
 // walEmitQSetLocked logs a queue entry's current state. Caller holds qmu.
 func (c *Controller) walEmitQSetLocked(p *PendingMsg) {
+	c.walEmitQSetJoinLocked(p, false)
+}
+
+// walEmitQSetJoinLocked is walEmitQSetLocked with control over batching:
+// join=true folds the op into the caller's open WAL batch (the caller must
+// hold Svc.Mu with a batch open — see enqueueJoin). Caller holds qmu.
+func (c *Controller) walEmitQSetJoinLocked(p *PendingMsg, join bool) {
 	if !c.walAttached() {
 		return
 	}
-	c.walEmit("queue", mustOp("q-set", qSetOp{Msg: *p, NextID: c.nextID}), false)
+	c.walEmit("queue", mustOp("q-set", qSetOp{Msg: *p, NextID: c.nextID}), join)
 }
 
 // walEmitQDelLocked logs a queue entry's removal. Caller holds qmu.

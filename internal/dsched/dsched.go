@@ -48,7 +48,10 @@ type task struct {
 	// pred, when non-nil, is the task's wake condition, evaluated by the
 	// scheduler under its lock; nil means runnable.
 	pred func() bool
-	done bool
+	// label names the decision point the task parked at (YieldNamed);
+	// recorded as "name@label" in the trace when the task next runs.
+	label string
+	done  bool
 }
 
 // Sched is a deterministic cooperative scheduler. Create one with New.
@@ -120,6 +123,21 @@ func (s *Sched) Go(name string, f func()) {
 // task it is a no-op.
 func (s *Sched) Yield() { s.park(nil) }
 
+// YieldNamed is Yield with a decision-point label: the step that resumes
+// the task is traced as "task@label" instead of the bare task name, so
+// schedule-exploration tests can assert the scheduler genuinely covers a
+// named decision point (e.g. the pump's batch-policy and admission
+// choices). Outside a task it is a no-op.
+func (s *Sched) YieldNamed(label string) {
+	s.mu.Lock()
+	t := s.running
+	if t != nil {
+		t.label = label
+	}
+	s.mu.Unlock()
+	s.park(nil)
+}
+
 // park hands control back to the scheduler until pred is true (nil parks
 // as runnable). No-op outside a task.
 func (s *Sched) park(pred func() bool) {
@@ -172,7 +190,12 @@ func (s *Sched) Step() bool {
 		}
 		panic(fmt.Sprintf("dsched: exceeded MaxSteps=%d (livelocked schedule?); trace tail: %v", s.MaxSteps, tail))
 	}
-	s.trace = append(s.trace, t.name)
+	entry := t.name
+	if t.label != "" {
+		entry += "@" + t.label
+		t.label = ""
+	}
+	s.trace = append(s.trace, entry)
 	s.mu.Unlock()
 	t.resume <- struct{}{}
 	<-s.yielded

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aire/internal/core"
+	"aire/internal/transport"
+	"aire/internal/wire"
+)
+
+// This file is the bench5 closed-loop load harness: a mirroring hub
+// service under paced mixed load over the real HTTP adapter (httptest
+// sockets, the pooled HTTPCaller, the background pump with adaptive
+// batching and admission control) — the deployment shape of cmd/aireserve.
+//
+// Two traffic classes share the hub. Mirror traffic is client-visible:
+// paced POST /put requests whose handler synchronously forwards the write
+// to every peer; its latency is the client's wall-clock round trip.
+// Repair traffic is the asynchronous plane: every RepairEvery-th put is
+// followed by a repair of that put, which cascades one delete carrier per
+// peer through the hub's outgoing queue; its latency is the carrier's
+// queue sojourn, measured by correlating EvMsgQueued/EvMsgDelivered.
+
+// LoadConfig configures one bench5 run.
+type LoadConfig struct {
+	// Peers is how many mirror services the hub fans writes out to.
+	Peers int
+	// Clients is the closed-loop client count: at most this many mirror
+	// requests are in flight, and pacing degrades once they saturate.
+	Clients int
+	// TargetRPS is the aggregate paced arrival rate for mirror traffic.
+	TargetRPS int
+	// Duration is how long the paced phase runs.
+	Duration time.Duration
+	// RepairEvery issues a repair cascade after every n-th put (0 = never).
+	RepairEvery int
+	// Sample is the queue-depth sampling interval.
+	Sample time.Duration
+	// BatchPolicy and Admission configure the pump under test.
+	BatchPolicy core.BatchPolicy
+	Admission   core.Admission
+}
+
+func (cfg LoadConfig) withDefaults() LoadConfig {
+	if cfg.Peers <= 0 {
+		cfg.Peers = 3
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.TargetRPS <= 0 {
+		cfg.TargetRPS = 300
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.RepairEvery < 0 {
+		cfg.RepairEvery = 0
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = 100 * time.Millisecond
+	}
+	return cfg
+}
+
+// LoadClass summarizes one traffic class of a bench5 run.
+type LoadClass struct {
+	Name   string  `json:"class"`
+	Count  int     `json:"count"`
+	RPS    float64 `json:"throughput_rps"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// DepthSample is one point of the queue-depth time series.
+type DepthSample struct {
+	AtMs  int64 `json:"t_ms"`
+	Depth int   `json:"depth"`
+}
+
+// LoadResult is the machine-readable outcome of one bench5 run.
+type LoadResult struct {
+	Peers       int           `json:"peers"`
+	Clients     int           `json:"clients"`
+	TargetRPS   int           `json:"target_rps"`
+	DurationSec float64       `json:"duration_sec"`
+	RepairEvery int           `json:"repair_every"`
+	Errors      int           `json:"errors"`
+	Classes     []LoadClass   `json:"classes"`
+	QueueDepth  []DepthSample `json:"queue_depth"`
+}
+
+// loadSink measures repair-plane sojourns on the hub by correlating queue
+// events: EvMsgQueued stamps the enqueue instant per message ID,
+// EvMsgDelivered closes the interval.
+type loadSink struct {
+	mu       sync.Mutex
+	queuedAt map[string]time.Time
+	sojourns []int64 // microseconds
+}
+
+func (s *loadSink) onEvent(e core.Event) {
+	switch e.Kind {
+	case core.EvMsgQueued:
+		s.mu.Lock()
+		s.queuedAt[e.Subject] = time.Now()
+		s.mu.Unlock()
+	case core.EvMsgDelivered:
+		now := time.Now()
+		s.mu.Lock()
+		if at, ok := s.queuedAt[e.Subject]; ok {
+			delete(s.queuedAt, e.Subject)
+			s.sojourns = append(s.sojourns, now.Sub(at).Microseconds())
+		}
+		s.mu.Unlock()
+	}
+}
+
+func classOf(name string, us []int64, elapsed time.Duration) LoadClass {
+	ms := func(v int64) float64 { return float64(v) / 1000 }
+	return LoadClass{
+		Name:   name,
+		Count:  len(us),
+		RPS:    float64(len(us)) / elapsed.Seconds(),
+		P50Ms:  ms(percentile(us, 0.50)),
+		P99Ms:  ms(percentile(us, 0.99)),
+		P999Ms: ms(percentile(us, 0.999)),
+		MaxMs:  ms(percentile(us, 1.0)),
+	}
+}
+
+// RunLoad executes one closed-loop bench5 run and returns its measurements.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+
+	// Topology: hub mirroring to cfg.Peers peer services, all speaking
+	// real HTTP through one pooled caller.
+	caller := &transport.HTTPCaller{BaseURLs: map[string]string{}}
+	ccfg := core.DefaultConfig()
+	ccfg.BatchPolicy = cfg.BatchPolicy
+	ccfg.Admission = cfg.Admission
+	var peers []string
+	for i := 0; i < cfg.Peers; i++ {
+		peers = append(peers, fmt.Sprintf("peer%d", i))
+	}
+	hub := core.NewController(&KVApp{ServiceName: "hub", Mirrors: peers}, caller, ccfg)
+	ctrls := []*core.Controller{hub}
+	for _, p := range peers {
+		ctrls = append(ctrls, core.NewController(&KVApp{ServiceName: p}, caller, core.DefaultConfig()))
+	}
+	var servers []*httptest.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for _, c := range ctrls {
+		srv := httptest.NewServer(transport.NewHTTPHandler(c))
+		servers = append(servers, srv)
+		caller.BaseURLs[c.Svc.Name] = srv.URL
+	}
+
+	sink := &loadSink{queuedAt: map[string]time.Time{}}
+	hub.Subscribe(sink.onEvent)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, c := range ctrls {
+		if err := c.StartPump(ctx); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, c := range ctrls {
+			c.StopPump()
+		}
+	}()
+
+	res := &LoadResult{
+		Peers: cfg.Peers, Clients: cfg.Clients, TargetRPS: cfg.TargetRPS,
+		RepairEvery: cfg.RepairEvery,
+	}
+
+	// Queue-depth sampler.
+	samplerDone := make(chan struct{})
+	sampleCtx, stopSampler := context.WithCancel(ctx)
+	defer stopSampler()
+	start := time.Now()
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(cfg.Sample)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-tick.C:
+				res.QueueDepth = append(res.QueueDepth, DepthSample{
+					AtMs: time.Since(start).Milliseconds(), Depth: hub.QueueLen(),
+				})
+			}
+		}
+	}()
+
+	// Closed-loop clients: a pacer dispatches op slots at the target
+	// rate; when every client is busy the send blocks and the achieved
+	// rate degrades — back-pressure, not an unbounded backlog.
+	var (
+		mirrorMu sync.Mutex
+		mirror   []int64 // microseconds
+		opSeq    atomic.Int64
+		errs     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	ops := make(chan struct{})
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range ops {
+				n := opSeq.Add(1)
+				key := fmt.Sprintf("k%d", n)
+				t0 := time.Now()
+				resp, err := caller.Call("", "hub", wire.NewRequest("POST", "/put").
+					WithForm("key", key, "val", fmt.Sprintf("v%d", n)))
+				lat := time.Since(t0).Microseconds()
+				if err != nil || !resp.OK() {
+					errs.Add(1)
+					continue
+				}
+				mirrorMu.Lock()
+				mirror = append(mirror, lat)
+				mirrorMu.Unlock()
+				if cfg.RepairEvery > 0 && n%int64(cfg.RepairEvery) == 0 {
+					// Repair this put: the hub deletes it locally and
+					// cascades one delete carrier per peer (control-plane
+					// call, not a measured mirror op).
+					rep := wire.NewRequest("POST", "/aire/repair").WithHeader(
+						wire.HdrRepair, "delete",
+						wire.HdrRequestID, resp.Header[wire.HdrRequestID],
+					)
+					if rresp, rerr := caller.Call("", "hub", rep); rerr != nil || !rresp.OK() {
+						errs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	interval := time.Second / time.Duration(cfg.TargetRPS)
+	pace := time.NewTicker(interval)
+	deadline := time.After(cfg.Duration)
+pacing:
+	for {
+		select {
+		case <-deadline:
+			break pacing
+		case <-pace.C:
+			ops <- struct{}{}
+		}
+	}
+	pace.Stop()
+	close(ops)
+	wg.Wait()
+	paced := time.Since(start)
+
+	// Let the repair plane drain before closing the books.
+	if !hub.WaitQueueEmpty(30 * time.Second) {
+		return nil, fmt.Errorf("bench5: %d repair messages still queued after 30s", hub.QueueLen())
+	}
+	stopSampler()
+	<-samplerDone
+
+	res.DurationSec = paced.Seconds()
+	res.Errors = int(errs.Load())
+	sink.mu.Lock()
+	repair := append([]int64(nil), sink.sojourns...)
+	sink.mu.Unlock()
+	res.Classes = []LoadClass{
+		classOf("mirror", mirror, paced),
+		classOf("repair", repair, paced),
+	}
+	return res, nil
+}
+
+// FormatLoad renders a LoadResult as the human-readable bench5 table.
+func FormatLoad(res *LoadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %12s %10s %10s %10s %10s\n",
+		"class", "count", "rps", "p50", "p99", "p999", "max")
+	for _, c := range res.Classes {
+		fmt.Fprintf(&b, "%-8s %8d %12.1f %8.2fms %8.2fms %8.2fms %8.2fms\n",
+			c.Name, c.Count, c.RPS, c.P50Ms, c.P99Ms, c.P999Ms, c.MaxMs)
+	}
+	maxDepth := 0
+	for _, d := range res.QueueDepth {
+		if d.Depth > maxDepth {
+			maxDepth = d.Depth
+		}
+	}
+	fmt.Fprintf(&b, "errors=%d peak-queue-depth=%d samples=%d\n",
+		res.Errors, maxDepth, len(res.QueueDepth))
+	return b.String()
+}

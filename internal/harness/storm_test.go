@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/core"
+	"aire/internal/simnet"
+)
+
+// stormFaults is the fault plan the starvation regression runs under:
+// enough loss and duplication that backoff and redelivery paths are
+// exercised, not so much that runs stall.
+var stormFaults = simnet.FaultPlan{Drop: 0.05, Duplicate: 0.03}
+
+func stormSchedConfig(seed int64, admission bool) StormConfig {
+	cfg := StormConfig{
+		Seed:        seed,
+		Peers:       4,
+		Backlog:     30,
+		Responses:   12,
+		PeerCost:    6,
+		Sched:       true,
+		Faults:      stormFaults,
+		BatchPolicy: core.DefaultAdaptiveBatch(),
+	}
+	if admission {
+		cfg.Admission = core.DefaultAdmission()
+	}
+	return cfg
+}
+
+// TestStormAdmissionBoundsMirrorLatency is the starvation regression: with
+// sender-side admission control on, a 120-message repair storm over slow
+// peers must not starve the mirror plane — every response-class message
+// delivers, and its p99 sojourn stays bounded, for all 20 seeds under
+// seeded drop/duplicate faults.
+func TestStormAdmissionBoundsMirrorLatency(t *testing.T) {
+	const mirrorP99Bound = 2500 // scheduler steps
+	for seed := int64(1); seed <= 20; seed++ {
+		res, err := RunStorm(stormSchedConfig(seed, true))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.MirrorDelivered != 12 || res.CascadeDelivered != 120 {
+			t.Fatalf("seed %d: delivered mirror=%d cascade=%d, want 12/120",
+				seed, res.MirrorDelivered, res.CascadeDelivered)
+		}
+		t.Logf("seed %2d: mirror p50=%d p99=%d max=%d cascade p50=%d backlogAtDrain=%d rounds=%d steps=%d",
+			seed, res.MirrorP50, res.MirrorP99, res.MirrorMax, res.CascadeP50,
+			res.BacklogAtMirrorDrain, res.Rounds, res.SchedSteps)
+		if res.MirrorP99 > mirrorP99Bound {
+			t.Errorf("seed %d: mirror p99 = %d steps, bound %d — admission failed to protect the mirror plane",
+				seed, res.MirrorP99, mirrorP99Bound)
+		}
+	}
+}
+
+// TestStormNoAdmissionDegradesMirror is the teeth check: the same storm
+// with admission off must visibly degrade mirror latency relative to the
+// admission-on run — otherwise the bound above tests nothing.
+func TestStormNoAdmissionDegradesMirror(t *testing.T) {
+	var worse int
+	for seed := int64(1); seed <= 5; seed++ {
+		on, err := RunStorm(stormSchedConfig(seed, true))
+		if err != nil {
+			t.Fatalf("seed %d (admission on): %v", seed, err)
+		}
+		off, err := RunStorm(stormSchedConfig(seed, false))
+		if err != nil {
+			t.Fatalf("seed %d (admission off): %v", seed, err)
+		}
+		t.Logf("seed %d: mirror p99 on=%d off=%d", seed, on.MirrorP99, off.MirrorP99)
+		if off.MirrorP99 > on.MirrorP99 {
+			worse++
+		}
+	}
+	if worse < 4 {
+		t.Fatalf("admission off degraded mirror p99 in only %d/5 seeds — the starvation scenario has no teeth", worse)
+	}
+}
+
+// TestStormSchedTraceYieldLabels checks the dsched yield-point discipline:
+// the pump's new decision points surface as named entries in the schedule
+// trace when the policies are configured, and stay absent (so existing
+// seed digests are untouched) when they are not.
+func TestStormSchedTraceYieldLabels(t *testing.T) {
+	res, err := RunStorm(stormSchedConfig(7, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := strings.Join(res.SchedTrace, "\n")
+	for _, label := range []string{"@batch-policy", "@admission"} {
+		if !strings.Contains(trace, label) {
+			t.Errorf("schedule trace has no %q yield point (policies configured)", label)
+		}
+	}
+
+	plain := stormSchedConfig(7, false)
+	plain.BatchPolicy = nil
+	res, err = RunStorm(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace = strings.Join(res.SchedTrace, "\n")
+	for _, label := range []string{"@batch-policy", "@admission"} {
+		if strings.Contains(trace, label) {
+			t.Errorf("schedule trace contains %q although the policy is off", label)
+		}
+	}
+}
+
+// TestStormSerialDelivers runs the storm on the production scheduler
+// (real goroutines, wall clock) so the scenario is exercised under -race.
+func TestStormSerialDelivers(t *testing.T) {
+	res, err := RunStorm(StormConfig{
+		Seed: 1, Peers: 3, Backlog: 15, Responses: 8,
+		BatchPolicy: core.DefaultAdaptiveBatch(),
+		Admission:   core.DefaultAdmission(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MirrorDelivered != 8 || res.CascadeDelivered != 45 {
+		t.Fatalf("delivered mirror=%d cascade=%d, want 8/45", res.MirrorDelivered, res.CascadeDelivered)
+	}
+	t.Logf("serial: mirror p50=%dµs p99=%dµs cascade p50=%dµs", res.MirrorP50, res.MirrorP99, res.CascadeP50)
+}

@@ -198,8 +198,11 @@ type callSite struct {
 //     that could be affected by a rollback.
 //
 // All indexes are maintained by Append, Update, Resync, and GC. IDs are
-// assumed unique (they are minted by idgen counters); a duplicate
-// Aire-Response-Id would resolve to the first record indexed.
+// minted by idgen counters and must be unique per service; a duplicate
+// Aire-Response-Id (two services reusing an ID, a buggy peer echoing one
+// back) is detected at index-insert time and reported as an error — the
+// first record indexed keeps the mapping, so the O(1) lookup never silently
+// resolves to the wrong call.
 type Log struct {
 	mu       sync.RWMutex
 	byID     map[string]*Record
@@ -272,7 +275,14 @@ func (l *Log) Append(r *Record) error {
 	l.order = append(l.order, nil)
 	copy(l.order[i+1:], l.order[i:])
 	l.order[i] = r
-	l.indexLocked(r)
+	if err := l.indexLocked(r); err != nil {
+		// A colliding Aire-Response-Id would corrupt the O(1) respIdx
+		// lookup; refuse the record entirely rather than index it half-way.
+		l.unindexLocked(r)
+		l.order = append(l.order[:i], l.order[i+1:]...)
+		delete(l.byID, r.ID)
+		return err
+	}
 	l.accountSize(r)
 	if l.sink != nil {
 		l.emitLocked(Change{Kind: "append", Record: r.Clone()})
@@ -327,12 +337,24 @@ type indexedState struct {
 }
 
 // indexLocked adds the record's calls and dependencies to the secondary
-// indexes and remembers what was inserted. Caller holds mu.
-func (l *Log) indexLocked(r *Record) {
+// indexes and remembers what was inserted. A response-ID collision (the
+// RespID is already mapped to another call) leaves the existing mapping in
+// place and is reported in the returned error; everything else is indexed
+// regardless, so unindexLocked always reverses the insert. Caller holds mu.
+func (l *Log) indexLocked(r *Record) error {
+	var idxErr error
 	st := &indexedState{ops: len(r.Reads) + len(r.Scans) + len(r.Writes)}
 	for i, c := range r.Calls {
 		if c.RespID != "" {
-			if _, taken := l.respIdx[c.RespID]; !taken {
+			if pos, taken := l.respIdx[c.RespID]; taken {
+				if pos.rec != r || pos.idx != i {
+					err := fmt.Errorf("repairlog: response-id collision: %s already names call %d of record %s (now also claimed by call %d of record %s)",
+						c.RespID, pos.idx, pos.rec.ID, i, r.ID)
+					if idxErr == nil {
+						idxErr = err
+					}
+				}
+			} else {
 				l.respIdx[c.RespID] = callPos{rec: r, idx: i}
 				st.respIDs = append(st.respIDs, c.RespID)
 			}
@@ -370,6 +392,7 @@ func (l *Log) indexLocked(r *Record) {
 	}
 	l.totalOps += st.ops
 	l.indexed[r] = st
+	return idxErr
 }
 
 // unindexLocked removes everything indexLocked inserted for the record,
@@ -491,11 +514,11 @@ func (l *Log) Update(id string, fn func(*Record)) error {
 	}
 	l.unindexLocked(r)
 	fn(r)
-	l.indexLocked(r)
+	idxErr := l.indexLocked(r)
 	if l.sink != nil {
 		l.emitLocked(Change{Kind: "update", Record: r.Clone()})
 	}
-	return nil
+	return idxErr
 }
 
 // Resync re-derives the secondary index entries of a record that was

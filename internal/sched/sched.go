@@ -43,6 +43,12 @@ type Scheduler interface {
 	// another runnable task. In production it is a no-op; called from
 	// outside any scheduled task it is a no-op everywhere.
 	Yield()
+	// YieldNamed is Yield with a label naming the decision point (e.g.
+	// "batch-policy", "admission"). The simulation scheduler records the
+	// label in its trace ("task@label"), so schedule-exploration tests can
+	// assert a new decision point is actually covered; in production it is
+	// a no-op like Yield.
+	YieldNamed(label string)
 }
 
 // Sem is a counting semaphore.
@@ -92,6 +98,8 @@ func (goSched) NewPacer(interval time.Duration) Pacer {
 }
 
 func (goSched) Yield() {}
+
+func (goSched) YieldNamed(string) {}
 
 type goSem chan struct{}
 

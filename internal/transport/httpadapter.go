@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"aire/internal/wire"
@@ -75,14 +76,88 @@ func NewHTTPHandler(h Handler) http.Handler {
 	})
 }
 
+// Connection-pooling and timeout defaults for the adapter's HTTP client.
+// net/http's DefaultTransport keeps only MaxIdleConnsPerHost=2 idle
+// connections per peer, which serializes the pump's fan-out delivery behind
+// TCP connection churn; the adapter's defaults are sized for a repair plane
+// that fans out batches to many peers concurrently.
+const (
+	// DefaultHTTPTimeout bounds one delivery attempt end to end.
+	DefaultHTTPTimeout = 5 * time.Second
+	// DefaultMaxIdleConnsPerHost keeps enough warm connections per peer for
+	// every pump worker to deliver to the same peer without a new handshake.
+	DefaultMaxIdleConnsPerHost = 64
+	// DefaultMaxIdleConns caps the pool across all peers.
+	DefaultMaxIdleConns = 256
+	// DefaultIdleConnTimeout recycles connections idle longer than this.
+	DefaultIdleConnTimeout = 90 * time.Second
+)
+
 // HTTPCaller delivers wire requests over real HTTP. It implements the same
 // Call contract as Bus for use by the controller's outgoing queues.
+//
+// Client construction composes rather than overrides: the effective client
+// is built once, on first use, from the caller-supplied Client (if any)
+// with gaps filled from the knobs below and then the package defaults. A
+// caller-supplied Client with its own Transport or Timeout keeps them; a
+// bare &http.Client{} gets the pooled transport AND the default timeout
+// (previously a caller-supplied client silently dropped both the timeout
+// and all pooling). The supplied Client value is never mutated.
 type HTTPCaller struct {
 	// BaseURLs maps service names to base URLs, e.g. "askbot" ->
 	// "http://127.0.0.1:8031".
 	BaseURLs map[string]string
-	// Client is the HTTP client to use (http.DefaultClient if nil).
+	// Client, when non-nil, seeds the effective client; zero fields are
+	// filled in from the knobs below. When nil, the adapter builds a pooled
+	// default client.
 	Client *http.Client
+	// Timeout bounds one delivery attempt (DefaultHTTPTimeout if zero).
+	// Ignored when the supplied Client already carries its own Timeout.
+	Timeout time.Duration
+	// MaxIdleConnsPerHost, MaxIdleConns, and IdleConnTimeout tune the
+	// pooled transport the adapter builds (package defaults if zero).
+	// Ignored when the supplied Client already carries its own Transport.
+	MaxIdleConnsPerHost int
+	MaxIdleConns        int
+	IdleConnTimeout     time.Duration
+
+	clientOnce sync.Once
+	client     *http.Client
+}
+
+// httpClient resolves the effective client exactly once; see the HTTPCaller
+// doc comment for the composition rules.
+func (c *HTTPCaller) httpClient() *http.Client {
+	c.clientOnce.Do(func() {
+		var cl http.Client
+		if c.Client != nil {
+			cl = *c.Client // shallow copy: fill gaps without mutating the caller's client
+		}
+		if cl.Timeout == 0 {
+			cl.Timeout = c.Timeout
+			if cl.Timeout == 0 {
+				cl.Timeout = DefaultHTTPTimeout
+			}
+		}
+		if cl.Transport == nil {
+			t := http.DefaultTransport.(*http.Transport).Clone()
+			t.MaxIdleConnsPerHost = c.MaxIdleConnsPerHost
+			if t.MaxIdleConnsPerHost == 0 {
+				t.MaxIdleConnsPerHost = DefaultMaxIdleConnsPerHost
+			}
+			t.MaxIdleConns = c.MaxIdleConns
+			if t.MaxIdleConns == 0 {
+				t.MaxIdleConns = DefaultMaxIdleConns
+			}
+			t.IdleConnTimeout = c.IdleConnTimeout
+			if t.IdleConnTimeout == 0 {
+				t.IdleConnTimeout = DefaultIdleConnTimeout
+			}
+			cl.Transport = t
+		}
+		c.client = &cl
+	})
+	return c.client
 }
 
 // Call sends req to the named service over HTTP.
@@ -131,11 +206,7 @@ func (c *HTTPCaller) Call(from, to string, req wire.Request) (wire.Response, err
 	if from != "" {
 		hreq.Header.Set(HTTPHeaderFrom, from)
 	}
-	client := c.Client
-	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Second}
-	}
-	hresp, err := client.Do(hreq)
+	hresp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return wire.Response{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// A nil Client gets the pooled default: tuned transport plus the default
+// timeout (DefaultTransport's MaxIdleConnsPerHost=2 would serialize pump
+// fan-out behind connection churn).
+func TestHTTPClientDefaultIsPooled(t *testing.T) {
+	c := &HTTPCaller{}
+	cl := c.httpClient()
+	if cl.Timeout != DefaultHTTPTimeout {
+		t.Fatalf("Timeout = %v, want %v", cl.Timeout, DefaultHTTPTimeout)
+	}
+	tr, ok := cl.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("Transport is %T, want *http.Transport", cl.Transport)
+	}
+	if tr.MaxIdleConnsPerHost != DefaultMaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want %d", tr.MaxIdleConnsPerHost, DefaultMaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns != DefaultMaxIdleConns {
+		t.Fatalf("MaxIdleConns = %d, want %d", tr.MaxIdleConns, DefaultMaxIdleConns)
+	}
+	if tr.IdleConnTimeout != DefaultIdleConnTimeout {
+		t.Fatalf("IdleConnTimeout = %v, want %v", tr.IdleConnTimeout, DefaultIdleConnTimeout)
+	}
+	if c.httpClient() != cl {
+		t.Fatal("effective client must be resolved exactly once")
+	}
+}
+
+// A caller-supplied Client without Transport tuning composes with the
+// pooling knobs and default timeout instead of dropping them (the old path
+// used such a client verbatim: no pooling, no timeout).
+func TestHTTPClientComposesWithSuppliedClient(t *testing.T) {
+	supplied := &http.Client{}
+	c := &HTTPCaller{Client: supplied, MaxIdleConnsPerHost: 7}
+	cl := c.httpClient()
+	if cl == supplied {
+		t.Fatal("effective client must be a copy, not the caller's value")
+	}
+	if supplied.Timeout != 0 || supplied.Transport != nil {
+		t.Fatal("caller's client must not be mutated")
+	}
+	if cl.Timeout != DefaultHTTPTimeout {
+		t.Fatalf("Timeout = %v, want default %v", cl.Timeout, DefaultHTTPTimeout)
+	}
+	tr := cl.Transport.(*http.Transport)
+	if tr.MaxIdleConnsPerHost != 7 {
+		t.Fatalf("MaxIdleConnsPerHost = %d, want knob value 7", tr.MaxIdleConnsPerHost)
+	}
+	if tr.MaxIdleConns != DefaultMaxIdleConns {
+		t.Fatalf("MaxIdleConns = %d, want default %d", tr.MaxIdleConns, DefaultMaxIdleConns)
+	}
+}
+
+// A supplied Client that already carries a Timeout or Transport keeps them.
+func TestHTTPClientSuppliedFieldsWin(t *testing.T) {
+	own := &http.Transport{MaxIdleConnsPerHost: 3}
+	c := &HTTPCaller{
+		Client:  &http.Client{Timeout: 250 * time.Millisecond, Transport: own},
+		Timeout: 9 * time.Second, // ignored: the client has its own
+	}
+	cl := c.httpClient()
+	if cl.Timeout != 250*time.Millisecond {
+		t.Fatalf("Timeout = %v, want the client's own 250ms", cl.Timeout)
+	}
+	if cl.Transport != own {
+		t.Fatal("caller's Transport must be kept verbatim")
+	}
+}
+
+// The Timeout knob applies when no client is supplied.
+func TestHTTPClientTimeoutKnob(t *testing.T) {
+	c := &HTTPCaller{Timeout: 1 * time.Second}
+	if got := c.httpClient().Timeout; got != 1*time.Second {
+		t.Fatalf("Timeout = %v, want 1s", got)
+	}
+}
