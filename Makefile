@@ -13,7 +13,7 @@ GO ?= go
 SIM_SEEDS ?= 1:20
 SIM_PROFILE ?= mixed
 
-.PHONY: all build test race bench bench-json bench5 fmt fmt-fix vet lint ci sim sim-sched durability fuzz-wal
+.PHONY: all build test race bench bench-json bench5 bench-obs fmt fmt-fix vet lint ci sim sim-sched durability fuzz-wal
 
 all: build
 
@@ -45,6 +45,14 @@ bench-json:
 BENCH5_DUR ?= 5s
 bench5:
 	$(GO) run ./cmd/airebench -table bench5 -dur $(BENCH5_DUR) -out BENCH_5.json
+
+# Observability overhead gate (ISSUE 8): the allocation ceiling — with no
+# registry configured every instrumentation site must degenerate to a nil
+# check (0 allocs/op, asserted hard by TestObsDisabledZeroAlloc) — plus
+# the disabled-vs-enabled overhead benchmark for the record.
+bench-obs:
+	$(GO) test -run TestObsDisabledZeroAlloc ./internal/core
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem ./internal/core
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -99,4 +107,4 @@ lint:
 		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
 	fi
 
-ci: fmt vet lint build test race bench
+ci: fmt vet lint build test race bench bench-obs

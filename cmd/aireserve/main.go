@@ -33,10 +33,25 @@ import (
 
 	"aire"
 	"aire/internal/harness"
+	"aire/internal/obs"
 	"aire/internal/persist"
 	"aire/internal/transport"
 	"aire/internal/wal"
 )
+
+// withDebug mounts the observability surfaces ahead of the wire handler:
+// /aire/debug/metrics serves the registry as Prometheus text, and
+// /aire/debug/waves serves the reconstructed repair waves (max hop depth,
+// per-hop latency; ?verbose=1 includes the raw spans) as JSON. Both
+// services share one registry — metric names carry the service prefix —
+// so either listener answers for the whole testbed.
+func withDebug(reg *obs.Registry, h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/aire/debug/metrics", reg.Handler())
+	mux.Handle("/aire/debug/waves", reg.WavesHandler())
+	mux.Handle("/", h)
+	return mux
+}
 
 func main() {
 	addrA := flag.String("a", "127.0.0.1:8031", "listen address for service a")
@@ -51,7 +66,9 @@ func main() {
 	cpEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often each service checkpoints and truncates its WAL")
 	flag.Parse()
 
+	reg := obs.New(obs.DefaultRingCap)
 	cfg := aire.DefaultConfig()
+	cfg.Obs = reg
 	cfg.PumpWorkers = *workers
 	cfg.BatchSize = *batch
 	cfg.PumpInterval = *interval
@@ -62,7 +79,7 @@ func main() {
 	caller := &transport.HTTPCaller{BaseURLs: map[string]string{
 		"a": "http://" + *addrA,
 		"b": "http://" + *addrB,
-	}}
+	}, Obs: reg}
 	ctrlA := aire.NewServiceWithConfig(&harness.KVApp{ServiceName: "a", Mirror: "b"}, caller, cfg)
 	ctrlB := aire.NewServiceWithConfig(&harness.KVApp{ServiceName: "b"}, caller, cfg)
 
@@ -98,10 +115,10 @@ func main() {
 	}
 
 	go func() {
-		log.Fatal(http.ListenAndServe(*addrA, transport.NewHTTPHandler(ctrlA)))
+		log.Fatal(http.ListenAndServe(*addrA, withDebug(reg, transport.NewHTTPHandler(ctrlA))))
 	}()
 	go func() {
-		log.Fatal(http.ListenAndServe(*addrB, transport.NewHTTPHandler(ctrlB)))
+		log.Fatal(http.ListenAndServe(*addrB, withDebug(reg, transport.NewHTTPHandler(ctrlB))))
 	}()
 	stopPumps, err := aire.StartPumps(ctx, ctrlA, ctrlB)
 	if err != nil {
@@ -115,6 +132,7 @@ func main() {
 		*workers, *batch, *interval, *backoff)
 	fmt.Println("aire: try POST /put?key=x&val=hello on a, then GET /get?key=x on b,")
 	fmt.Println("aire: then POST /aire/repair with Aire-Repair: delete + Aire-Request-Id headers")
+	fmt.Println("aire: observability at /aire/debug/metrics and /aire/debug/waves on either service")
 	<-ctx.Done()
 	fmt.Println("aire: shutting down, draining repair pumps")
 }

@@ -17,11 +17,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"aire/internal/audit"
 	"aire/internal/deliver"
+	"aire/internal/obs"
 	"aire/internal/orm"
 	"aire/internal/repairlog"
 	"aire/internal/sched"
@@ -176,6 +178,14 @@ type Config struct {
 	// silently dropped. Exists so the deterministic scheduler can prove it
 	// rediscovers the historical bug; never set it outside tests.
 	FaultUngatedReconcile bool
+	// Obs, when non-nil, attaches the repair-plane observability registry
+	// (internal/obs): the controller publishes counters, latency
+	// histograms, and wave-trace spans into it. Leave nil to disable:
+	// every instrumented site then reduces to a nil check with zero
+	// allocations (BenchmarkObsOverhead), and — because wave-trace
+	// context is protocol state minted and persisted unconditionally —
+	// an obs-on run takes byte-identical schedules to an obs-off run.
+	Obs *obs.Registry
 	// FaultSplitRepairCommit (fault injection, tests only): commit a
 	// repair's WAL entry without its queue effects and inbox outcome,
 	// reintroducing the historical split-entry windows — a crash after the
@@ -220,6 +230,14 @@ type PendingMsg struct {
 	// so the peer can discard a delayed copy of superseded content. It is
 	// persisted so generations stay monotonic across crash-restart.
 	Gen uint64 `json:"gen,omitempty"`
+	// TraceID / TraceHop are the repair-wave trace context this message
+	// carries (wire.HdrTraceID / wire.HdrTraceHop): the wave minted at
+	// the cascade's origin and the hop depth this message's delivery
+	// represents (origin repair = hop 0, the messages it emits = hop 1).
+	// Persisted with the queue so a wave's shape survives crash-recovery.
+	// Observability-only: never consulted for repair semantics or dedup.
+	TraceID  string `json:"trace_id,omitempty"`
+	TraceHop int    `json:"trace_hop,omitempty"`
 	// token is the response-repair token minted for a replace_response
 	// (reused across delivery attempts).
 	token string
@@ -243,6 +261,15 @@ type Stats struct {
 	// StaleDeliveries counts incoming deliveries acknowledged and
 	// discarded because they carried a superseded content generation.
 	StaleDeliveries int64
+	// InboxCommits counts exactly-once inbox outcomes committed for
+	// applied incoming deliveries. Unlike MsgsDelivered/MsgsFailed it
+	// counts work on the receive side, so a harness quiescing on progress
+	// sees a fault class that applies repairs without producing local
+	// delivery outcomes (the carried ROADMAP quiesce-widening debt).
+	InboxCommits int64
+	// BatchApplies counts ProcessIncoming batches applied (batch-incoming
+	// mode): receive-side progress that precedes any delivery outcome.
+	BatchApplies int64
 }
 
 type tokenEntry struct {
@@ -276,6 +303,10 @@ type Controller struct {
 	// sd is the resolved concurrency substrate (Cfg.Sched, or production
 	// goroutines); immutable after NewController.
 	sd sched.Scheduler
+
+	// met caches the obs handles (core/obs.go); immutable after
+	// NewController. All-nil when Cfg.Obs is nil.
+	met ctrlMetrics
 
 	pumpMu     sync.Mutex
 	pumpCancel context.CancelFunc
@@ -333,8 +364,36 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 	if c.sd == nil {
 		c.sd = sched.Goroutines()
 	}
+	c.met = newCtrlMetrics(cfg.Obs, app.Name())
 	c.qcond = sync.NewCond(&c.qmu)
 	return c
+}
+
+// Obs returns the controller's observability registry (nil when disabled).
+// Storage-layer helpers (internal/persist) use it to wire WAL and
+// checkpoint latency into the same registry.
+func (c *Controller) Obs() *obs.Registry { return c.Cfg.Obs }
+
+// traceCtx is the repair-wave trace context an apply runs under: the wave
+// ID minted at the cascade's origin and the hop depth this apply
+// represents (origin = hop 0). The zero value means "no incoming context";
+// applyActionsGated then mints a fresh wave. Trace context is protocol
+// state, not an obs feature: it is parsed, minted, stamped, and persisted
+// unconditionally, so instrumented and uninstrumented runs consume
+// identical ID sequences and take byte-identical schedules.
+type traceCtx struct {
+	wave string
+	hop  int
+}
+
+// traceFromCarrier reads the wave context a repair-plane carrier rode in
+// with (stamped by the sender's stampDelivery).
+func traceFromCarrier(req wire.Request) traceCtx {
+	tc := traceCtx{wave: req.Header[wire.HdrTraceID]}
+	if tc.wave != "" {
+		tc.hop, _ = strconv.Atoi(req.Header[wire.HdrTraceHop])
+	}
+	return tc
 }
 
 // HandleWire implements transport.Handler: repair API paths are handled by
@@ -372,6 +431,7 @@ func (c *Controller) handleNormal(from string, req wire.Request) wire.Response {
 	c.smu.Lock()
 	c.stats.Requests++
 	c.smu.Unlock()
+	c.met.requests.Inc()
 
 	rec := &repairlog.Record{
 		ID:           c.Svc.IDs.Request(),
@@ -447,6 +507,7 @@ func (c *Controller) handleRepair(from string, req wire.Request) wire.Response {
 func (c *Controller) applyRepairRequest(from string, req wire.Request, gate *deliveryGate) wire.Response {
 	op := warp.OutKind(req.Header[wire.HdrRepair])
 	targetID := req.Header[wire.HdrRequestID]
+	tc := traceFromCarrier(req)
 
 	var action warp.Action
 	var ac AuthzRequest
@@ -519,11 +580,11 @@ func (c *Controller) applyRepairRequest(from string, req wire.Request, gate *del
 	}
 
 	if c.Cfg.BatchIncoming {
-		c.enqueueIncoming(action, gate)
+		c.enqueueIncoming(action, gate, tc)
 		return wire.NewResponse(202, "aire: repair queued")
 	}
 
-	res, err := c.applyActionsGated([]warp.Action{action}, gate)
+	res, err := c.applyActionsGated([]warp.Action{action}, gate, tc)
 	if err != nil {
 		if errors.Is(err, warp.ErrGarbageCollected) {
 			return wire.NewResponse(410, "aire: "+err.Error())
@@ -625,11 +686,14 @@ func (c *Controller) applyNotify(from string, req wire.Request, gate *deliveryGa
 		Kind: warp.ReplaceCallResp, RespID: payload.RespID,
 		NewResp: newResp, RemoteReqID: payload.RemoteReqID,
 	}
+	// The notify carrier, not the fetched payload, carries the wave
+	// context: the token handshake is one hop of the wave.
+	tc := traceFromCarrier(req)
 	if c.Cfg.BatchIncoming {
-		c.enqueueIncoming(action, gate)
+		c.enqueueIncoming(action, gate, tc)
 		return wire.NewResponse(202, "aire: repair queued")
 	}
-	if _, err := c.applyActions([]warp.Action{action}); err != nil {
+	if _, err := c.applyActionsGated([]warp.Action{action}, nil, tc); err != nil {
 		return wire.NewResponse(400, "aire: "+err.Error())
 	}
 	return wire.NewResponse(200, "aire: response repaired")
@@ -685,7 +749,7 @@ func (c *Controller) handlePoll(from string, req wire.Request) wire.Response {
 // entry (see applyActionsGated), so a crash-recovered service never holds
 // the repaired state without the downstream messages it produced.
 func (c *Controller) applyActions(actions []warp.Action) (*warp.Result, error) {
-	return c.applyActionsGated(actions, nil)
+	return c.applyActionsGated(actions, nil, traceCtx{})
 }
 
 // applyActionsGated runs local repair with everything the repair implies —
@@ -697,7 +761,14 @@ func (c *Controller) applyActions(actions []warp.Action) (*warp.Result, error) {
 // redelivery re-applies cleanly). The historical split-entry behavior — the
 // documented double-queue/lost-cascade crash windows — is preserved behind
 // Config.FaultSplitRepairCommit for the regression test.
-func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate) (*warp.Result, error) {
+func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate, tc traceCtx) (*warp.Result, error) {
+	// No incoming wave context: this repair originates a cascade. The wave
+	// is minted unconditionally (obs-on and obs-off runs must consume the
+	// same ID sequence) from the persisted counter, so it stays unique
+	// across crash-restart like every other identifier.
+	if tc.wave == "" {
+		tc = traceCtx{wave: c.Svc.IDs.Wave(), hop: 0}
+	}
 	if c.Cfg.FaultSplitRepairCommit {
 		// Historical ordering: repair entry, then standalone q-set entries,
 		// with the gate left for the caller to commit afterwards.
@@ -710,7 +781,7 @@ func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate
 		if err != nil {
 			return nil, err
 		}
-		c.finishRepair(actions, res, false)
+		c.finishRepair(actions, res, false, tc)
 		return res, nil
 	}
 	c.Svc.Mu.Lock()
@@ -732,7 +803,7 @@ func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate
 	// gate's inbox commit — with the minted request ID as the outcome for
 	// creates — lands in the same entry. Ownership of the gate transfers
 	// here: the caller's commit-on-OK becomes a no-op.
-	c.enqueueJoin(res.Msgs, true)
+	c.enqueueJoin(res.Msgs, true, tc)
 	if gate != nil {
 		outcome := ""
 		if len(res.CreatedIDs) > 0 {
@@ -744,14 +815,14 @@ func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate
 	c.walCommit()
 	c.Svc.Mu.Unlock()
 	c.walSettle()
-	c.finishRepair(actions, res, true)
+	c.finishRepair(actions, res, true, tc)
 	return res, nil
 }
 
 // finishRepair does a completed local repair's unlocked bookkeeping:
 // counters, notifications, and — unless the caller already queued them
 // inside its WAL batch (enqueued) — the outbound messages.
-func (c *Controller) finishRepair(actions []warp.Action, res *warp.Result, enqueued bool) {
+func (c *Controller) finishRepair(actions []warp.Action, res *warp.Result, enqueued bool, tc traceCtx) {
 	c.smu.Lock()
 	c.stats.RepairsRun++
 	c.smu.Unlock()
@@ -762,8 +833,25 @@ func (c *Controller) finishRepair(actions []warp.Action, res *warp.Result, enque
 	c.lastTotalOps = res.TotalModelOps
 	c.repairDuration += res.Duration
 	c.rmu.Unlock()
+	c.met.repairsRun.Inc()
+	c.met.repairNS.ObserveNS(int64(res.Duration))
+	if c.met.reg != nil {
+		// One span per warp phase, laid out back-to-back ending now; the
+		// phase durations come from the engine's own wall clock, the span
+		// endpoints from the controller clock (virtual under -sched).
+		end := c.now().UnixNano()
+		for i := len(res.PhaseDurations) - 1; i >= 0; i-- {
+			start := end - int64(res.PhaseDurations[i])
+			c.met.ring.Record(obs.Span{
+				Wave: tc.wave, Hop: tc.hop, Service: c.Svc.Name,
+				Kind: obs.SpanRepair, Subject: warp.RepairPhases[i],
+				StartNS: start, EndNS: end,
+			})
+			end = start
+		}
+	}
 	if !enqueued {
-		c.enqueue(res.Msgs)
+		c.enqueue(res.Msgs, tc)
 	}
 	for _, n := range res.Notices {
 		c.notify(Notification{Kind: string(n.Kind), Detail: n.Detail, RepairType: "local"})
@@ -792,6 +880,10 @@ type queuedAction struct {
 	seq    uint64
 	action warp.Action
 	gate   deliveryGate
+	// wave / hop are the accepted carrier's trace context, persisted with
+	// the batch-accept op so a recovered batch keeps its wave identity.
+	wave string
+	hop  int
 }
 
 // enqueueIncoming stashes an admitted action in the incoming batch queue,
@@ -799,14 +891,15 @@ type queuedAction struct {
 // become no-ops). The acceptance is WAL-logged inside the same critical
 // section, so accepted actions survive a crash before ProcessIncoming —
 // closing the batch-mode durability window the 202 ack used to open.
-func (c *Controller) enqueueIncoming(action warp.Action, gate *deliveryGate) {
+func (c *Controller) enqueueIncoming(action warp.Action, gate *deliveryGate, tc traceCtx) {
 	c.inmu.Lock()
 	c.inseq++
 	seq := c.inseq
-	c.inbox = append(c.inbox, queuedAction{seq: seq, action: action, gate: *gate})
+	c.inbox = append(c.inbox, queuedAction{seq: seq, action: action, gate: *gate, wave: tc.wave, hop: tc.hop})
 	if c.walAttached() {
 		c.walEmit("batch", mustOp("batch-accept", batchAcceptOp{
 			Seq: seq, Action: action, Origin: gate.origin, ID: gate.id, Gen: gate.gen, Once: gate.once,
+			Wave: tc.wave, Hop: tc.hop,
 		}), false)
 	}
 	c.inmu.Unlock()
@@ -828,11 +921,22 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 	}
 	actions := make([]warp.Action, len(queued))
 	drainIDs := make([]string, 0, len(queued))
+	// The batch applies under the deepest trace context among its actions
+	// (the conservative choice: the batch's emitted messages belong to the
+	// deepest wave that fed it; a batch mixing waves attributes the whole
+	// apply to that one). A batch with no traced action originates a wave.
+	var tc traceCtx
 	for i, q := range queued {
 		actions[i] = q.action
 		if q.gate.id != "" {
 			drainIDs = append(drainIDs, q.gate.id)
 		}
+		if q.wave != "" && (tc.wave == "" || q.hop > tc.hop) {
+			tc = traceCtx{wave: q.wave, hop: q.hop}
+		}
+	}
+	if tc.wave == "" {
+		tc = traceCtx{wave: c.Svc.IDs.Wave(), hop: 0}
 	}
 	// Accept seqs ascend in inbox order, so the last entry's seq is the
 	// drain watermark: replay removes entries at or below it and nothing
@@ -872,13 +976,17 @@ func (c *Controller) ProcessIncoming() (*warp.Result, error) {
 	// behind Config.FaultSplitRepairCommit for the regression test.
 	enqueued := !c.Cfg.FaultSplitRepairCommit
 	if enqueued {
-		c.enqueueJoin(res.Msgs, true)
+		c.enqueueJoin(res.Msgs, true, tc)
 	}
 	c.walEmit("batch", mustOp("batch-drain", batchDrainOp{UpToSeq: drainUpTo, N: len(queued), IDs: drainIDs}), true)
 	c.walCommit()
 	c.Svc.Mu.Unlock()
 	c.walSettle()
-	c.finishRepair(actions, res, enqueued)
+	c.smu.Lock()
+	c.stats.BatchApplies++
+	c.smu.Unlock()
+	c.met.batchApplies.Inc()
+	c.finishRepair(actions, res, enqueued, tc)
 	return res, nil
 }
 

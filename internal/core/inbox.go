@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"aire/internal/deliver"
+	"aire/internal/obs"
 	"aire/internal/warp"
 	"aire/internal/wire"
 )
@@ -70,6 +71,8 @@ func (c *Controller) gateDelivery(from string, req wire.Request) (deliveryGate, 
 		c.smu.Lock()
 		c.stats.DupDeliveries++
 		c.smu.Unlock()
+		c.met.inboxDup.Inc()
+		c.spanInboxVerdict(req, id, "duplicate")
 		c.emit(EvDupDelivery, id, "duplicate delivery from %s re-acknowledged (gen %d)", origin, gen)
 		resp := wire.NewResponse(200, "aire: duplicate delivery acknowledged")
 		if outcome != "" {
@@ -80,6 +83,8 @@ func (c *Controller) gateDelivery(from string, req wire.Request) (deliveryGate, 
 		c.smu.Lock()
 		c.stats.StaleDeliveries++
 		c.smu.Unlock()
+		c.met.inboxStale.Inc()
+		c.spanInboxVerdict(req, id, "stale")
 		c.emit(EvStaleDelivery, id, "superseded generation %d from %s acknowledged and discarded", gen, origin)
 		resp := wire.NewResponse(200, "aire: stale generation discarded")
 		return deliveryGate{}, &resp
@@ -88,6 +93,8 @@ func (c *Controller) gateDelivery(from string, req wire.Request) (deliveryGate, 
 		// a duplicate would let the sender dequeue a repair whose only
 		// apply may yet fail; answer retryably (503 → peer-level backoff)
 		// so the sender tries again once the outcome is known.
+		c.met.inboxBusy.Inc()
+		c.spanInboxVerdict(req, id, "in-flight")
 		resp := wire.NewResponse(503, "aire: delivery in progress, retry")
 		return deliveryGate{}, &resp
 	case deliver.Forgotten:
@@ -95,10 +102,33 @@ func (c *Controller) gateDelivery(from string, req wire.Request) (deliveryGate, 
 		// ever applied is unknowable, so refuse it the way the repair log
 		// refuses its own pre-horizon repairs — the sender drops the
 		// message and notifies its administrator.
+		c.met.inboxGone.Inc()
+		c.spanInboxVerdict(req, id, "forgotten")
 		resp := wire.NewResponse(410, "aire: delivery predates the dedup horizon; repair permanently unavailable")
 		return deliveryGate{}, &resp
 	}
+	c.met.inboxApply.Inc()
+	c.spanInboxVerdict(req, id, "apply")
 	return deliveryGate{c: c, active: true, origin: origin, id: id, gen: gen, once: once}, nil
+}
+
+// spanInboxVerdict records one inbox-classification span, correlated to
+// the wave the carrier rode in with. No-op with obs disabled.
+func (c *Controller) spanInboxVerdict(req wire.Request, id, verdict string) {
+	if c.met.reg == nil {
+		return
+	}
+	wave := req.Header[wire.HdrTraceID]
+	hop := 0
+	if wave != "" {
+		hop, _ = strconv.Atoi(req.Header[wire.HdrTraceHop])
+	}
+	now := c.now().UnixNano()
+	c.met.ring.Record(obs.Span{
+		Wave: wave, Hop: hop, Service: c.Svc.Name,
+		Kind: obs.SpanInbox, Subject: verdict, Peer: id,
+		StartNS: now, EndNS: now,
+	})
 }
 
 // commit records the applied delivery's outcome (for creates, the minted
@@ -116,6 +146,13 @@ func (g deliveryGate) commitEmit(outcome string, join bool) {
 	}
 	ts := g.c.Svc.Clock.Now()
 	g.c.dedup.Commit(g.origin, g.id, g.gen, outcome, ts)
+	// Receive-side progress: the harness's widened quiesce metric counts
+	// committed inbox outcomes, so fault classes that apply repairs
+	// without producing local delivery outcomes still register progress.
+	g.c.smu.Lock()
+	g.c.stats.InboxCommits++
+	g.c.smu.Unlock()
+	g.c.met.inboxCommits.Inc()
 	if g.c.walAttached() {
 		g.c.walEmit("inbox", mustOp("in-commit", inboxOp{
 			Origin: g.origin, ID: g.id, Gen: g.gen, Once: g.once, Outcome: outcome, TS: ts,

@@ -84,7 +84,7 @@ func TestBatchPolicyGrowsAndShrinks(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		msgs = append(msgs, cascadeMsg("b", i))
 	}
-	c.enqueue(msgs)
+	c.enqueue(msgs, traceCtx{})
 
 	var sizes []int
 	for pass := 0; pass < 4; pass++ {
@@ -127,7 +127,7 @@ func TestAdmissionReservesResponseWorkers(t *testing.T) {
 	cfg.Admission = Admission{MaxShare: 0.5}
 	c := tb.add(&kvApp{name: "a"}, cfg)
 
-	c.enqueue([]warp.OutMsg{cascadeMsg("p1", 0), cascadeMsg("p2", 0), respMsg("client", 0)})
+	c.enqueue([]warp.OutMsg{cascadeMsg("p1", 0), cascadeMsg("p2", 0), respMsg("client", 0)}, traceCtx{})
 
 	batches := claimPass(c)
 	if len(batches) != 2 {
@@ -182,7 +182,7 @@ func TestAdmissionBurstTrickle(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		msgs = append(msgs, cascadeMsg("p1", i))
 	}
-	c.enqueue(msgs)
+	c.enqueue(msgs, traceCtx{})
 
 	c.beginLiveCall("p1")
 	batches := c.claimBatches(0, nil, true)

@@ -212,7 +212,7 @@ func (c *Controller) enqueueSpoof(t *testing.T, respID string) {
 		Resp:        wire.NewResponse(200, "forged"),
 		NotifierURL: "aire://reader/aire/notify",
 		LocalReqID:  "evil-req-999",
-	}})
+	}}, traceCtx{})
 }
 
 func TestDropAbandonsMessage(t *testing.T) {

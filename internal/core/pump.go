@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"aire/internal/obs"
 	"aire/internal/sched"
 	"aire/internal/transport"
 	"aire/internal/warp"
@@ -333,6 +334,22 @@ func (c *Controller) claimBatches(limit int, perPeer map[string]int, admit bool)
 		}
 		c.walEmitClaimLocked(cl.peer, ids)
 	}
+	if c.met.reg != nil {
+		claimNS := c.now().UnixNano()
+		for _, cl := range order {
+			for i := range cl.snap {
+				s := &cl.snap[i]
+				if s.TraceID == "" {
+					continue
+				}
+				c.met.ring.Record(obs.Span{
+					Wave: s.TraceID, Hop: s.TraceHop, Service: c.Svc.Name,
+					Kind: obs.SpanClaim, Subject: s.DeliveryID, Peer: cl.peer,
+					StartNS: claimNS, EndNS: claimNS,
+				})
+			}
+		}
+	}
 	return order
 }
 
@@ -384,7 +401,24 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 	for i := range cl.ptrs {
 		c.sd.Yield()       // schedule point: about to deliver one claimed message
 		snap := cl.snap[i] // private copy; deliver mutates LastErr/token
+		// Span window around the wire call; pure clock reads either side,
+		// no yields — instrumentation must not add schedule points.
+		var dlvStart int64
+		if c.met.reg != nil {
+			dlvStart = c.now().UnixNano()
+		}
 		st := c.deliver(&snap)
+		if c.met.reg != nil {
+			dlvEnd := c.now().UnixNano()
+			c.met.deliverNS.ObserveNS(dlvEnd - dlvStart)
+			if snap.TraceID != "" {
+				c.met.ring.Record(obs.Span{
+					Wave: snap.TraceID, Hop: snap.TraceHop, Service: c.Svc.Name,
+					Kind: obs.SpanDeliver, Subject: snap.DeliveryID, Peer: cl.peer,
+					StartNS: dlvStart, EndNS: dlvEnd,
+				})
+			}
+		}
 		heldAttempts := 0
 
 		c.sd.Yield() // schedule point: delivered, not yet reconciled
@@ -453,6 +487,18 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		}
 		c.qmu.Unlock()
 
+		// Reconcile span: the moment the claimed outcome was applied to the
+		// queue entry. Subject stays the DeliveryID so obs.Waves can pair it
+		// with the enqueue span for per-hop latency.
+		if c.met.reg != nil && snap.TraceID != "" {
+			recNS := c.now().UnixNano()
+			c.met.ring.Record(obs.Span{
+				Wave: snap.TraceID, Hop: snap.TraceHop, Service: c.Svc.Name,
+				Kind: obs.SpanReconcile, Subject: snap.DeliveryID, Peer: cl.peer,
+				StartNS: recNS, EndNS: recNS,
+			})
+		}
+
 		switch st {
 		case deliverOK:
 			// Stale (superseded-in-flight) deliveries stay queued and land
@@ -462,6 +508,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 				c.smu.Lock()
 				c.stats.MsgsDelivered++
 				c.smu.Unlock()
+				c.met.msgsDelivered.Inc()
 				c.emit(EvMsgDelivered, snap.MsgID, "%s delivered to %s", snap.Msg.Kind, snap.Msg.Target)
 			}
 		case deliverGone:
@@ -471,6 +518,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 				c.smu.Lock()
 				c.stats.MsgsFailed++
 				c.smu.Unlock()
+				c.met.msgsFailed.Inc()
 				notes = append(notes, Notification{
 					MsgID: snap.MsgID, Kind: "gone", Target: snap.Msg.Target, RepairType: string(snap.Msg.Kind),
 					Detail: "peer reports the request's logs were garbage-collected; repair is permanently unavailable: " + snap.LastErr,
@@ -599,6 +647,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 // WaitQueueEmpty waiters when the last one goes. Callers hold qmu.
 func (c *Controller) queueShrunkLocked() {
 	c.qlive--
+	c.met.queueDepth.Set(int64(c.qlive))
 	if c.qlive == 0 {
 		c.qcond.Broadcast()
 	}

@@ -47,13 +47,13 @@ func TestPumpSlowPeerDoesNotBlockOthers(t *testing.T) {
 	defer a.StopPump()
 
 	// The slow peer's batch gets claimed and hangs in the transport.
-	a.enqueue([]warp.OutMsg{{Kind: warp.OutDelete, Target: "slow", RemoteReqID: "r1"}})
+	a.enqueue([]warp.OutMsg{{Kind: warp.OutDelete, Target: "slow", RemoteReqID: "r1"}}, traceCtx{})
 	time.Sleep(50 * time.Millisecond)
 
 	// A message for a healthy peer enqueued mid-hang must go out now, not
 	// after the slow delivery reconciles.
 	start := time.Now()
-	a.enqueue([]warp.OutMsg{{Kind: warp.OutDelete, Target: "fast", RemoteReqID: "r2"}})
+	a.enqueue([]warp.OutMsg{{Kind: warp.OutDelete, Target: "fast", RemoteReqID: "r2"}}, traceCtx{})
 	select {
 	case <-fastArrived:
 	case <-time.After(hang):

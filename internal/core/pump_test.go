@@ -94,7 +94,7 @@ func TestPumpPerPeerFIFO(t *testing.T) {
 			msgs = append(msgs, createMsg(peer, seq))
 		}
 	}
-	hub.enqueue(msgs)
+	hub.enqueue(msgs, traceCtx{})
 
 	if err := hub.StartPump(context.Background()); err != nil {
 		t.Fatal(err)
@@ -289,7 +289,7 @@ func TestMessageSpecificFailureDoesNotBlockBatch(t *testing.T) {
 		{Kind: warp.OutCreate, Target: "sink", Req: wire.NewRequest("POST", "/put").WithForm("seq", "poison")},
 		createMsg("sink", 1),
 		createMsg("sink", 2),
-	})
+	}, traceCtx{})
 
 	for i := 0; i < DefaultConfig().MaxAttempts; i++ {
 		hub.Flush()
@@ -303,7 +303,7 @@ func TestMessageSpecificFailureDoesNotBlockBatch(t *testing.T) {
 	}
 	// The peer answered every time, so it must not be backing off: a fresh
 	// message delivers on the next pass with no clock advance.
-	hub.enqueue([]warp.OutMsg{createMsg("sink", 3)})
+	hub.enqueue([]warp.OutMsg{createMsg("sink", 3)}, traceCtx{})
 	hub.Flush()
 	if got := peer.recorded(); len(got) != 3 || got[2] != "3" {
 		t.Fatalf("reachable peer wrongly backed off after message-level failures: %v", got)

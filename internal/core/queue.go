@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"aire/internal/obs"
 	"aire/internal/repairlog"
 	"aire/internal/transport"
 	"aire/internal/warp"
@@ -14,9 +15,11 @@ import (
 // enqueue adds repair messages to the outgoing queue, collapsing messages
 // that target the same request or response (§3.2: "If multiple repair
 // messages refer to the same request or the same response, Aire can
-// collapse them, by keeping only the most recent repair message").
-func (c *Controller) enqueue(msgs []warp.OutMsg) {
-	c.enqueueJoin(msgs, false)
+// collapse them, by keeping only the most recent repair message"). tc is
+// the trace context of the repair that produced the messages: each queued
+// message carries the wave at one hop deeper than the apply it came from.
+func (c *Controller) enqueue(msgs []warp.OutMsg, tc traceCtx) {
+	c.enqueueJoin(msgs, false, tc)
 }
 
 // enqueueJoin is enqueue with control over WAL batching: with join set the
@@ -25,9 +28,14 @@ func (c *Controller) enqueue(msgs []warp.OutMsg) {
 // committing (a repair's mutations, a batch's inbox outcomes). Only callers
 // holding Svc.Mu with a batch open may pass join=true — a standalone
 // caller's join would race another goroutine's open batch.
-func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool) {
+func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool, tc traceCtx) {
 	if len(msgs) == 0 {
 		return
+	}
+	// A message's delivery is one hop deeper than the apply that emitted it.
+	hop := tc.hop
+	if tc.wave != "" {
+		hop++
 	}
 	c.qmu.Lock()
 	defer c.qmu.Unlock()
@@ -35,6 +43,7 @@ func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool) {
 		c.smu.Lock()
 		c.stats.MsgsQueued++
 		c.smu.Unlock()
+		c.met.msgsQueued.Inc()
 		if key := collapseKey(m); key != "" {
 			replaced := false
 			for _, p := range c.queue {
@@ -43,7 +52,12 @@ func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool) {
 					p.Held = false
 					p.Attempts = 0
 					p.Gen++ // supersede any delivery of the old content in flight
+					// Trace follows content: the surviving delivery carries
+					// the superseding repair's wave.
+					p.TraceID = tc.wave
+					p.TraceHop = hop
 					c.walEmitQSetJoinLocked(p, join)
+					c.spanEnqueueLocked(p)
 					replaced = true
 					break
 				}
@@ -57,14 +71,32 @@ func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool) {
 			MsgID:      fmt.Sprintf("%s-msg-%d", c.Svc.Name, c.nextID),
 			DeliveryID: c.Svc.IDs.Delivery(),
 			Msg:        m,
+			TraceID:    tc.wave,
+			TraceHop:   hop,
 			queued:     true,
 		}
 		c.queue = append(c.queue, p)
 		c.qlive++
 		c.walEmitQSetJoinLocked(p, join)
+		c.spanEnqueueLocked(p)
 		c.emit(EvMsgQueued, p.MsgID, "%s -> %s (req=%s resp=%s)", m.Kind, m.Target, m.RemoteReqID, m.RespID)
 	}
+	c.met.queueDepth.Set(int64(c.qlive))
 	c.wakePump()
+}
+
+// spanEnqueueLocked records the enqueue span of one queued (or
+// re-collapsed) message. Caller holds qmu; no-op with obs disabled.
+func (c *Controller) spanEnqueueLocked(p *PendingMsg) {
+	if c.met.reg == nil || p.TraceID == "" {
+		return
+	}
+	now := c.now().UnixNano()
+	c.met.ring.Record(obs.Span{
+		Wave: p.TraceID, Hop: p.TraceHop, Service: c.Svc.Name,
+		Kind: obs.SpanEnqueue, Subject: p.DeliveryID, Peer: peerKey(p.Msg),
+		StartNS: now, EndNS: now,
+	})
 }
 
 // collapseKey identifies the request/response a repair message is about;
@@ -208,6 +240,8 @@ func (c *Controller) ImportQueue(msgs []PendingMsg) {
 					q.Held = p.Held
 					q.Attempts = p.Attempts
 					q.LastErr = p.LastErr
+					q.TraceID = p.TraceID // trace follows content
+					q.TraceHop = p.TraceHop
 					if p.Gen > q.Gen {
 						q.Gen = p.Gen
 					}
@@ -304,6 +338,12 @@ func (c *Controller) deliver(p *PendingMsg) deliverStatus {
 // re-acknowledge duplicates and discard delayed superseded content. p is
 // the delivery pass's private snapshot, so p.Gen is the claimed generation.
 func (c *Controller) stampDelivery(req wire.Request, p *PendingMsg) {
+	// Trace context is stamped even on hand-built entries: it is
+	// observability-only, so it never needs the delivery-identity gate.
+	if p.TraceID != "" {
+		req.Header[wire.HdrTraceID] = p.TraceID
+		req.Header[wire.HdrTraceHop] = strconv.Itoa(p.TraceHop)
+	}
 	if p.DeliveryID == "" {
 		return // hand-built entry (tests, legacy snapshots): deliver ungated
 	}

@@ -243,6 +243,10 @@ type batchAcceptOp struct {
 	ID     string      `json:"id,omitempty"`
 	Gen    uint64      `json:"gen,omitempty"`
 	Once   bool        `json:"once,omitempty"`
+	// Wave / Hop persist the accepted carrier's trace context so a
+	// recovered batch keeps its wave identity (observability-only).
+	Wave string `json:"wave,omitempty"`
+	Hop  int    `json:"hop,omitempty"`
 }
 
 type batchDrainOp struct {
@@ -378,7 +382,7 @@ func (c *Controller) applyWALOp(op wal.Op) error {
 		if err := json.Unmarshal(op.Data, &o); err != nil {
 			return err
 		}
-		c.walBatchAccept(BatchedAction{Seq: o.Seq, Action: o.Action, Origin: o.Origin, ID: o.ID, Gen: o.Gen, Once: o.Once})
+		c.walBatchAccept(BatchedAction{Seq: o.Seq, Action: o.Action, Origin: o.Origin, ID: o.ID, Gen: o.Gen, Once: o.Once, Wave: o.Wave, Hop: o.Hop})
 		return nil
 	case "batch-drain":
 		var o batchDrainOp
@@ -420,6 +424,8 @@ func (c *Controller) walQueueSet(o qSetOp) {
 			p.Held = m.Held
 			p.LastErr = m.LastErr
 			p.Gen = m.Gen
+			p.TraceID = m.TraceID
+			p.TraceHop = m.TraceHop
 			return
 		}
 	}
@@ -474,7 +480,7 @@ func (c *Controller) walBatchAccept(b BatchedAction) {
 	} else if seq > c.inseq {
 		c.inseq = seq
 	}
-	c.inbox = append(c.inbox, queuedAction{seq: seq, action: b.Action, gate: g})
+	c.inbox = append(c.inbox, queuedAction{seq: seq, action: b.Action, gate: g, wave: b.Wave, hop: b.Hop})
 	c.inmu.Unlock()
 }
 
@@ -492,6 +498,10 @@ type BatchedAction struct {
 	ID     string      `json:"id,omitempty"`
 	Gen    uint64      `json:"gen,omitempty"`
 	Once   bool        `json:"once,omitempty"`
+	// Wave / Hop carry the accepted carrier's trace context
+	// (observability-only; see PendingMsg.TraceID).
+	Wave string `json:"wave,omitempty"`
+	Hop  int    `json:"hop,omitempty"`
 }
 
 // AtomicExport is a consistent cut of every durable controller domain,
@@ -540,6 +550,7 @@ func (c *Controller) ExportAtomic() AtomicExport {
 	for _, q := range c.inbox {
 		ex.Batch = append(ex.Batch, BatchedAction{
 			Seq: q.seq, Action: q.action, Origin: q.gate.origin, ID: q.gate.id, Gen: q.gate.gen, Once: q.gate.once,
+			Wave: q.wave, Hop: q.hop,
 		})
 	}
 	return ex

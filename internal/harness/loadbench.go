@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"aire/internal/core"
+	"aire/internal/obs"
 	"aire/internal/transport"
 	"aire/internal/wire"
 )
@@ -25,7 +26,9 @@ import (
 // Repair traffic is the asynchronous plane: every RepairEvery-th put is
 // followed by a repair of that put, which cascades one delete carrier per
 // peer through the hub's outgoing queue; its latency is the carrier's
-// queue sojourn, measured by correlating EvMsgQueued/EvMsgDelivered.
+// queue sojourn, read from the observability registry's span ring
+// (enqueue→reconcile per carrier) — the same data /aire/debug/waves
+// serves, so the bench report and the debug surface tell one story.
 
 // LoadConfig configures one bench5 run.
 type LoadConfig struct {
@@ -96,32 +99,49 @@ type LoadResult struct {
 	Errors      int           `json:"errors"`
 	Classes     []LoadClass   `json:"classes"`
 	QueueDepth  []DepthSample `json:"queue_depth"`
+	// Obs is the final metrics-registry snapshot: delivery latency,
+	// inbox verdict counts, and queue counters for every service in the
+	// topology.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// Waves is the /aire/debug/waves document reconstructed from the
+	// run's span ring — the dump the CI artifact job uploads.
+	Waves *obs.WavesDump `json:"waves,omitempty"`
 }
 
-// loadSink measures repair-plane sojourns on the hub by correlating queue
-// events: EvMsgQueued stamps the enqueue instant per message ID,
-// EvMsgDelivered closes the interval.
-type loadSink struct {
-	mu       sync.Mutex
-	queuedAt map[string]time.Time
-	sojourns []int64 // microseconds
-}
-
-func (s *loadSink) onEvent(e core.Event) {
-	switch e.Kind {
-	case core.EvMsgQueued:
-		s.mu.Lock()
-		s.queuedAt[e.Subject] = time.Now()
-		s.mu.Unlock()
-	case core.EvMsgDelivered:
-		now := time.Now()
-		s.mu.Lock()
-		if at, ok := s.queuedAt[e.Subject]; ok {
-			delete(s.queuedAt, e.Subject)
-			s.sojourns = append(s.sojourns, now.Sub(at).Microseconds())
-		}
-		s.mu.Unlock()
+// repairSojournsUS extracts per-carrier queue sojourns (microseconds)
+// from the span ring: the enqueue→reconcile window per (wave, delivery,
+// hop). This replaces the pre-obs ad-hoc queue-event correlation with
+// the same spans the debug surfaces serve.
+func repairSojournsUS(spans []obs.Span) []int64 {
+	type key struct {
+		wave, subject string
+		hop           int
 	}
+	starts := map[key]int64{}
+	ends := map[key]int64{}
+	for _, s := range spans {
+		if s.Wave == "" || s.Subject == "" {
+			continue
+		}
+		k := key{s.Wave, s.Subject, s.Hop}
+		switch s.Kind {
+		case obs.SpanEnqueue:
+			if at, ok := starts[k]; !ok || s.StartNS < at {
+				starts[k] = s.StartNS
+			}
+		case obs.SpanReconcile:
+			if at, ok := ends[k]; !ok || s.EndNS > at {
+				ends[k] = s.EndNS
+			}
+		}
+	}
+	var us []int64
+	for k, st := range starts {
+		if end, ok := ends[k]; ok && end >= st {
+			us = append(us, (end-st)/1000)
+		}
+	}
+	return us
 }
 
 func classOf(name string, us []int64, elapsed time.Duration) LoadClass {
@@ -143,18 +163,25 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	// Topology: hub mirroring to cfg.Peers peer services, all speaking
 	// real HTTP through one pooled caller.
-	caller := &transport.HTTPCaller{BaseURLs: map[string]string{}}
+	// One registry spans the whole topology (per-service metric prefixes
+	// keep the series apart); the ring is sized generously so a long run's
+	// repair spans aren't overwritten before the report reads them.
+	reg := obs.New(1 << 16)
+	caller := &transport.HTTPCaller{BaseURLs: map[string]string{}, Obs: reg}
 	ccfg := core.DefaultConfig()
 	ccfg.BatchPolicy = cfg.BatchPolicy
 	ccfg.Admission = cfg.Admission
+	ccfg.Obs = reg
 	var peers []string
 	for i := 0; i < cfg.Peers; i++ {
 		peers = append(peers, fmt.Sprintf("peer%d", i))
 	}
 	hub := core.NewController(&KVApp{ServiceName: "hub", Mirrors: peers}, caller, ccfg)
 	ctrls := []*core.Controller{hub}
+	pcfg := core.DefaultConfig()
+	pcfg.Obs = reg
 	for _, p := range peers {
-		ctrls = append(ctrls, core.NewController(&KVApp{ServiceName: p}, caller, core.DefaultConfig()))
+		ctrls = append(ctrls, core.NewController(&KVApp{ServiceName: p}, caller, pcfg))
 	}
 	var servers []*httptest.Server
 	defer func() {
@@ -167,9 +194,6 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		servers = append(servers, srv)
 		caller.BaseURLs[c.Svc.Name] = srv.URL
 	}
-
-	sink := &loadSink{queuedAt: map[string]time.Time{}}
-	hub.Subscribe(sink.onEvent)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -281,13 +305,15 @@ pacing:
 
 	res.DurationSec = paced.Seconds()
 	res.Errors = int(errs.Load())
-	sink.mu.Lock()
-	repair := append([]int64(nil), sink.sojourns...)
-	sink.mu.Unlock()
+	repair := repairSojournsUS(reg.Ring().Spans())
 	res.Classes = []LoadClass{
 		classOf("mirror", mirror, paced),
 		classOf("repair", repair, paced),
 	}
+	snap := reg.Snapshot()
+	res.Obs = &snap
+	dump := reg.Dump(false)
+	res.Waves = &dump
 	return res, nil
 }
 
@@ -308,5 +334,27 @@ func FormatLoad(res *LoadResult) string {
 	}
 	fmt.Fprintf(&b, "errors=%d peak-queue-depth=%d samples=%d\n",
 		res.Errors, maxDepth, len(res.QueueDepth))
+	// Registry-sourced section: what /aire/debug/metrics and
+	// /aire/debug/waves would have served at the end of the run.
+	if res.Obs != nil {
+		h := res.Obs.Histograms["core.hub.deliver_ns"]
+		ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+		fmt.Fprintf(&b, "registry: hub deliver attempts=%d p50=%.2fms p99=%.2fms max=%.2fms; http calls=%d errors=%d\n",
+			h.Count, ms(h.QuantileNS(0.50)), ms(h.QuantileNS(0.99)), ms(h.MaxNS),
+			res.Obs.Counters["transport.http.calls"], res.Obs.Counters["transport.http.errors"])
+	}
+	if res.Waves != nil {
+		maxHop, paired := 0, 0
+		for _, w := range res.Waves.Waves {
+			if w.MaxHop > maxHop {
+				maxHop = w.MaxHop
+			}
+			for _, h := range w.Hops {
+				paired += h.Msgs
+			}
+		}
+		fmt.Fprintf(&b, "waves=%d max-hop=%d carriers-paired=%d spans=%d (buffered %d)\n",
+			len(res.Waves.Waves), maxHop, paired, res.Waves.TotalSpans, res.Waves.Buffered)
+	}
 	return b.String()
 }

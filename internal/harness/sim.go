@@ -27,6 +27,7 @@ import (
 
 	"aire/internal/core"
 	"aire/internal/dsched"
+	"aire/internal/obs"
 	"aire/internal/orm"
 	"aire/internal/persist"
 	"aire/internal/simnet"
@@ -75,6 +76,30 @@ type SimConfig struct {
 	// full-timeline walk (warp.Config.LinearScan). The index-equivalence
 	// tests run each seed both ways and require identical results.
 	LinearScan bool
+	// Obs attaches one shared observability registry (internal/obs) to the
+	// attacked world: every controller records metrics and wave spans into
+	// it, crash-restarted incarnations re-attach it (the registry lives in
+	// the world's controller config), and the run's SimResult carries the
+	// reconstructed WaveStats plus a final metrics snapshot.
+	// Instrumentation is digest-neutral: a ScheduledPump seed produces
+	// byte-identical SchedTrace/StateDigest with Obs on or off.
+	Obs bool
+	// BatchIncoming runs every attacked-world service in batch-incoming
+	// mode (core.Config.BatchIncoming): repair deliveries are accepted
+	// into the incoming inbox and applied later by ProcessIncoming, which
+	// the driver sweeps every BatchEvery-th pulse. Repair then makes
+	// progress that no terminal delivery outcome reflects — the fault
+	// class the widened quiesce progress signal exists for.
+	BatchIncoming bool
+	// BatchEvery is the pulse period of the ProcessIncoming sweep
+	// (default 2).
+	BatchEvery int
+	// narrowQuiesce restores the pre-observability quiesce signal:
+	// progress is terminal delivery outcomes only, and the done-check
+	// ignores accepted-but-unapplied batches. The quiesce regression test
+	// sets it to prove a batch-incoming run genuinely needs the widened
+	// signal.
+	narrowQuiesce bool
 	// ScheduledPump runs the attacked world's repair delivery on the real
 	// background pump (core.StartPump) instead of the serial Flush loop,
 	// with every pump loop, delivery worker, and the workload itself
@@ -178,6 +203,13 @@ type SimResult struct {
 	// StateDigest fingerprints the converged state plus the fault schedule
 	// (and, under ScheduledPump, the task schedule).
 	StateDigest uint64
+	// WaveStats reconstructs each repair wave's propagation — origin, max
+	// hop depth, per-hop latency — purely from the Aire-Trace-* context
+	// the spans carried (Obs runs only). Latencies are clock durations, so
+	// WaveStats stays out of StateDigest.
+	WaveStats []obs.WaveStat
+	// ObsMetrics is the registry's final snapshot (Obs runs only).
+	ObsMetrics *obs.Snapshot
 }
 
 // simOp is one workload step.
@@ -310,6 +342,16 @@ type simWorld struct {
 	ctrls map[string]*core.Controller
 	order []string
 
+	// Observability (SimConfig.Obs; attacked world only). The registry is
+	// shared by every controller incarnation, so spans recorded before a
+	// crash and after its recovery land in one ring.
+	obs *obs.Registry
+
+	// Batch-incoming mode (SimConfig.BatchIncoming; attacked world only).
+	batchEvery int
+	pulses     int
+	batchErr   error
+
 	// Scheduled-pump mode (SimConfig.ScheduledPump; attacked world only).
 	sched      *dsched.Sched
 	rootCtx    context.Context
@@ -395,6 +437,17 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 	ccfg.Clock = w.clock.Now
 	ccfg.DisableDedupInbox = cfg.DisableDedup
 	ccfg.Engine.LinearScan = cfg.LinearScan
+	if faulted && cfg.Obs {
+		w.obs = obs.New(obs.DefaultRingCap)
+		ccfg.Obs = w.obs
+	}
+	if faulted && cfg.BatchIncoming {
+		ccfg.BatchIncoming = true
+		w.batchEvery = cfg.BatchEvery
+		if w.batchEvery <= 0 {
+			w.batchEvery = 2
+		}
+	}
 	if faulted && cfg.ScheduledPump {
 		// A third seed stream drives the task schedule; the pump paces on
 		// the virtual clock, one pulse step per interval.
@@ -559,10 +612,41 @@ func (w *simWorld) pulse() int {
 		d, _ := w.ctrls[name].Flush()
 		progress += d
 	}
+	if w.batchEvery > 0 {
+		w.pulses++
+		if w.pulses%w.batchEvery == 0 {
+			w.sweepBatches()
+		}
+	}
 	if w.sim != nil {
 		progress += w.sim.Tick()
 	}
 	return progress
+}
+
+// sweepBatches runs ProcessIncoming on every service holding accepted
+// incoming repair actions (BatchIncoming mode). The first failure is
+// remembered and surfaced as an oracle failure — a batch that cannot
+// apply is lost repair even if the in-memory state happens to converge.
+func (w *simWorld) sweepBatches() {
+	for _, name := range w.order {
+		if w.ctrls[name].InboxLen() == 0 {
+			continue
+		}
+		if _, err := w.ctrls[name].ProcessIncoming(); err != nil && w.batchErr == nil {
+			w.batchErr = fmt.Errorf("%s: %w", name, err)
+		}
+	}
+}
+
+// inboxPending counts accepted-but-unapplied incoming repair actions
+// across all services.
+func (w *simWorld) inboxPending() int {
+	n := 0
+	for _, name := range w.order {
+		n += w.ctrls[name].InboxLen()
+	}
+	return n
 }
 
 func (w *simWorld) queued() int {
@@ -815,14 +899,22 @@ func (w *simWorld) applyEvent(ev simEvent, ops []simOp, creates []simCreate, res
 	return nil
 }
 
-// deliveredTally sums terminal delivery outcomes across all services — the
-// scheduled-pump progress metric (a backoff retry that fails again moves
-// nothing and must not count as progress).
-func (w *simWorld) deliveredTally() int64 {
+// progressTally sums the quiesce progress signal across all services. The
+// widened (default) form counts receive-side work — exactly-once inbox
+// commits and ProcessIncoming batch applies — alongside terminal delivery
+// outcomes, because batch-incoming repair makes progress no delivery
+// outcome reflects (the historical delivery-only signal quiesced with
+// accepted batches still unapplied). A backoff retry that fails again
+// still moves nothing and still does not count. narrow restores the old
+// delivery-only signal for the quiesce-widening regression test.
+func (w *simWorld) progressTally(narrow bool) int64 {
 	var n int64
 	for _, name := range w.order {
 		st := w.ctrls[name].Stats()
 		n += st.MsgsDelivered + st.MsgsFailed
+		if !narrow {
+			n += st.InboxCommits + st.BatchApplies
+		}
 	}
 	return n
 }
@@ -869,18 +961,22 @@ func (w *simWorld) runScheduled(cfg SimConfig, events []simEvent, ops []simOp, c
 	// virtual time until deliveries stop moving and nothing is queued or
 	// held in the network.
 	w.sim.Heal()
-	last := w.deliveredTally()
+	last := w.progressTally(cfg.narrowQuiesce)
 	quiesced := false
 	for ; res.Rounds < cfg.MaxRounds; res.Rounds++ {
 		w.sched.RunUntilIdle()
 		ticked := w.sim.Tick()
 		w.sched.RunUntilIdle()
-		cur := w.deliveredTally()
+		if w.batchEvery > 0 {
+			w.sweepBatches()
+			w.sched.RunUntilIdle()
+		}
+		cur := w.progressTally(cfg.narrowQuiesce)
 		progress := int(cur-last) + ticked
 		last = cur
 		w.clock.Advance(simPulseStep)
 		if progress == 0 {
-			if w.queued() == 0 && w.sim.HeldCount() == 0 {
+			if w.queued() == 0 && w.sim.HeldCount() == 0 && (cfg.narrowQuiesce || w.inboxPending() == 0) {
 				quiesced = true
 				break
 			}
@@ -942,12 +1038,16 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		// is queued or held in flight. Backoff windows are elapsed by
 		// advancing the simulated clock, never by waiting.
 		w.sim.Heal()
+		last := w.progressTally(cfg.narrowQuiesce)
 		quiesced := false
 		for ; res.Rounds < cfg.MaxRounds; res.Rounds++ {
-			progress := w.pulse()
+			moved := w.pulse()
+			cur := w.progressTally(cfg.narrowQuiesce)
+			progress := moved + int(cur-last)
+			last = cur
 			w.clock.Advance(simPulseStep)
 			if progress == 0 {
-				if w.queued() == 0 && w.sim.HeldCount() == 0 {
+				if w.queued() == 0 && w.sim.HeldCount() == 0 && (cfg.narrowQuiesce || w.inboxPending() == 0) {
 					quiesced = true
 					break
 				}
@@ -968,6 +1068,14 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		if err := w.ctrls[name].WALError(); err != nil {
 			res.Failures = append(res.Failures, fmt.Sprintf("%s: wal append error: %v", name, err))
 		}
+	}
+	if w.batchErr != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("batch apply error: %v", w.batchErr))
+	}
+	if w.obs != nil {
+		res.WaveStats = obs.Waves(w.obs.Ring().Spans())
+		snap := w.obs.Snapshot()
+		res.ObsMetrics = &snap
 	}
 	if cfg.inspect != nil {
 		cfg.inspect(w)

@@ -53,6 +53,17 @@ func (g *Gen) Delivery() string {
 	return fmt.Sprintf("%s-dlv-%d", g.prefix, g.next.Add(1))
 }
 
+// Wave returns the next repair-wave identifier, e.g. "askbot-wave-15".
+// A wave names one repair cascade for observability (internal/obs): the
+// originating controller mints it when a repair starts with no incoming
+// trace context, and every carrier the cascade emits inherits it. Waves
+// draw from the same persisted counter as every other identifier, and are
+// minted unconditionally (not gated on whether observability is enabled)
+// so instrumented and uninstrumented runs consume identical ID sequences.
+func (g *Gen) Wave() string {
+	return fmt.Sprintf("%s-wave-%d", g.prefix, g.next.Add(1))
+}
+
 // Counter returns the current value of the underlying counter; used by
 // snapshot/restore in tests.
 func (g *Gen) Counter() int64 { return g.next.Load() }

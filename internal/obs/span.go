@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultRingCap bounds the span ring when the caller does not choose.
+const DefaultRingCap = 4096
+
+// Span kinds emitted by the instrumented repair plane. A span is one
+// observed step of a repair wave (or of the machinery carrying it);
+// spans with a non-empty Wave are correlated into WaveStats purely from
+// the propagated Aire-Trace-* context.
+const (
+	// SpanEnqueue: a repair message entered a controller's outgoing
+	// queue (Subject = message DeliveryID, Peer = destination).
+	SpanEnqueue = "enqueue"
+	// SpanClaim: the pump claimed a batch slot for the message.
+	SpanClaim = "claim"
+	// SpanDeliver: one delivery attempt (Start→End spans the wire call).
+	SpanDeliver = "deliver"
+	// SpanReconcile: the post-delivery reconcile applied the claimed
+	// outcome to the queue entry (Subject = message DeliveryID, so it
+	// pairs with the enqueue span for per-hop latency).
+	SpanReconcile = "reconcile"
+	// SpanRepair: one warp repair phase on the applying service
+	// (Subject = phase name: validate / bookkeep / walk / totals).
+	SpanRepair = "repair-phase"
+	// SpanInbox: an exactly-once inbox verdict for an incoming delivery
+	// (Subject = apply / duplicate / stale / in-flight / forgotten,
+	// Peer = the delivery ID judged).
+	SpanInbox = "inbox"
+	// SpanWALAppend / SpanWALFsync / SpanCheckpoint: storage-engine
+	// latencies. These carry no wave (they serve many waves at once).
+	SpanWALAppend  = "wal-append"
+	SpanWALFsync   = "wal-fsync"
+	SpanCheckpoint = "checkpoint"
+)
+
+// Span is one recorded step. Times are nanoseconds on the recording
+// service's clock (the sim's virtual clock under -sched, wall time in
+// production); cross-service subtraction is only meaningful when the
+// services share a clock, which every harness guarantees.
+type Span struct {
+	Wave    string `json:"wave,omitempty"`
+	Hop     int    `json:"hop"`
+	Service string `json:"service"`
+	Kind    string `json:"kind"`
+	// Subject identifies the message, phase, or verdict involved.
+	Subject string `json:"subject,omitempty"`
+	// Peer is the remote service for delivery-path spans.
+	Peer    string `json:"peer,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+}
+
+// Ring is a bounded in-memory span buffer: cheap appends, oldest spans
+// overwritten once full. One mutex is fine here — Record is off the
+// per-message fast path compared to the wire call it describes, and a
+// nil *Ring (obs disabled) records nothing at zero cost.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	wrap  bool
+	total int64
+}
+
+func newRing(cap int) *Ring {
+	return &Ring{buf: make([]Span, cap)}
+}
+
+// Record appends one span, overwriting the oldest when full. Nil-safe.
+func (r *Ring) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrap = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans copies the buffered spans oldest-first. Nil-safe (returns nil).
+func (r *Ring) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrap {
+		return append([]Span(nil), r.buf[:r.next]...)
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many spans were ever recorded (including ones the
+// ring has since overwritten). Nil-safe.
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// HopStat aggregates the delivery sojourns observed at one hop depth of
+// one wave: enqueue→reconcile(ok) per message, i.e. how long the wave
+// front sat in a queue plus its delivery at that depth.
+type HopStat struct {
+	Hop int `json:"hop"`
+	// Msgs is how many distinct messages completed this hop.
+	Msgs int `json:"msgs"`
+	// MaxLatencyNS / SumLatencyNS aggregate per-message sojourns.
+	MaxLatencyNS int64 `json:"max_latency_ns"`
+	SumLatencyNS int64 `json:"sum_latency_ns"`
+}
+
+// WaveStat is the reconstructed shape of one repair wave: its maximum
+// propagation depth and per-hop latency, assembled purely from spans
+// whose trace context (wave ID + hop) rode the Aire-Trace-* headers —
+// including across crash-recovery, because the context is persisted
+// with each PendingMsg in the WAL.
+type WaveStat struct {
+	Wave string `json:"wave"`
+	// Origin is the service that minted the wave (recorded at hop 0).
+	Origin string `json:"origin,omitempty"`
+	// MaxHop is the deepest hop observed anywhere in the wave.
+	MaxHop int `json:"max_hop"`
+	// Spans counts every span correlated to the wave.
+	Spans int `json:"spans"`
+	// Hops holds per-depth latency, ascending by hop.
+	Hops []HopStat `json:"hops,omitempty"`
+}
+
+// Waves groups spans by wave ID and reconstructs per-wave propagation
+// stats. Per-message hop latency pairs the enqueue span with the last
+// delivery-path span (deliver or reconcile) for the same subject at the
+// same hop; messages still in flight contribute depth but no latency.
+func Waves(spans []Span) []WaveStat {
+	type msgKey struct {
+		wave, subject string
+		hop           int
+	}
+	type msgWindow struct {
+		start, end int64
+		enq, done  bool
+	}
+	byWave := map[string]*WaveStat{}
+	msgs := map[msgKey]*msgWindow{}
+	for _, s := range spans {
+		if s.Wave == "" {
+			continue
+		}
+		w := byWave[s.Wave]
+		if w == nil {
+			w = &WaveStat{Wave: s.Wave}
+			byWave[s.Wave] = w
+		}
+		w.Spans++
+		if s.Hop > w.MaxHop {
+			w.MaxHop = s.Hop
+		}
+		if s.Hop == 0 && w.Origin == "" && s.Service != "" {
+			w.Origin = s.Service
+		}
+		if s.Subject == "" {
+			continue
+		}
+		switch s.Kind {
+		case SpanEnqueue, SpanDeliver, SpanReconcile:
+		default:
+			continue
+		}
+		k := msgKey{s.Wave, s.Subject, s.Hop}
+		m := msgs[k]
+		if m == nil {
+			m = &msgWindow{}
+			msgs[k] = m
+		}
+		if s.Kind == SpanEnqueue {
+			if !m.enq || s.StartNS < m.start {
+				m.start = s.StartNS
+			}
+			m.enq = true
+		} else {
+			if !m.done || s.EndNS > m.end {
+				m.end = s.EndNS
+			}
+			m.done = true
+		}
+	}
+	hops := map[string]map[int]*HopStat{}
+	for k, m := range msgs {
+		if !m.enq || !m.done {
+			continue
+		}
+		hw := hops[k.wave]
+		if hw == nil {
+			hw = map[int]*HopStat{}
+			hops[k.wave] = hw
+		}
+		h := hw[k.hop]
+		if h == nil {
+			h = &HopStat{Hop: k.hop}
+			hw[k.hop] = h
+		}
+		lat := m.end - m.start
+		if lat < 0 {
+			lat = 0
+		}
+		h.Msgs++
+		h.SumLatencyNS += lat
+		if lat > h.MaxLatencyNS {
+			h.MaxLatencyNS = lat
+		}
+	}
+	out := make([]WaveStat, 0, len(byWave))
+	for id, w := range byWave {
+		for _, h := range hops[id] {
+			w.Hops = append(w.Hops, *h)
+		}
+		sort.Slice(w.Hops, func(i, j int) bool { return w.Hops[i].Hop < w.Hops[j].Hop })
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Wave < out[j].Wave })
+	return out
+}

@@ -121,6 +121,7 @@ func LatestCheckpoint(dir string) (*Checkpoint, error) {
 // the function returns, so a caller may delete what it supersedes. Returns
 // the covered sequence.
 func WriteCheckpoint(c *core.Controller, w *wal.Writer, dir string) (uint64, error) {
+	cpStart := time.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
@@ -160,6 +161,7 @@ func WriteCheckpoint(c *core.Controller, w *wal.Writer, dir string) (uint64, err
 	if err := wal.SyncDir(dir); err != nil {
 		return 0, err
 	}
+	observeCheckpoint(c, cpStart)
 	return upTo, nil
 }
 
@@ -212,6 +214,7 @@ func Recover(c *core.Controller, dir string, opts wal.Options) (*wal.Writer, err
 	if err != nil {
 		return nil, err
 	}
+	attachWALObs(c, &opts)
 	if cp != nil && last < cp.UpToSeq {
 		// The checkpoint covers sequences the log no longer reaches.
 		// WriteCheckpoint forces the log durable before claiming coverage,

@@ -1,0 +1,62 @@
+// Observability wiring for the storage engine. The wal package stays
+// dependency-free (its Options expose plain latency hooks); persist owns
+// both the WAL writer and the controller, so it is the layer that can
+// connect the two: Recover fills the hooks from the controller's registry,
+// and WriteCheckpoint times itself directly. With no registry configured
+// everything here is a no-op and the hooks stay nil, so the WAL hot path
+// keeps its zero-instrumentation cost.
+package persist
+
+import (
+	"time"
+
+	"aire/internal/core"
+	"aire/internal/obs"
+	"aire/internal/wal"
+)
+
+// attachWALObs fills opts' latency hooks from c's registry. Hooks the
+// caller already set are left alone; a nil registry leaves them nil.
+// Metric names are "wal.<service>.append_ns" / "wal.<service>.fsync_ns";
+// each observation also lands a wave-less span (SpanWALAppend /
+// SpanWALFsync) in the ring so /aire/debug/waves shows storage latency
+// next to the cascades it serves. The hooks only read the clock and poke
+// atomics/one leaf mutex — no yields, so -sched digests are unaffected.
+func attachWALObs(c *core.Controller, opts *wal.Options) {
+	reg := c.Obs()
+	if reg == nil {
+		return
+	}
+	svc := c.Svc.Name
+	ring := reg.Ring()
+	if opts.OnAppend == nil {
+		appendNS := reg.Histogram("wal." + svc + ".append_ns")
+		opts.OnAppend = func(d time.Duration) {
+			appendNS.ObserveNS(int64(d))
+			now := time.Now().UnixNano()
+			ring.Record(obs.Span{Service: svc, Kind: obs.SpanWALAppend, StartNS: now - int64(d), EndNS: now})
+		}
+	}
+	if opts.OnSync == nil {
+		syncNS := reg.Histogram("wal." + svc + ".fsync_ns")
+		opts.OnSync = func(d time.Duration) {
+			syncNS.ObserveNS(int64(d))
+			now := time.Now().UnixNano()
+			ring.Record(obs.Span{Service: svc, Kind: obs.SpanWALFsync, StartNS: now - int64(d), EndNS: now})
+		}
+	}
+}
+
+// observeCheckpoint records one checkpoint's end-to-end latency (capture,
+// marshal, fsync, rename, directory fsync) when c has a registry.
+func observeCheckpoint(c *core.Controller, start time.Time) {
+	reg := c.Obs()
+	if reg == nil {
+		return
+	}
+	svc := c.Svc.Name
+	d := time.Since(start)
+	reg.Histogram("wal." + svc + ".checkpoint_ns").ObserveNS(int64(d))
+	reg.Ring().Record(obs.Span{Service: svc, Kind: obs.SpanCheckpoint,
+		StartNS: start.UnixNano(), EndNS: start.UnixNano() + int64(d)})
+}

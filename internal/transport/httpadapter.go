@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"aire/internal/obs"
 	"aire/internal/wire"
 )
 
@@ -120,9 +121,16 @@ type HTTPCaller struct {
 	MaxIdleConnsPerHost int
 	MaxIdleConns        int
 	IdleConnTimeout     time.Duration
+	// Obs, when non-nil, counts wire calls and errors and observes call
+	// latency ("transport.http.calls" / ".errors" / ".call_ns"). Handles
+	// resolve once, alongside the client; nil keeps Call uninstrumented.
+	Obs *obs.Registry
 
 	clientOnce sync.Once
 	client     *http.Client
+	obsCalls   *obs.Counter
+	obsErrs    *obs.Counter
+	obsCallNS  *obs.Histogram
 }
 
 // httpClient resolves the effective client exactly once; see the HTTPCaller
@@ -156,6 +164,9 @@ func (c *HTTPCaller) httpClient() *http.Client {
 			cl.Transport = t
 		}
 		c.client = &cl
+		c.obsCalls = c.Obs.Counter("transport.http.calls")
+		c.obsErrs = c.Obs.Counter("transport.http.errors")
+		c.obsCallNS = c.Obs.Histogram("transport.http.call_ns")
 	})
 	return c.client
 }
@@ -206,7 +217,19 @@ func (c *HTTPCaller) Call(from, to string, req wire.Request) (wire.Response, err
 	if from != "" {
 		hreq.Header.Set(HTTPHeaderFrom, from)
 	}
-	hresp, err := c.httpClient().Do(hreq)
+	cl := c.httpClient()
+	var callStart time.Time
+	if c.Obs != nil {
+		callStart = time.Now()
+	}
+	hresp, err := cl.Do(hreq)
+	if c.Obs != nil {
+		c.obsCallNS.ObserveNS(int64(time.Since(callStart)))
+		c.obsCalls.Inc()
+		if err != nil {
+			c.obsErrs.Inc()
+		}
+	}
 	if err != nil {
 		return wire.Response{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}

@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -126,6 +127,14 @@ type Options struct {
 	Interval int
 	// SegmentBytes is the rotation threshold; default DefaultSegmentBytes.
 	SegmentBytes int64
+	// OnAppend / OnSync, when non-nil, observe the latency of each entry
+	// append (marshal + frame + write, under the writer lock) and each
+	// fsync that actually reached the disk. They are the wal package's
+	// whole observability surface — wal stays free of the obs dependency;
+	// internal/persist wires these to the owning controller's registry.
+	// Hooks must be fast and must not call back into the writer.
+	OnAppend func(d time.Duration)
+	OnSync   func(d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -415,6 +424,10 @@ func (w *Writer) Append(kind string, clock, ids int64, ops []Op) (uint64, error)
 // commit under their own lock and run the owed SyncTo after releasing it,
 // so the disk flush serializes nothing but the disk.
 func (w *Writer) AppendDeferred(kind string, clock, ids int64, ops []Op) (seq uint64, syncNeeded bool, err error) {
+	var appendStart time.Time
+	if w.opts.OnAppend != nil {
+		appendStart = time.Now()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -452,6 +465,9 @@ func (w *Writer) AppendDeferred(kind string, clock, ids int64, ops []Op) (seq ui
 	case FsyncNone:
 		// never owed
 	}
+	if w.opts.OnAppend != nil {
+		w.opts.OnAppend(time.Since(appendStart))
+	}
 	return e.Seq, syncNeeded, nil
 }
 
@@ -469,8 +485,15 @@ func (w *Writer) SyncTo(seq uint64) error {
 	}
 	f, off, cur, epoch := w.f, w.off, w.seq, w.epoch
 	w.mu.Unlock()
+	var syncStart time.Time
+	if w.opts.OnSync != nil {
+		syncStart = time.Now()
+	}
 	if err := f.Sync(); err != nil {
 		return err
+	}
+	if w.opts.OnSync != nil {
+		w.opts.OnSync(time.Since(syncStart))
 	}
 	w.mu.Lock()
 	if w.epoch == epoch {

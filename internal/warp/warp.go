@@ -180,6 +180,12 @@ type Result struct {
 	Notices []Notice
 	// Duration is the wall time local repair took.
 	Duration time.Duration
+	// PhaseDurations breaks Duration down by repair phase, indexed like
+	// RepairPhases: validate, bookkeep (action bookkeeping + earliest
+	// affected time), walk (the timeline re-execution), totals. The
+	// controller turns these into repair-phase observability spans; warp
+	// itself stays free of the obs dependency.
+	PhaseDurations [4]time.Duration
 	// CreatedIDs lists, in action order, the request IDs assigned to
 	// requests added by CreateReq actions; the creating peer learns them so
 	// it can repair the created request later.
@@ -187,6 +193,9 @@ type Result struct {
 	// Trace, when the engine is verbose, narrates repair decisions.
 	Trace []string
 }
+
+// RepairPhases names the entries of Result.PhaseDurations.
+var RepairPhases = [4]string{"validate", "bookkeep", "walk", "totals"}
 
 // Config tunes the repair engine.
 type Config struct {
@@ -245,6 +254,15 @@ func (e *Engine) Repair(actions []Action) (*Result, error) {
 	start := time.Now()
 	svc := e.Svc
 	res := &Result{}
+	// Phase timing: pure wall-clock reads between phases (no effect on
+	// repair semantics or scheduling); failed repairs return before their
+	// marks and simply leave the later durations zero.
+	phaseStart := start
+	markPhase := func(i int) {
+		now := time.Now()
+		res.PhaseDurations[i] = now.Sub(phaseStart)
+		phaseStart = now
+	}
 
 	direct := make(map[string]*directive)
 	var t0 int64 = -1
@@ -289,6 +307,7 @@ func (e *Engine) Repair(actions []Action) (*Result, error) {
 			return nil, fmt.Errorf("warp: unknown action kind %v", a.Kind)
 		}
 	}
+	markPhase(0)
 
 	// Phase 1: apply action bookkeeping, locate the earliest affected time.
 	for _, a := range actions {
@@ -379,6 +398,7 @@ func (e *Engine) Repair(actions []Action) (*Result, error) {
 	if t0 < 0 {
 		return nil, errors.New("warp: repair invoked with no actions")
 	}
+	markPhase(1)
 
 	// Phase 2: walk the timeline — every record whose recorded dependencies
 	// no longer match the (partially repaired) store is re-executed. The
@@ -389,11 +409,13 @@ func (e *Engine) Repair(actions []Action) (*Result, error) {
 	} else {
 		e.walkIndexed(direct, res)
 	}
+	markPhase(2)
 
 	// Phase 3: totals, from the log's maintained counters (the pre-index
 	// engine walked the whole log here too).
 	res.TotalRequests = svc.Log.Len()
 	res.TotalModelOps = svc.Log.TotalModelOps()
+	markPhase(3)
 	res.Duration = time.Since(start)
 	return res, nil
 }

@@ -43,6 +43,15 @@ import (
 //   - Aire-Origin is the sending service, scoping delivery IDs (which are
 //     only unique per sender) on transports that do not authenticate the
 //     caller.
+//
+// The trace headers carry repair-wave identity for observability
+// (internal/obs). Every repair cascade mints a wave ID at its origin, and
+// each carrier names the wave it belongs to plus its hop depth (how many
+// service-to-service deliveries separate it from the originating repair), so
+// a wave's propagation shape can be reconstructed from span records alone —
+// including across crash-recovery, because the context is persisted with the
+// queued message. Trace headers are observability-only: they never influence
+// repair semantics or delivery dedup.
 const (
 	HdrRequestID   = "Aire-Request-Id"
 	HdrResponseID  = "Aire-Response-Id"
@@ -51,6 +60,8 @@ const (
 	HdrDeliveryID  = "Aire-Delivery-Id"
 	HdrGeneration  = "Aire-Generation"
 	HdrOrigin      = "Aire-Origin"
+	HdrTraceID     = "Aire-Trace-Id"
+	HdrTraceHop    = "Aire-Trace-Hop"
 )
 
 // Request is an API operation sent to a service.
@@ -170,6 +181,7 @@ func cloneMap(m map[string]string) map[string]string {
 var AireHeaders = []string{
 	HdrRequestID, HdrResponseID, HdrNotifierURL, HdrRepair,
 	HdrDeliveryID, HdrGeneration, HdrOrigin,
+	HdrTraceID, HdrTraceHop,
 }
 
 var aireHeaderSet = func() map[string]bool {
