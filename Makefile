@@ -7,9 +7,11 @@ GO ?= go
 # Fault-injection simulation sweep (internal/simnet + cmd/airesim).
 # SIM_SEEDS is "lo:hi" (inclusive) or "3,7,19"; SIM_PROFILE is one of
 # `go run ./cmd/airesim -profiles` (drop, duplicate, delay, partition,
-# crash, mixed, stale, dupcreate). CI runs a short fixed-seed matrix;
-# longer local sweeps:
+# crash, mixed, stale, dupcreate, lostwave, corrupt). CI runs a short
+# fixed-seed matrix; longer local sweeps:
 #   make sim SIM_PROFILE=mixed SIM_SEEDS=1:1000
+# Anti-entropy teeth (ISSUE 9) — the lostwave curse without vectors:
+#   go run ./cmd/airesim -profile lostwave -novectors -seeds 1:20 -expect-fail
 SIM_SEEDS ?= 1:20
 SIM_PROFILE ?= mixed
 

@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -40,15 +41,28 @@ import (
 )
 
 // withDebug mounts the observability surfaces ahead of the wire handler:
-// /aire/debug/metrics serves the registry as Prometheus text, and
+// /aire/debug/metrics serves the registry as Prometheus text,
 // /aire/debug/waves serves the reconstructed repair waves (max hop depth,
-// per-hop latency; ?verbose=1 includes the raw spans) as JSON. Both
-// services share one registry — metric names carry the service prefix —
-// so either listener answers for the whole testbed.
-func withDebug(reg *obs.Registry, h http.Handler) http.Handler {
+// per-hop latency; ?verbose=1 includes the raw spans) as JSON, and
+// /aire/debug/vectors serves every service's sender-side anti-entropy
+// vectors (acked prefix, frontier, outstanding deliveries, re-offer state
+// per peer; empty with -vectors off). The registry is shared — metric names
+// carry the service prefix — so either listener answers for the whole
+// testbed.
+func withDebug(reg *obs.Registry, ctrls map[string]*aire.Controller, h http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/aire/debug/metrics", reg.Handler())
 	mux.Handle("/aire/debug/waves", reg.WavesHandler())
+	mux.HandleFunc("/aire/debug/vectors", func(w http.ResponseWriter, _ *http.Request) {
+		dump := map[string][]aire.PeerVectorDump{}
+		for name, c := range ctrls {
+			dump[name] = c.VectorDump()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(dump)
+	})
 	mux.Handle("/", h)
 	return mux
 }
@@ -61,6 +75,7 @@ func main() {
 	interval := flag.Duration("pump-interval", 100*time.Millisecond, "pacing of background pump passes")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry delay for unreachable peers (0 = park after max attempts)")
 	backoffMax := flag.Duration("backoff-max", 5*time.Second, "cap on the exponential retry delay")
+	vectors := flag.Bool("vectors", false, "enable the anti-entropy version-vector layer: carriers announce acked/frontier sequences, receivers compact dedup entries and NACK gaps, wholly-lost deliveries are re-offered without waiting out backoff")
 	waldir := flag.String("waldir", "aireserve-data", `durable state directory (per-service WAL + checkpoints); "" disables durability`)
 	fsync := flag.String("fsync", "every", "WAL fsync policy: every, interval, none")
 	cpEvery := flag.Duration("checkpoint-interval", 30*time.Second, "how often each service checkpoints and truncates its WAL")
@@ -75,6 +90,7 @@ func main() {
 	if *backoff > 0 {
 		cfg.Backoff = aire.Backoff{Base: *backoff, Max: *backoffMax, Factor: 2}
 	}
+	cfg.VersionVectors = *vectors
 
 	caller := &transport.HTTPCaller{BaseURLs: map[string]string{
 		"a": "http://" + *addrA,
@@ -114,11 +130,12 @@ func main() {
 		fmt.Printf("aire: durable state in %s (fsync=%s, checkpoint every %v)\n", *waldir, pol, *cpEvery)
 	}
 
+	ctrls := map[string]*aire.Controller{"a": ctrlA, "b": ctrlB}
 	go func() {
-		log.Fatal(http.ListenAndServe(*addrA, withDebug(reg, transport.NewHTTPHandler(ctrlA))))
+		log.Fatal(http.ListenAndServe(*addrA, withDebug(reg, ctrls, transport.NewHTTPHandler(ctrlA))))
 	}()
 	go func() {
-		log.Fatal(http.ListenAndServe(*addrB, withDebug(reg, transport.NewHTTPHandler(ctrlB))))
+		log.Fatal(http.ListenAndServe(*addrB, withDebug(reg, ctrls, transport.NewHTTPHandler(ctrlB))))
 	}()
 	stopPumps, err := aire.StartPumps(ctx, ctrlA, ctrlB)
 	if err != nil {
@@ -133,6 +150,9 @@ func main() {
 	fmt.Println("aire: try POST /put?key=x&val=hello on a, then GET /get?key=x on b,")
 	fmt.Println("aire: then POST /aire/repair with Aire-Repair: delete + Aire-Request-Id headers")
 	fmt.Println("aire: observability at /aire/debug/metrics and /aire/debug/waves on either service")
+	if *vectors {
+		fmt.Println("aire: anti-entropy version vectors ON; per-peer state at /aire/debug/vectors")
+	}
 	<-ctx.Done()
 	fmt.Println("aire: shutting down, draining repair pumps")
 }

@@ -58,6 +58,10 @@ func main() {
 		sched     = flag.Bool("sched", false, "run repair delivery on the background pump under the deterministic scheduler (internal/dsched): seeded task interleavings instead of the serial Flush loop")
 		fsync     = flag.String("fsync", "", `override the WAL fsync policy of WAL-backed profiles (crash, fsynclag): "every", "interval", "none" (empty = profile default; "none" demonstrates tail loss)`)
 		nodedup   = flag.Bool("nodedup", false, "disable the peer-side exactly-once dedup inbox (demonstrates the stale/dupcreate hazards)")
+		vectors   = flag.Bool("vectors", false, "force the anti-entropy version-vector layer ON regardless of profile default")
+		novectors = flag.Bool("novectors", false, "force the anti-entropy version-vector layer OFF (demonstrates the lostwave stall: a silently lost delivery outlives every backoff retry)")
+		inboxcap  = flag.Int("inboxcap", 0, "per-origin dedup-inbox entry cap (0 = core default); tiny caps prove exactly-once rides acked-prefix compaction, not LRU headroom")
+		expectF   = flag.Bool("expect-fail", false, "invert the verdict: exit 0 only if at least one seed FAILS the oracle (teeth checks: proves a disabled defense genuinely loses its property)")
 		verbose   = flag.Bool("v", false, "print the fault schedule of failing seeds")
 		listProfs = flag.Bool("profiles", false, "list fault profiles and exit")
 	)
@@ -94,6 +98,19 @@ func main() {
 	}
 	base.DisableDedup = *nodedup
 	base.ScheduledPump = *sched
+	if *vectors && *novectors {
+		fmt.Fprintln(os.Stderr, "airesim: -vectors and -novectors are mutually exclusive")
+		os.Exit(2)
+	}
+	if *vectors {
+		base.VersionVectors = true
+	}
+	if *novectors {
+		base.VersionVectors = false
+	}
+	if *inboxcap > 0 {
+		base.InboxCap = *inboxcap
+	}
 	if *fsync != "" {
 		if !base.WAL {
 			fmt.Fprintf(os.Stderr, "airesim: -fsync only applies to WAL-backed profiles (crash, fsynclag); %s is not\n", *profile)
@@ -144,6 +161,16 @@ func main() {
 	}
 	if *fsync != "" {
 		schedFlag += " -fsync " + *fsync
+	}
+	if *expectF {
+		// Teeth mode: the sweep exists to prove a hazard fires. All-pass
+		// means the disabled defense was not actually load-bearing.
+		if failed == 0 {
+			fmt.Printf("airesim: expected failures but all %d seeds passed (profile %s%s) — the hazard has lost its teeth\n", len(seedList), *profile, schedFlag)
+			os.Exit(1)
+		}
+		fmt.Printf("airesim: %d/%d seeds failed as expected (profile %s%s)\n", failed, len(seedList), *profile, schedFlag)
+		return
 	}
 	if failed > 0 {
 		fmt.Printf("airesim: %d/%d seeds failed (profile %s); rerun one with%s -seeds <seed> -v\n", failed, len(seedList), *profile, schedFlag)

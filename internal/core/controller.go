@@ -196,6 +196,16 @@ type Config struct {
 	// Exists so the double-queue regression test can prove the atomic
 	// entry closes the window; never set it outside tests.
 	FaultSplitRepairCommit bool
+	// VersionVectors enables the anti-entropy sequence-announcement layer
+	// (vectors.go): every stamped repair-plane carrier piggybacks the
+	// sender's acked prefix and frontier for the destination peer
+	// (wire.HdrAckedSeq / wire.HdrFrontierSeq), the dedup inbox switches to
+	// exact vector-mode classification and compacts acked prefixes, and
+	// sequence gaps are NACKed back to the sender for immediate re-offer
+	// instead of waiting out delivery backoff. Default off: with vectors
+	// disabled no new headers are stamped, no new yield points fire, and
+	// existing scheduler digests stay byte-identical.
+	VersionVectors bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -241,6 +251,10 @@ type PendingMsg struct {
 	// token is the response-repair token minted for a replace_response
 	// (reused across delivery attempts).
 	token string
+	// nacked records that this attempt's response carried a gap NACK
+	// (wire.HdrNackSeq). Set only on a delivery pass's private snapshot,
+	// read at reconcile; never persisted.
+	nacked bool
 	// inflight marks a message claimed by a delivery pass; guarded by qmu.
 	inflight bool
 	// queued marks a live queue entry (cleared on delivery and Drop), so
@@ -291,6 +305,9 @@ type Controller struct {
 	qlive  int // entries with queued=true (the queue slice may briefly hold dead ones)
 	nextID int
 	peers  map[string]*peerState // per-peer delivery health, guarded by qmu
+	// vectors is the sender-side version-vector state per destination peer
+	// (vectors.go); nil unless Cfg.VersionVectors. Guarded by qmu.
+	vectors map[string]*peerVector
 	// liveCalls counts in-flight live (non-repair) outbound calls per peer;
 	// admission control trickles repair delivery to peers that are actively
 	// serving the live workload. Guarded by qmu.
@@ -364,6 +381,10 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 	if c.sd == nil {
 		c.sd = sched.Goroutines()
 	}
+	if cfg.VersionVectors {
+		c.vectors = make(map[string]*peerVector)
+		c.dedup.EnableVectors()
+	}
 	c.met = newCtrlMetrics(cfg.Obs, app.Name())
 	c.qcond = sync.NewCond(&c.qmu)
 	return c
@@ -398,19 +419,38 @@ func traceFromCarrier(req wire.Request) traceCtx {
 
 // HandleWire implements transport.Handler: repair API paths are handled by
 // the controller itself; everything else is normal application traffic.
+// Repair-plane carriers run two protocol preambles first: the body
+// checksum (a corrupted payload is refused loudly, not misapplied) and —
+// in version-vector mode — the announced-vector observation, whose gap
+// verdict is NACKed on the response so the sender can re-offer the lost
+// delivery without waiting out backoff.
 func (c *Controller) HandleWire(from string, req wire.Request) wire.Response {
+	var resp wire.Response
 	switch req.Path {
-	case "/aire/repair":
-		return c.handleRepair(from, req)
-	case "/aire/notify":
-		return c.handleNotify(from, req)
+	case "/aire/repair", "/aire/notify":
+		if bad := c.verifyCarrierBody(req); bad != nil {
+			return *bad
+		}
+		nack, missing := c.observeCarrierVector(from, req)
+		if req.Path == "/aire/repair" {
+			resp = c.handleRepair(from, req)
+		} else {
+			resp = c.handleNotify(from, req)
+		}
+		if nack {
+			if resp.Header == nil {
+				resp.Header = map[string]string{}
+			}
+			resp.Header[wire.HdrNackSeq] = strconv.FormatUint(missing, 10)
+		}
 	case "/aire/fetch_repair":
-		return c.handleFetchRepair(from, req)
+		resp = c.handleFetchRepair(from, req)
 	case "/aire/poll":
-		return c.handlePoll(from, req)
+		resp = c.handlePoll(from, req)
 	default:
-		return c.handleNormal(from, req)
+		resp = c.handleNormal(from, req)
 	}
+	return resp
 }
 
 var _ transport.Handler = (*Controller)(nil)

@@ -30,6 +30,11 @@ type ctrlMetrics struct {
 	inboxCommits  *obs.Counter // exactly-once outcomes committed
 	batchApplies  *obs.Counter // ProcessIncoming batches applied
 
+	vvGapNacks     *obs.Counter // receive-side gap detections NACKed to the sender
+	vvReoffers     *obs.Counter // sender re-offer activations from peer NACKs
+	vvCompacted    *obs.Counter // dedup-inbox entries released by acked-prefix compaction
+	corruptRejects *obs.Counter // carriers refused on body-checksum mismatch
+
 	queueDepth *obs.Gauge // live outgoing-queue entries
 
 	deliverNS *obs.Histogram // one delivery attempt, wire call end to end
@@ -56,6 +61,11 @@ func newCtrlMetrics(reg *obs.Registry, svc string) ctrlMetrics {
 		inboxGone:     reg.Counter(p + "inbox_forgotten"),
 		inboxCommits:  reg.Counter(p + "inbox_commits"),
 		batchApplies:  reg.Counter(p + "batch_applies"),
+
+		vvGapNacks:     reg.Counter(p + "vv_gap_nacks"),
+		vvReoffers:     reg.Counter(p + "vv_reoffers"),
+		vvCompacted:    reg.Counter(p + "vv_compacted"),
+		corruptRejects: reg.Counter(p + "corrupt_rejects"),
 
 		queueDepth: reg.Gauge(p + "queue_depth"),
 

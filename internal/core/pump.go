@@ -421,6 +421,12 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		}
 		heldAttempts := 0
 
+		// Gap NACKs get their own labeled decision point — but only in
+		// vector mode, so vectors-off runs take byte-identical schedules.
+		if snap.nacked && c.vectors != nil {
+			c.sd.YieldNamed("vv-reoffer") // schedule point: peer NACKed a gap
+		}
+
 		c.sd.Yield() // schedule point: delivered, not yet reconciled
 		c.qmu.Lock()
 		p := cl.ptrs[i]
@@ -444,6 +450,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 			if fresh {
 				p.queued = false
 				c.queueShrunkLocked()
+				c.vvResolveLocked(cl.peer, p.DeliveryID)
 				c.walEmitQDelLocked(p.MsgID)
 				removed++
 				delivered++
@@ -454,6 +461,7 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 			if fresh {
 				p.queued = false
 				c.queueShrunkLocked()
+				c.vvResolveLocked(cl.peer, p.DeliveryID)
 				c.walEmitQDelLocked(p.MsgID)
 				removed++
 			} else if live {
@@ -484,6 +492,13 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		case deliverRetry:
 			failedAt = i
 			failErr = snap.LastErr
+		}
+		if snap.nacked {
+			// The peer answered with a gap NACK: it is alive and missing a
+			// delivery we still hold. Clear its backoff window and mark the
+			// vector for re-offer stamping so the next pass (woken below)
+			// re-delivers immediately instead of waiting out the schedule.
+			c.vvNackLocked(cl.peer)
 		}
 		c.qmu.Unlock()
 
@@ -628,6 +643,9 @@ func (c *Controller) deliverBatch(cl *claimedBatch) (delivered int) {
 		ps.failures = 0
 		ps.nextTry = time.Time{}
 		ps.notified = false
+		// A fully healthy reconcile means any gap the peer NACKed has been
+		// re-offered; stop stamping the recovery mark.
+		c.vvClearReofferLocked(cl.peer)
 		if !c.peerHasQueuedLocked(cl.peer) {
 			delete(c.peers, cl.peer)
 		}

@@ -77,6 +77,7 @@ func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool, tc traceCtx) {
 		}
 		c.queue = append(c.queue, p)
 		c.qlive++
+		c.vvIssueLocked(peerKey(m), p.DeliveryID)
 		c.walEmitQSetJoinLocked(p, join)
 		c.spanEnqueueLocked(p)
 		c.emit(EvMsgQueued, p.MsgID, "%s -> %s (req=%s resp=%s)", m.Kind, m.Target, m.RemoteReqID, m.RespID)
@@ -200,6 +201,7 @@ func (c *Controller) Drop(msgID string) error {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			p.queued = false
 			c.queueShrunkLocked()
+			c.vvResolveLocked(peerKey(p.Msg), p.DeliveryID)
 			c.walEmitQDelLocked(p.MsgID)
 			// Dropping a peer's last message leaves no delivery pass to
 			// clean up its backoff bookkeeping — do it here.
@@ -263,6 +265,7 @@ func (c *Controller) ImportQueue(msgs []PendingMsg) {
 		}
 		c.queue = append(c.queue, &p)
 		c.qlive++
+		c.vvIssueLocked(peerKey(p.Msg), p.DeliveryID)
 	}
 	c.wakePump()
 }
@@ -344,6 +347,23 @@ func (c *Controller) stampDelivery(req wire.Request, p *PendingMsg) {
 		req.Header[wire.HdrTraceID] = p.TraceID
 		req.Header[wire.HdrTraceHop] = strconv.Itoa(p.TraceHop)
 	}
+	// The body checksum guards every carrier with a payload (not just
+	// identified deliveries): a corrupted body must be refused loudly
+	// whatever else the carrier claims about itself.
+	if len(req.Body) > 0 {
+		req.Header[wire.HdrBodySum] = wire.BodySum(req.Body)
+	}
+	// The version vector is announced per attempt, not per claim: serial
+	// reconcile-per-message advances the acked prefix between deliveries of
+	// one batch, so stamping at send time keeps the announcement as fresh
+	// as possible and minimizes spurious gap NACKs.
+	if acked, frontier, reoffer, ok := c.vvAnnouncement(peerKey(p.Msg)); ok {
+		req.Header[wire.HdrAckedSeq] = strconv.FormatUint(acked, 10)
+		req.Header[wire.HdrFrontierSeq] = strconv.FormatUint(frontier, 10)
+		if reoffer {
+			req.Header[wire.HdrReoffer] = "1"
+		}
+	}
 	if p.DeliveryID == "" {
 		return // hand-built entry (tests, legacy snapshots): deliver ungated
 	}
@@ -385,6 +405,12 @@ func (c *Controller) deliverRepairCall(p *PendingMsg) deliverStatus {
 	if err != nil {
 		p.LastErr = err.Error()
 		return deliverRetry
+	}
+	// A gap NACK can ride any response, whatever its status: the peer
+	// detected a missing delivery against our announced vector and wants an
+	// immediate re-offer. Recorded on the snapshot; reconciled by the pump.
+	if resp.Header[wire.HdrNackSeq] != "" {
+		p.nacked = true
 	}
 	switch {
 	case resp.OK():
@@ -470,6 +496,9 @@ func (c *Controller) deliverReplaceResponse(p *PendingMsg) deliverStatus {
 	if err != nil {
 		p.LastErr = err.Error()
 		return deliverRetry
+	}
+	if resp.Header[wire.HdrNackSeq] != "" {
+		p.nacked = true // gap NACK: see deliverRepairCall
 	}
 	switch {
 	case resp.OK():

@@ -233,6 +233,18 @@ type inGCOp struct {
 	BeforeTS int64 `json:"before_ts"`
 }
 
+// inVVOp records a receive-side version-vector advance (vectors.go): the
+// announced acked prefix drives dedup-inbox compaction, so the advance and
+// the compaction must be replayed together — one idempotent op does both
+// (ObserveVector is a monotonic max), keeping recovery consistent with
+// whatever the checkpoint snapshot already contains. Sender-side vectors
+// need no op: they are derived from the replayed queue (see vectors.go).
+type inVVOp struct {
+	Origin   string `json:"origin"`
+	Acked    uint64 `json:"acked"`
+	Frontier uint64 `json:"frontier,omitempty"`
+}
+
 type batchAcceptOp struct {
 	// Seq is the action's accept sequence (Controller.inseq): a monotone
 	// per-controller counter that names inbox entries exactly, including
@@ -377,6 +389,13 @@ func (c *Controller) applyWALOp(op wal.Op) error {
 		}
 		c.dedup.GC(o.BeforeTS)
 		return nil
+	case "in-vv":
+		var o inVVOp
+		if err := json.Unmarshal(op.Data, &o); err != nil {
+			return err
+		}
+		c.dedup.ObserveVector(o.Origin, o.Acked, o.Frontier, 0)
+		return nil
 	case "batch-accept":
 		var o batchAcceptOp
 		if err := json.Unmarshal(op.Data, &o); err != nil {
@@ -434,6 +453,9 @@ func (c *Controller) walQueueSet(o qSetOp) {
 	p.queued = true
 	c.queue = append(c.queue, &p)
 	c.qlive++
+	// Sender vectors mirror the queue; replaying the queue replays them
+	// (vvIssueLocked is idempotent against checkpoint-overlap re-inserts).
+	c.vvIssueLocked(peerKey(p.Msg), p.DeliveryID)
 }
 
 // walQueueRemove deletes a replayed queue entry by message ID.
@@ -445,6 +467,7 @@ func (c *Controller) walQueueRemove(msgID string) {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			p.queued = false
 			c.queueShrunkLocked()
+			c.vvResolveLocked(peerKey(p.Msg), p.DeliveryID)
 			return
 		}
 	}

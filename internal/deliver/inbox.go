@@ -32,6 +32,21 @@
 // Entries, the watermark, and the holes are garbage-collected together
 // with the repair log horizon (Controller.GC) and persisted through
 // internal/persist so crash-restart keeps the exactly-once guarantee.
+//
+// In version-vector mode (EnableVectors; Config.VersionVectors upstream) the
+// watermark heuristics are replaced with exact knowledge: every carrier
+// piggybacks the sender's highest contiguous acknowledged sequence for this
+// receiver (wire.HdrAckedSeq) and its stamped frontier (wire.HdrFrontierSeq),
+// observed via ObserveVector. An arrival at or below the acked prefix is a
+// duplicate by definition — the sender only advances the prefix after seeing
+// this inbox's terminal outcome — and everything above it with no entry is
+// genuinely new, so entries for the acked prefix are compacted away (ack'd
+// prefixes need no entries) and capacity eviction is suspended for announcing
+// origins: nothing is ever forgotten while the sender still cares about it,
+// which is what drives the watermark's quantified misread residual to zero.
+// ObserveVector also detects sequence gaps against the announced vector,
+// which the controller answers with a NACK (wire.HdrNackSeq) so the sender
+// re-offers wholly-lost deliveries without waiting out backoff.
 package deliver
 
 import (
@@ -130,9 +145,24 @@ type originState struct {
 	// cleared when its delivery is reserved again, pruned by GC, and
 	// persisted with the origin. It cannot cover deliveries the inbox
 	// never saw at all (dropped in the network before the first Begin);
-	// those retain the watermark's InboxCap-bounded misread, quantified in
-	// TestEvictionWatermarkBound.
+	// for a never-announcing sender those retain the watermark's
+	// InboxCap-bounded misread — version-vector mode closes it to zero
+	// (TestEvictionResidualZeroUnderVectors).
 	holes map[uint64]bool
+	// acked is the sender's announced highest contiguous acknowledged
+	// sequence for this receiver (version-vector mode): every delivery it
+	// ever stamped for us at or below it has reached a terminal outcome
+	// here, so arrivals in that prefix are duplicates exactly and entries
+	// covering it can be compacted away.
+	acked uint64
+	// frontier is the highest sequence the sender has announced stamping
+	// for us; frontier > 0 marks the origin as vector-announcing, which
+	// suspends capacity eviction (the acked prefix, not the LRU bound, is
+	// what releases entries).
+	frontier uint64
+	// maxSeen is the highest sequence ever committed from this origin,
+	// consulted by gap detection.
+	maxSeen uint64
 }
 
 func newOriginState() *originState {
@@ -144,6 +174,8 @@ func newOriginState() *originState {
 type Inbox struct {
 	mu      sync.Mutex
 	cap     int
+	vv      bool
+	high    int
 	origins map[string]*originState
 }
 
@@ -154,6 +186,104 @@ func NewInbox(cap int) *Inbox {
 		cap = DefaultCap
 	}
 	return &Inbox{cap: cap, origins: map[string]*originState{}}
+}
+
+// EnableVectors switches the inbox into version-vector mode: post-eviction
+// classification uses the sender-announced acked prefix (ObserveVector)
+// instead of the watermark heuristic, and announcing origins release entries
+// by ack compaction rather than LRU eviction. Must be called before the
+// inbox is shared between goroutines. Origins that never announce a vector
+// (a vectors-off sender on the other end) keep the watermark behavior.
+func (ib *Inbox) EnableVectors() { ib.vv = true }
+
+// VectorObservation is the result of feeding one carrier's announced
+// version vector into the inbox.
+type VectorObservation struct {
+	// Gap reports that the announced vector proves (or strongly suggests)
+	// sender-side outstanding deliveries this inbox has never seen: the
+	// carrier should be answered with a NACK asking the sender to re-offer
+	// its unacknowledged backlog immediately.
+	Gap bool
+	// Compacted is the number of dedup entries released because the acked
+	// prefix now covers them.
+	Compacted int
+	// Advanced reports that the stored acked/frontier for the origin moved,
+	// i.e. the observation carries durable information worth logging.
+	Advanced bool
+	// Acked and MaxSeen echo the origin's state after the observation (the
+	// NACK response header value and debug surfaces use them).
+	Acked   uint64
+	MaxSeen uint64
+}
+
+// ObserveVector ingests the version vector announced on one carrier from
+// origin: acked is the sender's highest contiguous acknowledged sequence for
+// this receiver, frontier the highest sequence it has stamped for us, and
+// curSeq the carrier's own delivery sequence (0 for sequence-less carriers
+// such as notifies). Both stored values are monotonic maxima, so replaying
+// an observation is idempotent. Entries covered by the acked prefix are
+// compacted away — the sender only advances the prefix after consuming this
+// inbox's terminal outcome, so they can never be asked about again except by
+// a network-duplicated ghost, which the prefix itself classifies.
+//
+// Gap detection is advisory and err-on-NACK: a false positive only causes
+// the sender to re-offer messages it was already holding, which delivery
+// dedup absorbs. Two signals are used: (1) the sender's contiguous acked
+// prefix stops more than one sequence short of the carrier's own — since the
+// sender assigns sequences from a shared counter, acked < curSeq-1 proves an
+// older delivery for this receiver is still outstanding (possibly in flight,
+// possibly lost); (2) the announced frontier is beyond both the acked prefix
+// and anything this inbox has ever committed, so a newest delivery has never
+// arrived.
+func (ib *Inbox) ObserveVector(origin string, acked, frontier, curSeq uint64) VectorObservation {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	o := ib.origins[origin]
+	if o == nil {
+		o = newOriginState()
+		ib.origins[origin] = o
+	}
+	var obs VectorObservation
+	if acked > o.acked {
+		o.acked = acked
+		obs.Advanced = true
+	}
+	if frontier > o.frontier {
+		o.frontier = frontier
+		obs.Advanced = true
+	}
+	for id, e := range o.entries {
+		if !e.pending && e.seq > 0 && e.seq <= o.acked {
+			o.lru.Remove(e.elem)
+			delete(o.entries, id)
+			obs.Compacted++
+		}
+	}
+	for seq := range o.holes {
+		if seq <= o.acked {
+			delete(o.holes, seq)
+		}
+	}
+	effSeen := o.maxSeen
+	if curSeq > effSeen {
+		effSeen = curSeq
+	}
+	if curSeq > 0 && o.acked+1 < curSeq {
+		obs.Gap = true
+	}
+	if o.frontier > effSeen && o.frontier > o.acked {
+		obs.Gap = true
+	}
+	obs.Acked, obs.MaxSeen = o.acked, o.maxSeen
+	return obs
+}
+
+// HighWater reports the maximum total entry count the inbox ever held —
+// the memory bound ack compaction is asserted against.
+func (ib *Inbox) HighWater() int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return ib.high
 }
 
 // Seq extracts the sender's monotonic sequence number from a delivery ID
@@ -197,13 +327,25 @@ func (ib *Inbox) Begin(origin, id string, gen uint64, once bool) (Decision, stri
 			if seq <= o.gcSeq {
 				return Forgotten, ""
 			}
+			// Version-vector mode: the sender-announced acked prefix is
+			// exact — it only advances after this inbox's terminal outcome
+			// was consumed by the sender — so an arrival inside it is a
+			// duplicate whatever its generation (a superseding generation of
+			// an acked delivery cannot exist: supersede bumps the queued
+			// message in place, and acked means it left the queue).
+			if ib.vv && seq <= o.acked {
+				return Duplicate, ""
+			}
 			// The eviction watermark vouches only for the generation-zero
 			// copy: an arrival carrying a bumped generation is superseding
 			// content that must still land (re-applying replace/delete is
 			// idempotent), so only gen-0 arrivals are swallowed here — and
 			// never one recorded as a hole (begun, rolled back, entry
 			// removed): that delivery is known never-applied, so a retry
-			// must re-apply however far the watermark has advanced.
+			// must re-apply however far the watermark has advanced. (In
+			// vector mode announcing origins never evict, so their
+			// watermark stays zero and this rule is the fallback for
+			// vectors-off senders only.)
 			if seq <= o.watermark && gen == 0 && !o.holes[seq] {
 				return Duplicate, ""
 			}
@@ -213,6 +355,7 @@ func (ib *Inbox) Begin(origin, id string, gen uint64, once bool) (Decision, stri
 		e = &entry{id: id, seq: Seq(id), gen: gen, pending: true}
 		e.elem = o.lru.PushFront(e)
 		o.entries[id] = e
+		ib.noteHighLocked()
 		ib.evictLocked(o)
 		return Apply, ""
 	}
@@ -259,6 +402,9 @@ func (ib *Inbox) Commit(origin, id string, gen uint64, outcome string, ts int64)
 	e.ts = ts
 	e.pending = false
 	e.prevOK = false
+	if e.seq > o.maxSeen {
+		o.maxSeen = e.seq
+	}
 }
 
 // Rollback releases a reservation whose apply failed, restoring the
@@ -289,9 +435,28 @@ func (ib *Inbox) Rollback(origin, id string, gen uint64) {
 	}
 }
 
+// noteHighLocked records the total-entry high-water mark after an insert.
+func (ib *Inbox) noteHighLocked() {
+	n := 0
+	for _, o := range ib.origins {
+		n += len(o.entries)
+	}
+	if n > ib.high {
+		ib.high = n
+	}
+}
+
 // evictLocked enforces the per-origin bound, advancing the watermark over
-// whatever committed entries fall off the LRU tail.
+// whatever committed entries fall off the LRU tail. In version-vector mode
+// eviction is suspended for announcing origins: forgetting an entry the
+// sender has not acknowledged is exactly the residual vectors exist to
+// close, and the acked prefix (ObserveVector) is what releases entries
+// instead — the origin may transiently exceed cap by the sender's
+// unacknowledged window.
 func (ib *Inbox) evictLocked(o *originState) {
+	if ib.vv && (o.frontier > 0 || o.acked > 0) {
+		return
+	}
 	for len(o.entries) > ib.cap {
 		el := o.lru.Back()
 		for el != nil && el.Value.(*entry).pending {
@@ -369,6 +534,12 @@ type OriginDump struct {
 	// they survive crash-restart or an evicted Held message's Retry would
 	// be swallowed by the restored watermark.
 	Holes []uint64 `json:"holes,omitempty"`
+	// Acked/Frontier persist the sender-announced version vector: the acked
+	// prefix must be exactly as durable as the entry compaction it
+	// justified, or a restored inbox would re-apply a compacted delivery.
+	Acked    uint64 `json:"acked,omitempty"`
+	Frontier uint64 `json:"frontier,omitempty"`
+	MaxSeen  uint64 `json:"max_seen,omitempty"`
 }
 
 // Dump serializes the inbox for persistence: origins sorted by name,
@@ -386,7 +557,8 @@ func (ib *Inbox) Dump() []OriginDump {
 	out := make([]OriginDump, 0, len(names))
 	for _, name := range names {
 		o := ib.origins[name]
-		d := OriginDump{Origin: name, Watermark: o.watermark, GCSeq: o.gcSeq}
+		d := OriginDump{Origin: name, Watermark: o.watermark, GCSeq: o.gcSeq,
+			Acked: o.acked, Frontier: o.frontier, MaxSeen: o.maxSeen}
 		for el := o.lru.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*entry)
 			switch {
@@ -407,7 +579,8 @@ func (ib *Inbox) Dump() []OriginDump {
 			d.Holes = append(d.Holes, seq)
 		}
 		sort.Slice(d.Holes, func(i, j int) bool { return d.Holes[i] < d.Holes[j] })
-		if d.Watermark > 0 || d.GCSeq > 0 || len(d.Entries) > 0 || len(d.Holes) > 0 {
+		if d.Watermark > 0 || d.GCSeq > 0 || len(d.Entries) > 0 || len(d.Holes) > 0 ||
+			d.Acked > 0 || d.Frontier > 0 || d.MaxSeen > 0 {
 			out = append(out, d)
 		}
 	}
@@ -430,6 +603,15 @@ func (ib *Inbox) Restore(dump []OriginDump) {
 		if d.GCSeq > o.gcSeq {
 			o.gcSeq = d.GCSeq
 		}
+		if d.Acked > o.acked {
+			o.acked = d.Acked
+		}
+		if d.Frontier > o.frontier {
+			o.frontier = d.Frontier
+		}
+		if d.MaxSeen > o.maxSeen {
+			o.maxSeen = d.MaxSeen
+		}
 		for _, seq := range d.Holes {
 			if seq > o.gcSeq {
 				o.holes[seq] = true
@@ -439,7 +621,11 @@ func (ib *Inbox) Restore(dump []OriginDump) {
 			e := &entry{id: de.ID, seq: Seq(de.ID), gen: de.Gen, outcome: de.Outcome, ts: de.TS}
 			e.elem = o.lru.PushFront(e)
 			o.entries[de.ID] = e
+			if e.seq > o.maxSeen {
+				o.maxSeen = e.seq
+			}
 		}
+		ib.noteHighLocked()
 		ib.evictLocked(o)
 	}
 }

@@ -1,0 +1,159 @@
+package deliver
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Unit tests for the inbox's version-vector mode (ObserveVector): ack
+// compaction, gap detection, idempotent replay (the in-vv WAL op re-feeds
+// observations on recovery), persistence of the vector fields, and the
+// eviction-suspension memory contract.
+
+// TestObserveVectorCompaction: advancing the acked prefix releases every
+// committed entry it covers — and only those — while the counts and Len
+// agree.
+func TestObserveVectorCompaction(t *testing.T) {
+	ib := NewInbox(0)
+	ib.EnableVectors()
+	fill(t, ib, "s0", 1, 6) // seqs 1..6 committed
+	obs := ib.ObserveVector("s0", 4, 6, 0)
+	if obs.Compacted != 4 {
+		t.Fatalf("acked=4 compacted %d entries, want 4", obs.Compacted)
+	}
+	if ib.Len() != 2 {
+		t.Fatalf("Len()=%d after compaction, want 2 (seqs 5,6)", ib.Len())
+	}
+	// Inside the prefix: Duplicate with no entry to consult. Above it: the
+	// live entries still answer.
+	if d, _ := ib.Begin("s0", "s0-dlv-3", 0, false); d != Duplicate {
+		t.Fatalf("compacted seq 3: got %v, want Duplicate", d)
+	}
+	if d, out := ib.Begin("s0", "s0-dlv-5", 0, false); d != Duplicate || out != "ok" {
+		t.Fatalf("live seq 5: got %v outcome %q, want Duplicate with recorded outcome", d, out)
+	}
+}
+
+// TestObserveVectorPendingNotCompacted: a pending (mid-apply) entry is
+// never compacted, even if a (buggy or duplicated) announcement claims the
+// prefix covers it — compacting a reservation would let a racing second
+// copy re-apply.
+func TestObserveVectorPendingNotCompacted(t *testing.T) {
+	ib := NewInbox(0)
+	ib.EnableVectors()
+	if d, _ := ib.Begin("s0", "s0-dlv-1", 0, false); d != Apply {
+		t.Fatal("setup: not Apply")
+	}
+	obs := ib.ObserveVector("s0", 1, 1, 0)
+	if obs.Compacted != 0 || ib.Len() != 1 {
+		t.Fatalf("pending entry compacted (n=%d len=%d)", obs.Compacted, ib.Len())
+	}
+	if d, _ := ib.Begin("s0", "s0-dlv-1", 0, false); d != InFlight {
+		t.Fatal("second copy of the pending delivery must stay InFlight")
+	}
+}
+
+// TestObserveVectorGapRules exercises both gap signals: an acked prefix
+// stopping more than one short of the carrier's own sequence, and a
+// frontier beyond everything seen; and the quiet cases in between.
+func TestObserveVectorGapRules(t *testing.T) {
+	ib := NewInbox(0)
+	ib.EnableVectors()
+	// Contiguous arrival: carrier seq 1, nothing acked yet — no gap (the
+	// prefix stops exactly one short: this very carrier).
+	if obs := ib.ObserveVector("s0", 0, 1, 1); obs.Gap {
+		t.Fatal("contiguous first carrier flagged a gap")
+	}
+	fill(t, ib, "s0", 1, 1)
+	// Carrier seq 3 announcing acked=1: seq 2 is outstanding somewhere —
+	// in flight or lost — so the receiver NACKs (err-on-NACK is safe).
+	if obs := ib.ObserveVector("s0", 1, 3, 3); !obs.Gap {
+		t.Fatal("acked+1 < curSeq did not flag a gap")
+	}
+	// A sequence-less carrier (curSeq 0, e.g. a notify) announcing a
+	// frontier beyond everything committed: the newest delivery never
+	// arrived here.
+	if obs := ib.ObserveVector("s0", 1, 9, 0); !obs.Gap {
+		t.Fatal("frontier beyond maxSeen did not flag a gap")
+	}
+	// Frontier covered by the acked prefix: everything it stamped was
+	// resolved; nothing to chase.
+	if obs := ib.ObserveVector("s0", 9, 9, 0); obs.Gap {
+		t.Fatal("fully acked frontier flagged a gap")
+	}
+}
+
+// TestObserveVectorIdempotentReplay: ObserveVector is a monotonic max, so
+// replaying an observation (the WAL recovery path re-feeds in-vv ops) is a
+// no-op: no advance, nothing more to compact, no regression of the prefix.
+func TestObserveVectorIdempotentReplay(t *testing.T) {
+	ib := NewInbox(0)
+	ib.EnableVectors()
+	fill(t, ib, "s0", 1, 3)
+	first := ib.ObserveVector("s0", 3, 3, 0)
+	if !first.Advanced || first.Compacted != 3 {
+		t.Fatalf("first observation: %+v", first)
+	}
+	replay := ib.ObserveVector("s0", 3, 3, 0)
+	if replay.Advanced || replay.Compacted != 0 {
+		t.Fatalf("replayed observation was not a no-op: %+v", replay)
+	}
+	stale := ib.ObserveVector("s0", 1, 1, 0)
+	if stale.Advanced || stale.Acked != 3 {
+		t.Fatalf("older observation regressed the prefix: %+v", stale)
+	}
+}
+
+// TestVectorFieldsSurviveRestart: the acked prefix must be exactly as
+// durable as the compaction it justified — a restored inbox classifies a
+// compacted delivery's ghost as Duplicate, not Apply.
+func TestVectorFieldsSurviveRestart(t *testing.T) {
+	ib := NewInbox(0)
+	ib.EnableVectors()
+	fill(t, ib, "s0", 1, 4)
+	ib.ObserveVector("s0", 4, 4, 0) // compacts all four
+
+	restored := NewInbox(0)
+	restored.EnableVectors()
+	restored.Restore(ib.Dump())
+	if d, _ := restored.Begin("s0", "s0-dlv-2", 0, false); d != Duplicate {
+		t.Fatalf("ghost of a compacted delivery after restore: got %v, want Duplicate", d)
+	}
+	// The restored frontier keeps gap detection armed.
+	if obs := restored.ObserveVector("s0", 4, 9, 9); !obs.Gap {
+		t.Fatal("restored inbox lost gap detection (acked=4, carrier seq 9)")
+	}
+}
+
+// TestAnnouncingOriginMemoryContract: announcing origins suspend LRU
+// eviction (nothing unacked is ever forgotten), may transiently exceed the
+// cap by the sender's unacked window, and shrink back the moment the
+// prefix advances — the high-water mark records the excursion.
+func TestAnnouncingOriginMemoryContract(t *testing.T) {
+	const cap = 4
+	ib := NewInbox(cap)
+	ib.EnableVectors()
+	for seq := uint64(1); seq <= 3*cap; seq++ {
+		id := fmt.Sprintf("s0-dlv-%d", seq)
+		ib.ObserveVector("s0", 0, seq, seq) // sender resolves nothing yet
+		if d, _ := ib.Begin("s0", id, 0, false); d != Apply {
+			t.Fatalf("%s: got %v, want Apply", id, d)
+		}
+		ib.Commit("s0", id, 0, "ok", int64(seq))
+	}
+	if ib.Len() != 3*cap {
+		t.Fatalf("announcing origin evicted: Len()=%d, want %d (eviction suspended)", ib.Len(), 3*cap)
+	}
+	ib.ObserveVector("s0", 3*cap, 3*cap, 0)
+	if ib.Len() != 0 {
+		t.Fatalf("Len()=%d after full ack, want 0", ib.Len())
+	}
+	if hw := ib.HighWater(); hw != 3*cap {
+		t.Fatalf("HighWater()=%d, want %d", hw, 3*cap)
+	}
+	// A vectors-off origin in the same inbox still obeys the LRU cap.
+	fill(t, ib, "legacy", 1, 3*cap)
+	if ib.Len() != cap {
+		t.Fatalf("never-announcing origin: Len()=%d, want cap %d", ib.Len(), cap)
+	}
+}

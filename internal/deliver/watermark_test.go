@@ -17,9 +17,11 @@ import (
 //  2. The delivery never reached the inbox at all (dropped in the network
 //     before the first Begin) and the sender parked it without backoff.
 //     The inbox has no evidence the sequence exists, so the watermark
-//     still swallows its eventual gen-0 retry — bounded by InboxCap:
-//     it takes more than InboxCap later committed deliveries from the
-//     same origin to advance the watermark past the gap.
+//     still swallows its eventual gen-0 retry after more than InboxCap
+//     later committed deliveries — for never-announcing senders. In
+//     version-vector mode the sender's announced acked prefix IS that
+//     evidence, and the residual is zero
+//     (TestEvictionResidualZeroUnderVectors).
 
 const testCap = 8
 
@@ -109,40 +111,82 @@ func TestEvictionWatermarkHoleCrashMidApply(t *testing.T) {
 	}
 }
 
-// TestEvictionWatermarkBound quantifies the residual hazard for a
-// delivery the inbox never saw (case 2 above): its gen-0 retry is
-// misread as a duplicate exactly when more than InboxCap later
-// deliveries from the same origin committed in between — below that
-// bound no entry has been evicted, the watermark has not moved, and the
-// retry is correctly applied.
-func TestEvictionWatermarkBound(t *testing.T) {
+// announceAndFill commits n deliveries from an announcing origin: each
+// carrier first feeds the sender's vector through ObserveVector — acked
+// pinned below the unseen sequence (the sender never resolved it),
+// frontier at the carrier's own sequence — exactly as the controller's
+// HandleWire does, then applies. Returns the next unused sequence.
+func announceAndFill(t *testing.T, ib *Inbox, origin string, acked, seq uint64, n int) uint64 {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s-dlv-%d", origin, seq)
+		ib.ObserveVector(origin, acked, seq, seq)
+		if d, _ := ib.Begin(origin, id, 0, false); d != Apply {
+			t.Fatalf("announceAndFill %s: got %v, want Apply", id, d)
+		}
+		ib.Commit(origin, id, 0, "ok", int64(seq))
+		seq++
+	}
+	return seq
+}
+
+// TestEvictionResidualZeroUnderVectors replaces the old quantified
+// residual bound with the zero-residual claim the vector layer makes. For
+// a delivery the inbox never saw (case 2 above), the watermark heuristic
+// misreads its gen-0 retry as soon as more than InboxCap later deliveries
+// committed — that fallback still exists for never-announcing senders and
+// is demonstrated first. In vector mode the residual is zero: the
+// sender's announced acked prefix stops below the unseen sequence for as
+// long as it stays unresolved, so however many later deliveries commit
+// and however small the cap, the retry is classified exactly — Apply
+// before it ever lands, Duplicate for any ghost after the prefix finally
+// covers it.
+func TestEvictionResidualZeroUnderVectors(t *testing.T) {
 	unseen := "s0-dlv-100" // dropped in the network; the inbox never saw it
 
-	// InboxCap later deliveries: nothing evicted, watermark untouched,
-	// the late first arrival applies correctly.
+	// The vectors-off fallback keeps the historical InboxCap-bounded
+	// misread: one eviction past the cap and the watermark swallows the
+	// retry. (At or below the cap it still applies correctly.)
 	ib := NewInbox(testCap)
 	fill(t, ib, "s0", 101, testCap)
 	if d, _ := ib.Begin("s0", unseen, 0, false); d != Apply {
-		t.Fatalf("with cap interleaved deliveries: got %v, want Apply", d)
+		t.Fatalf("vectors off, within cap: got %v, want Apply", d)
 	}
-
-	// One more than InboxCap: the oldest entry is evicted, the watermark
-	// jumps past the gap, and the unseen delivery's retry is swallowed.
-	// This is the documented residual bound (ROADMAP: quantified, not
-	// closed — the inbox has no evidence distinguishing "applied and
-	// evicted" from "never arrived" for a sequence it holds no state on).
 	ib = NewInbox(testCap)
 	fill(t, ib, "s0", 101, testCap+1)
-	d, _ := ib.Begin("s0", unseen, 0, false)
-	if d != Duplicate {
-		t.Fatalf("past the bound: got %v, want the documented Duplicate misread", d)
+	if d, _ := ib.Begin("s0", unseen, 0, false); d != Duplicate {
+		t.Fatalf("vectors-off fallback past the bound: got %v, want the watermark's Duplicate misread", d)
 	}
-	t.Logf("bound demonstrated: a never-seen delivery's retry is misread as %v only after > InboxCap (=%d) interleaved same-origin deliveries; at or below the bound it applies", d, testCap)
 
-	// A generation-bumped retry (Retry with refreshed credentials) is
-	// never swallowed: the watermark vouches only for gen 0.
-	if d, _ := ib.Begin("s0", "s0-dlv-99", 1, false); d != Apply {
-		t.Fatalf("gen-1 retry past the bound: got %v, want Apply", d)
+	// Vector mode, announcing sender: seq 100 is outstanding on the
+	// sender's side, so every carrier announces acked=99 — and 4 caps'
+	// worth of later deliveries change nothing. No eviction (announcing
+	// origins release entries by ack compaction only), watermark never
+	// moves, and the late first arrival applies.
+	ib = NewInbox(testCap)
+	ib.EnableVectors()
+	next := announceAndFill(t, ib, "s0", 99, 101, 4*testCap)
+	if d, _ := ib.Begin("s0", unseen, 0, false); d != Apply {
+		t.Fatalf("vector mode: a never-seen delivery's retry after %d interleaved deliveries: got %v, want Apply (zero residual)", 4*testCap, d)
+	}
+	ib.Commit("s0", unseen, 0, "ok", 100)
+
+	// The sender consumes the outcome and finally advances its prefix over
+	// everything: entries compact away, and a network-duplicated ghost of
+	// the recovered delivery is classified from the prefix — Duplicate,
+	// exactly, with no entry left to consult.
+	obs := ib.ObserveVector("s0", next-1, next-1, 0)
+	if obs.Compacted == 0 || ib.Len() != 0 {
+		t.Fatalf("acked prefix over everything compacted %d entries, %d left; want all gone", obs.Compacted, ib.Len())
+	}
+	if d, _ := ib.Begin("s0", unseen, 0, false); d != Duplicate {
+		t.Fatalf("ghost of an acked delivery after compaction: got %v, want Duplicate", d)
+	}
+
+	// A generation-bumped retry above the acked prefix is never swallowed:
+	// the prefix vouches only for sequences at or below it.
+	if d, _ := ib.Begin("s0", fmt.Sprintf("s0-dlv-%d", next), 1, false); d != Apply {
+		t.Fatalf("gen-1 arrival above the prefix: got %v, want Apply", d)
 	}
 }
 

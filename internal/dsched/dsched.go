@@ -229,6 +229,63 @@ func (s *Sched) Trace() []string {
 	return append([]string(nil), s.trace...)
 }
 
+// TaskInfo describes one live task for the driver: its ID (Kill's handle),
+// its name, and — when it parked at a YieldNamed decision point — the
+// label of that point.
+type TaskInfo struct {
+	ID    int
+	Name  string
+	Label string
+}
+
+// Parked lists every live task that is not running, in task-id order. The
+// driver uses it to find a task sitting at a specific yield point (by name
+// and label) and Kill it there.
+func (s *Sched) Parked() []TaskInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []TaskInfo
+	for _, t := range s.tasks {
+		if !t.done && t != s.running {
+			out = append(out, TaskInfo{ID: t.id, Name: t.name, Label: t.label})
+		}
+	}
+	return out
+}
+
+// Kill crash-stops a parked task at its current yield point: the task is
+// removed from scheduling and its goroutine is never resumed, so — unlike a
+// panic-unwind — none of its deferred cleanup runs. That is the point: Kill
+// models a process dying mid-pass (claims in flight, locks released at the
+// yield point, in-memory state about to be discarded), and the driver is
+// expected to treat the owning component as crashed and rebuild it from
+// durable state. The kill is recorded in the trace, so replays of a seed
+// that kills are compared against replays that kill identically. Reports
+// whether the task existed and was killed. Driver-only; killing the running
+// task panics (the driver and a running task never execute concurrently, so
+// that would be a protocol violation).
+func (s *Sched) Kill(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, t := range s.tasks {
+		if t.id != id || t.done {
+			continue
+		}
+		if t == s.running {
+			panic("dsched: Kill of the running task")
+		}
+		t.done = true
+		entry := "kill:" + t.name
+		if t.label != "" {
+			entry += "@" + t.label
+		}
+		s.trace = append(s.trace, entry)
+		s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+		return true
+	}
+	return false
+}
+
 // Live returns how many tasks have not finished; a clean shutdown drives
 // it to zero before the Sched is abandoned (a task parked forever would
 // leak its goroutine).

@@ -1,0 +1,77 @@
+package dsched
+
+import (
+	"strings"
+	"testing"
+
+	"aire/internal/simnet"
+)
+
+// TestKillAtYieldPoint: a task killed while parked at a labeled yield point
+// never runs again — in particular its deferred cleanup does NOT run (a
+// kill models a crash, not a shutdown) — and the kill lands in the trace.
+func TestKillAtYieldPoint(t *testing.T) {
+	s := New(3, simnet.NewClock(0))
+	var afterYield, deferred bool
+	s.Go("victim", func() {
+		defer func() { deferred = true }()
+		s.YieldNamed("claim-window")
+		afterYield = true
+	})
+	s.Go("bystander", func() { s.Yield() })
+
+	// Step until the victim parks at the labeled point (a YieldNamed park
+	// is runnable, so RunUntilIdle would run it to completion instead).
+	var victimID, found = 0, false
+	for !found {
+		if !s.Step() {
+			t.Fatal("went idle before the victim parked at claim-window")
+		}
+		for _, ti := range s.Parked() {
+			if ti.Name == "victim" && ti.Label == "claim-window" {
+				victimID, found = ti.ID, true
+			}
+		}
+		if afterYield {
+			t.Fatal("victim ran past its yield point before the driver saw it parked")
+		}
+	}
+	if !s.Kill(victimID) {
+		t.Fatal("Kill(victim) reported no such task")
+	}
+	s.RunUntilIdle()
+	if afterYield {
+		t.Fatal("killed task ran past its yield point")
+	}
+	if deferred {
+		t.Fatal("killed task ran its defers; Kill must model a crash, not an unwind")
+	}
+	if got := strings.Join(s.Trace(), ","); !strings.Contains(got, "kill:victim@claim-window") {
+		t.Fatalf("trace does not record the kill: %v", got)
+	}
+	if s.Kill(victimID) {
+		t.Fatal("second Kill of the same task reported success")
+	}
+	if s.Live() != 0 {
+		t.Fatalf("Live()=%d after kill and idle, want 0", s.Live())
+	}
+}
+
+// TestKillUnstartedTask: a registered task that was never scheduled can be
+// killed before its first step.
+func TestKillUnstartedTask(t *testing.T) {
+	s := New(1, simnet.NewClock(0))
+	ran := false
+	s.Go("never", func() { ran = true })
+	parked := s.Parked()
+	if len(parked) != 1 || parked[0].Name != "never" {
+		t.Fatalf("Parked()=%v, want the one unstarted task", parked)
+	}
+	if !s.Kill(parked[0].ID) {
+		t.Fatal("Kill failed")
+	}
+	s.RunUntilIdle()
+	if ran {
+		t.Fatal("killed task ran")
+	}
+}

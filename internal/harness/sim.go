@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"aire/internal/core"
@@ -72,6 +73,21 @@ type SimConfig struct {
 	// behavior. Hazard-demonstration tests use it to show the stale and
 	// dupcreate profiles genuinely fire their fault.
 	DisableDedup bool
+	// VersionVectors turns on the anti-entropy version-vector layer
+	// (core.Config.VersionVectors): every pump carrier piggybacks the
+	// sender's acknowledged prefix and frontier for its (origin, peer)
+	// pair, the receive-side dedup inbox compacts acknowledged entries and
+	// classifies post-eviction arrivals exactly, and a wholly-lost
+	// delivery is recovered through the gap-NACK / re-offer path instead
+	// of waiting out (or outliving) the backoff schedule. The lostwave
+	// profile sets it; run that profile with it off to watch convergence
+	// genuinely stall.
+	VersionVectors bool
+	// InboxCap bounds the dedup inbox's per-origin entry count
+	// (core.Config.InboxCap; 0 keeps the core default). The anti-entropy
+	// tests shrink it to a handful of entries to prove that acked-prefix
+	// compaction — not LRU headroom — is what keeps exactly-once exact.
+	InboxCap int
 	// LinearScan runs every repair engine with the retained pre-index
 	// full-timeline walk (warp.Config.LinearScan). The index-equivalence
 	// tests run each seed both ways and require identical results.
@@ -110,6 +126,14 @@ type SimConfig struct {
 	// mid-delivery, workers of different services overlapping, shutdown
 	// racing claims — while remaining a pure function of the seed.
 	ScheduledPump bool
+	// killCrashes makes every crash event a scheduler task kill instead of
+	// a graceful pump shutdown (ScheduledPump + WAL only): the crashed
+	// service's pump and delivery-worker tasks are killed at whatever
+	// yield point they are parked — mid-pass, claims in flight, deferred
+	// cleanup never run — and the service is rebuilt purely from durable
+	// state. The stopPump path models a clean restart between delivery
+	// passes; this models the crash landing inside the claim window.
+	killCrashes bool
 	// faultUngatedReconcile injects the historical (pre-PR-1) pump bug:
 	// reconcile without the per-message generation gate, so a message
 	// superseded while its old content is in flight is dropped as
@@ -200,6 +224,11 @@ type SimResult struct {
 	// task ran at each. A failing seed's schedule replays verbatim.
 	SchedSteps int
 	SchedTrace []string
+	// InboxHighWater is the largest per-origin dedup-inbox entry count any
+	// service's final incarnation reached — the memory bound the vector
+	// compaction tests assert on. Deterministic per seed, but kept out of
+	// StateDigest so pre-vector digests stay byte-identical.
+	InboxHighWater int
 	// StateDigest fingerprints the converged state plus the fault schedule
 	// (and, under ScheduledPump, the task schedule).
 	StateDigest uint64
@@ -353,10 +382,11 @@ type simWorld struct {
 	batchErr   error
 
 	// Scheduled-pump mode (SimConfig.ScheduledPump; attacked world only).
-	sched      *dsched.Sched
-	rootCtx    context.Context
-	rootCancel context.CancelFunc
-	pumpCancel map[string]context.CancelFunc
+	sched       *dsched.Sched
+	rootCtx     context.Context
+	rootCancel  context.CancelFunc
+	pumpCancel  map[string]context.CancelFunc
+	killCrashes bool
 
 	// WAL mode (SimConfig.WAL; attacked world only).
 	walBase      string
@@ -436,6 +466,8 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 	ccfg.Backoff = core.Backoff{Base: simBackoffBase, Max: simBackoffMax, Factor: 2}
 	ccfg.Clock = w.clock.Now
 	ccfg.DisableDedupInbox = cfg.DisableDedup
+	ccfg.VersionVectors = cfg.VersionVectors
+	ccfg.InboxCap = cfg.InboxCap
 	ccfg.Engine.LinearScan = cfg.LinearScan
 	if faulted && cfg.Obs {
 		w.obs = obs.New(obs.DefaultRingCap)
@@ -457,6 +489,7 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 		ccfg.FaultUngatedReconcile = cfg.faultUngatedReconcile
 		w.rootCtx, w.rootCancel = context.WithCancel(context.Background())
 		w.pumpCancel = map[string]context.CancelFunc{}
+		w.killCrashes = cfg.killCrashes
 	}
 	w.ccfg = ccfg
 
@@ -522,6 +555,27 @@ func (w *simWorld) stopPump(name string) {
 	}
 }
 
+// killService crash-kills the named service's scheduler tasks: its pump
+// loop and every delivery worker are killed at whatever yield point they
+// are parked — including inside the claim window, deliveries sent but not
+// reconciled — and never resume, so no deferred cleanup runs (dsched.Kill
+// models a crash, not an unwind). The caller must discard the controller
+// and rebuild from durable state: the killed incarnation's in-memory queue
+// still carries inflight claim flags no worker will ever release.
+func (w *simWorld) killService(name string) {
+	pump := "pump:" + name
+	workers := "worker:" + name + "->"
+	for _, ti := range w.sched.Parked() {
+		if ti.Name == pump || strings.HasPrefix(ti.Name, workers) {
+			w.sched.Kill(ti.ID)
+		}
+	}
+	if cancel := w.pumpCancel[name]; cancel != nil {
+		delete(w.pumpCancel, name)
+		cancel()
+	}
+}
+
 // crashRestart simulates a crash. Without WAL mode the controller is
 // discarded and rebuilt from a persist snapshot of its live state (the
 // legacy handoff, which by construction cannot lose anything). In WAL mode
@@ -533,7 +587,11 @@ func (w *simWorld) stopPump(name string) {
 // sits between delivery passes.
 func (w *simWorld) crashRestart(name string) error {
 	if w.sched != nil {
-		w.stopPump(name)
+		if w.killCrashes {
+			w.killService(name)
+		} else {
+			w.stopPump(name)
+		}
 	}
 	if w.walWriters != nil {
 		if err := w.ctrls[name].WALError(); err != nil {
@@ -1072,6 +1130,11 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if w.batchErr != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("batch apply error: %v", w.batchErr))
 	}
+	for _, name := range w.order {
+		if hw := w.ctrls[name].InboxHighWater(); hw > res.InboxHighWater {
+			res.InboxHighWater = hw
+		}
+	}
 	if w.obs != nil {
 		res.WaveStats = obs.Waves(w.obs.Ring().Spans())
 		snap := w.obs.Snapshot()
@@ -1183,11 +1246,28 @@ var simProfiles = map[string]SimConfig{
 	// non-idempotent /add double-applies.
 	"dupcreate": {Services: 3, Topology: "chain", Creates: 3,
 		Faults: simnet.FaultPlan{DropResponse: 0.25, Duplicate: 0.15, Drop: 0.1}},
+	// lostwave: a cursed delivery and ALL of its retries vanish silently
+	// for the rest of the run (LostTicks 0) — backoff-driven redelivery is
+	// structurally useless, because every attempt re-enters the same hole.
+	// Only a carrier stamped Aire-Reoffer lifts the curse, and only the
+	// version-vector layer ever stamps it (a receiver gap NACK, or the
+	// sender's own backoff-horizon escalation), so the profile runs with
+	// VersionVectors on. Run with -novectors to watch convergence
+	// genuinely stall past the backoff horizon.
+	"lostwave": {Services: 3, Topology: "chain", Repairs: 5, Rerepairs: 3, Creates: 2,
+		VersionVectors: true,
+		Faults:         simnet.FaultPlan{Lost: 0.1, DropResponse: 0.1}},
+	// corrupt: repair-plane bodies arrive with a byte flipped in flight.
+	// The always-on carrier checksum (Aire-Body-Sum) refuses the delivery
+	// loudly (503) instead of applying garbage; the sender backs off and
+	// the clean retry converges.
+	"corrupt": {Services: 3, Topology: "chain", Repairs: 4, Creates: 2,
+		Faults: simnet.FaultPlan{Corrupt: 0.25, Drop: 0.1}},
 }
 
 // SimProfileNames lists the named fault profiles in a fixed order.
 func SimProfileNames() []string {
-	return []string{"drop", "duplicate", "delay", "partition", "crash", "fsynclag", "mixed", "stale", "dupcreate"}
+	return []string{"drop", "duplicate", "delay", "partition", "crash", "fsynclag", "mixed", "stale", "dupcreate", "lostwave", "corrupt"}
 }
 
 // SimProfileConfig returns the SimConfig for a named fault profile; the

@@ -55,10 +55,29 @@ type FaultPlan struct {
 	// the sender's retries delivered the newer content — the
 	// stale-redelivery hazard the wire generations exist for.
 	DelayTicks int
+	// Lost curses a delivery: the call AND every subsequent call carrying
+	// the same wire.HdrDeliveryID is silently dropped for LostTicks Ticks,
+	// so the sender's backoff-driven retries cannot recover it — only the
+	// anti-entropy path can: calls stamped wire.HdrReoffer (a re-offer the
+	// sender issued after the receiver NACKed the sequence gap) pass the
+	// curse. This is the fault class that separates "retries eventually
+	// get through" from genuine lost-delivery detection.
+	Lost float64
+	// LostTicks bounds a curse's lifetime in Ticks; 0 curses the delivery
+	// for the whole run, which is what the vectors-off teeth check uses to
+	// prove convergence stalls without anti-entropy.
+	LostTicks int
+	// Corrupt delivers the call with one body byte flipped (calls with
+	// empty bodies pass clean). The receive path must detect the damage
+	// via the carrier checksum (wire.HdrBodySum) and refuse it loudly —
+	// silent misapply of a corrupted repair is the hazard.
+	Corrupt float64
 }
 
 // Sum returns the total fault probability.
-func (p FaultPlan) Sum() float64 { return p.Drop + p.DropResponse + p.Duplicate + p.Delay }
+func (p FaultPlan) Sum() float64 {
+	return p.Drop + p.DropResponse + p.Duplicate + p.Delay + p.Lost + p.Corrupt
+}
 
 // Fault class names, as recorded by Net.Counts and Net.Trace.
 const (
@@ -67,6 +86,8 @@ const (
 	FaultDuplicate    = "duplicate"
 	FaultDelay        = "delay"
 	FaultPartition    = "partition"
+	FaultLost         = "lost"
+	FaultCorrupt      = "corrupt"
 )
 
 // heldCall is a delayed repair-plane call awaiting Tick delivery.
@@ -92,6 +113,13 @@ type Net struct {
 	held   []heldCall
 	counts map[string]int
 	trace  []string
+	// tick counts Tick calls; curse expiries are measured against it.
+	tick int
+	// cursed maps a delivery ID hit by a Lost fault to the tick its curse
+	// expires (-1 = never, FaultPlan.LostTicks == 0). While cursed, every
+	// call carrying the ID is silently dropped unless it carries
+	// wire.HdrReoffer.
+	cursed map[string]int
 }
 
 // New wraps bus in a fault layer driven by the given seed and plan.
@@ -104,6 +132,7 @@ func New(bus *transport.Bus, seed int64, plan FaultPlan) *Net {
 		rng:    rand.New(rand.NewSource(seed)),
 		plan:   plan,
 		counts: map[string]int{},
+		cursed: map[string]int{},
 	}
 }
 
@@ -124,7 +153,27 @@ func (n *Net) Call(from, to string, req wire.Request) (wire.Response, error) {
 		n.mu.Unlock()
 		return wire.Response{}, fmt.Errorf("%w: simnet: %s->%s partitioned", transport.ErrUnavailable, from, to)
 	}
+	// The roll happens unconditionally — one draw per repair-plane call,
+	// cursed or not — so a curse changes outcomes without shifting the rng
+	// sequence every later fault decision depends on.
 	fault := n.rollLocked()
+	if id := req.Header[wire.HdrDeliveryID]; id != "" {
+		if fault == FaultLost {
+			exp := -1 // whole-run curse
+			if n.plan.LostTicks > 0 {
+				exp = n.tick + n.plan.LostTicks
+			}
+			n.cursed[id] = exp
+		} else if n.cursedLocked(id) {
+			if req.Header[wire.HdrReoffer] != "" {
+				// Anti-entropy re-offer: the only traffic that passes the
+				// curse. Whatever the roll said happens to it normally.
+				delete(n.cursed, id)
+			} else {
+				fault = FaultLost // a retry of the lost delivery: still lost
+			}
+		}
+	}
 	if fault != "" {
 		n.noteLocked(fault, from, to, req.Path)
 	}
@@ -138,7 +187,7 @@ func (n *Net) Call(from, to string, req wire.Request) (wire.Response, error) {
 	n.mu.Unlock()
 
 	switch fault {
-	case FaultDrop, FaultDelay:
+	case FaultDrop, FaultDelay, FaultLost:
 		return wire.Response{}, fmt.Errorf("%w: simnet: %s %s->%s %s", transport.ErrUnavailable, fault, from, to, req.Path)
 	case FaultDropResponse:
 		n.bus.Call(from, to, req) // delivered; the response is lost
@@ -147,9 +196,40 @@ func (n *Net) Call(from, to string, req wire.Request) (wire.Response, error) {
 		resp, err := n.bus.Call(from, to, req)
 		n.bus.Call(from, to, req.Clone()) // the duplicate; its response vanishes
 		return resp, err
+	case FaultCorrupt:
+		return n.bus.Call(from, to, corruptBody(req))
 	default:
 		return n.bus.Call(from, to, req)
 	}
+}
+
+// cursedLocked reports whether a delivery ID's curse is still active.
+func (n *Net) cursedLocked(id string) bool {
+	exp, ok := n.cursed[id]
+	if !ok {
+		return false
+	}
+	if exp >= 0 && n.tick >= exp {
+		delete(n.cursed, id)
+		return false
+	}
+	return true
+}
+
+// corruptBody flips one body byte (position derived from the content, so
+// the damage is deterministic without consuming an rng draw). Calls with
+// empty bodies pass through untouched.
+func corruptBody(req wire.Request) wire.Request {
+	if len(req.Body) == 0 {
+		return req
+	}
+	c := req.Clone()
+	sum := 0
+	for _, b := range c.Body {
+		sum += int(b)
+	}
+	c.Body[sum%len(c.Body)] ^= 0xFF
+	return c
 }
 
 // rollLocked consumes exactly one uniform draw and maps it to a fault class
@@ -167,8 +247,12 @@ func (n *Net) rollLocked() string {
 		return FaultDropResponse
 	case r < p.Drop+p.DropResponse+p.Duplicate:
 		return FaultDuplicate
-	case r < p.Sum():
+	case r < p.Drop+p.DropResponse+p.Duplicate+p.Delay:
 		return FaultDelay
+	case r < p.Drop+p.DropResponse+p.Duplicate+p.Delay+p.Lost:
+		return FaultLost
+	case r < p.Sum():
+		return FaultCorrupt
 	}
 	return ""
 }
@@ -184,6 +268,7 @@ func (n *Net) rollLocked() string {
 // traffic delayed before it started, until Heal.
 func (n *Net) Tick() int {
 	n.mu.Lock()
+	n.tick++ // curse lifetimes (FaultPlan.LostTicks) age per Tick
 	var batch, keep []heldCall
 	for _, h := range n.held {
 		if n.partitionedLocked(h.from, h.to) {

@@ -11,6 +11,7 @@ package wire
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -52,6 +53,31 @@ import (
 // including across crash-recovery, because the context is persisted with the
 // queued message. Trace headers are observability-only: they never influence
 // repair semantics or delivery dedup.
+//
+// The version-vector headers implement the anti-entropy layer of the repair
+// plane: every pump-stamped carrier piggybacks the sender's delivery vector
+// for the (origin, peer) pair, and the receiver answers detected gaps with a
+// NACK.
+//
+//   - Aire-Acked-Seq announces the sender's highest contiguous acknowledged
+//     delivery sequence for this peer: every delivery it ever stamped for
+//     this peer with a sequence at or below it has reached a terminal
+//     outcome. The receiver may drop its dedup entries for that prefix and
+//     classify any arrival at or below it as a duplicate — exactly, with no
+//     watermark heuristic.
+//   - Aire-Frontier-Seq announces the highest delivery sequence the sender
+//     has stamped for this peer, letting the receiver notice outstanding
+//     deliveries it has never seen.
+//   - Aire-Nack-Seq is the receiver's anti-entropy answer (a response
+//     header): a sequence gap was detected against the announced vector, and
+//     the sender should re-offer its unacknowledged backlog for this peer
+//     immediately instead of waiting out delivery backoff.
+//   - Aire-Reoffer marks a carrier as such an anti-entropy re-offer (set on
+//     every attempt after a NACK), distinguishing it from plain
+//     timeout-driven retries.
+//   - Aire-Body-Sum is an end-to-end FNV-64a checksum of the carrier body;
+//     the receive path refuses a mismatch loudly (retryably) instead of
+//     applying a corrupted repair.
 const (
 	HdrRequestID   = "Aire-Request-Id"
 	HdrResponseID  = "Aire-Response-Id"
@@ -62,6 +88,11 @@ const (
 	HdrOrigin      = "Aire-Origin"
 	HdrTraceID     = "Aire-Trace-Id"
 	HdrTraceHop    = "Aire-Trace-Hop"
+	HdrAckedSeq    = "Aire-Acked-Seq"
+	HdrFrontierSeq = "Aire-Frontier-Seq"
+	HdrNackSeq     = "Aire-Nack-Seq"
+	HdrReoffer     = "Aire-Reoffer"
+	HdrBodySum     = "Aire-Body-Sum"
 )
 
 // Request is an API operation sent to a service.
@@ -182,6 +213,7 @@ var AireHeaders = []string{
 	HdrRequestID, HdrResponseID, HdrNotifierURL, HdrRepair,
 	HdrDeliveryID, HdrGeneration, HdrOrigin,
 	HdrTraceID, HdrTraceHop,
+	HdrAckedSeq, HdrFrontierSeq, HdrNackSeq, HdrReoffer, HdrBodySum,
 }
 
 var aireHeaderSet = func() map[string]bool {
@@ -284,6 +316,16 @@ func DecodeResponse(b []byte) (Response, error) {
 		return Response{}, fmt.Errorf("wire: decode response: %w", err)
 	}
 	return r, nil
+}
+
+// BodySum computes the end-to-end checksum stamped as Aire-Body-Sum on
+// repair-plane carriers: FNV-64a over the raw body bytes, fixed-width hex.
+// Both sides share this one definition so a corrupted payload can never
+// present a valid sum by construction drift.
+func BodySum(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // OK reports whether the response has a 2xx status.
