@@ -14,8 +14,11 @@ GO ?= go
 #   go run ./cmd/airesim -profile lostwave -novectors -seeds 1:20 -expect-fail
 SIM_SEEDS ?= 1:20
 SIM_PROFILE ?= mixed
+# SIM_SHARDS splits every faulted service N ways behind the key-hash
+# router (ISSUE 10); the convergence oracle is shard-count-invariant.
+SIM_SHARDS ?= 0
 
-.PHONY: all build test race bench bench-json bench5 bench-obs fmt fmt-fix vet lint ci sim sim-sched durability fuzz-wal
+.PHONY: all build test race bench bench-json bench5 bench5-scale bench-obs fmt fmt-fix vet lint ci sim sim-sched durability fuzz-wal
 
 all: build
 
@@ -48,6 +51,14 @@ BENCH5_DUR ?= 5s
 bench5:
 	$(GO) run ./cmd/airebench -table bench5 -dur $(BENCH5_DUR) -out BENCH_5.json
 
+# Hub shard-scaling table (ISSUE 10): the bench5 workload re-run unpaced
+# once per shard count, with -opdelay modeling the blocking backend work
+# held under each shard's service lock (so lock serialization — the thing
+# sharding removes — is what the table measures, not the host's cores).
+# Regenerates the committed BENCH_5.json.
+bench5-scale:
+	$(GO) run ./cmd/airebench -table bench5 -dur $(BENCH5_DUR) -rps -1 -clients 16 -shards 1,2,4 -opdelay 2ms -wal -out BENCH_5.json
+
 # Observability overhead gate (ISSUE 8): the allocation ceiling — with no
 # registry configured every instrumentation site must degenerate to a nil
 # check (0 allocs/op, asserted hard by TestObsDisabledZeroAlloc) — plus
@@ -66,7 +77,7 @@ fmt-fix:
 	gofmt -w .
 
 sim:
-	$(GO) run ./cmd/airesim -profile $(SIM_PROFILE) -seeds $(SIM_SEEDS)
+	$(GO) run ./cmd/airesim -profile $(SIM_PROFILE) -seeds $(SIM_SEEDS) -shards $(SIM_SHARDS)
 
 # Crash-durability gate (ISSUE 6): WAL-backed profiles where every crash
 # discards in-memory state and recovers from checkpoint + WAL replay.
@@ -89,7 +100,7 @@ fuzz-wal:
 # interleavings, seed-reproducible. A failing seed prints its step count;
 # replay with: go run ./cmd/airesim -sched -profile <p> -seeds <seed> -v
 sim-sched:
-	$(GO) run ./cmd/airesim -sched -profile $(SIM_PROFILE) -seeds $(SIM_SEEDS)
+	$(GO) run ./cmd/airesim -sched -profile $(SIM_PROFILE) -seeds $(SIM_SEEDS) -shards $(SIM_SHARDS)
 
 vet:
 	$(GO) vet ./...

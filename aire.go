@@ -112,6 +112,14 @@ type (
 	// Backoff is the exponential retry schedule the repair pump applies to
 	// unreachable peers (zero value: legacy park-after-MaxAttempts).
 	Backoff = core.Backoff
+	// ShardTopology is the deterministic key→shard map shared by every
+	// sender and shard of a horizontally partitioned service
+	// (Config.Topology).
+	ShardTopology = core.ShardTopology
+	// ShardedController is the router fronting one sharded service: N full
+	// per-shard controllers (own store, log, inbox, pump, WAL) behind the
+	// service's transport name.
+	ShardedController = core.ShardedController
 	// Bus is the in-memory service fabric used to connect services.
 	Bus = transport.Bus
 )
@@ -143,6 +151,21 @@ func NewService(app App, net core.Caller) *Controller {
 // NewServiceWithConfig is NewService with an explicit configuration.
 func NewServiceWithConfig(app App, net core.Caller, cfg Config) *Controller {
 	return core.NewController(app, net, cfg)
+}
+
+// NewShardTopology returns an empty shard topology (every service
+// unsharded). Declare shard counts with SetShards before constructing
+// controllers, and hand the same topology to every controller's
+// Config.Topology.
+func NewShardTopology() *ShardTopology { return core.NewShardTopology() }
+
+// NewShardedService wraps base's shard controllers (index order) in the
+// router that owns the service's transport name. Each shard must have
+// been built with the shared topology and named topo.ShardName(base, i);
+// register the shards under their own names too, so repair-plane peers
+// can address them directly.
+func NewShardedService(base string, topo *ShardTopology, shards []*Controller) *ShardedController {
+	return core.NewShardedController(base, topo, shards)
 }
 
 // Cancel builds the repair action that undoes a past request and all its

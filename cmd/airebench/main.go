@@ -12,6 +12,10 @@
 //	                              # ISSUE 7: repair-plane under load —
 //	                              # closed-loop mixed workload over real
 //	                              # HTTP with adaptive batching + admission
+//	airebench -table bench5 -shards 1,2,4 -rps -1 -opdelay 2ms [-wal]
+//	                              # ISSUE 10: hub shard-scaling table —
+//	                              # one unpaced run per shard count, max
+//	                              # closed-loop throughput vs shard count
 //	airebench -table all
 package main
 
@@ -22,6 +26,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"aire/internal/core"
@@ -37,8 +43,12 @@ func main() {
 	iters := flag.Int("iters", 200, "timed repair passes per bench4 point")
 	out := flag.String("out", "", "write bench4/bench5 results as JSON to this file")
 	dur := flag.Duration("dur", 5*time.Second, "paced-load duration for bench5")
-	rps := flag.Int("rps", 300, "target mirror-traffic rate for bench5")
+	rps := flag.Int("rps", 300, "target mirror-traffic rate for bench5 (negative = unpaced: max closed-loop throughput)")
 	peers := flag.Int("peers", 3, "mirror peers behind the bench5 hub")
+	clients := flag.Int("clients", 0, "closed-loop client count for bench5 (0 = default)")
+	shards := flag.String("shards", "1", "comma-separated hub shard counts for bench5; more than one value emits the shard-scaling table (one run per count)")
+	walOn := flag.Bool("wal", false, "attach a write-ahead log to the bench5 hub (one per shard when sharded)")
+	opDelay := flag.Duration("opdelay", 0, "blocking backend work per bench5 hub put, spent under the per-shard service lock (models a database round trip; makes lock serialization measurable on small hosts)")
 	waves := flag.String("waves", "", "write the bench5 run's /aire/debug/waves dump as JSON to this file")
 	flag.Parse()
 
@@ -56,7 +66,12 @@ func main() {
 	case "bench4":
 		bench4(os.Stdout, *iters, *out)
 	case "bench5":
-		bench5(os.Stdout, *dur, *rps, *peers, *out, *waves)
+		shardCounts, err := parseShards(*shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "airebench:", err)
+			os.Exit(2)
+		}
+		bench5(os.Stdout, *dur, *rps, *peers, *clients, shardCounts, *walOn, *opDelay, *out, *waves)
 	case "all":
 		table3()
 		fmt.Println()
@@ -113,12 +128,32 @@ func bench4(w io.Writer, iters int, out string) {
 }
 
 // bench5Doc is the schema of BENCH_5.json: the repair-plane-under-load
-// measurements for ISSUE 7.
+// measurements for ISSUE 7, and (when more than one shard count was
+// requested) the ISSUE 10 hub shard-scaling table. Result stays the
+// single-configuration field earlier tooling reads; Scaling holds one
+// entry per shard count, in the order run.
 type bench5Doc struct {
-	Issue       int                 `json:"issue"`
-	Description string              `json:"description"`
-	GeneratedBy string              `json:"generated_by"`
-	Result      *harness.LoadResult `json:"result"`
+	Issue       int                   `json:"issue"`
+	Description string                `json:"description"`
+	GeneratedBy string                `json:"generated_by"`
+	Result      *harness.LoadResult   `json:"result"`
+	Scaling     []*harness.LoadResult `json:"scaling,omitempty"`
+}
+
+// parseShards accepts a comma-separated list of shard counts ("1,2,4").
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want a positive integer)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out, nil
 }
 
 // writeJSON writes v to path as indented JSON.
@@ -138,25 +173,55 @@ func writeJSON(path string, v any) {
 	fmt.Printf("wrote %s\n", path)
 }
 
-func bench5(w io.Writer, dur time.Duration, rps, peers int, out, wavesOut string) {
-	fmt.Fprintln(w, "== ISSUE 7: repair-plane under load (closed-loop mixed workload over real HTTP) ==")
-	res, err := harness.RunLoad(harness.LoadConfig{
-		Peers:       peers,
-		TargetRPS:   rps,
-		Duration:    dur,
-		RepairEvery: 20,
-		BatchPolicy: core.DefaultAdaptiveBatch(),
-		Admission:   core.DefaultAdmission(),
-	})
-	if err != nil {
-		log.Fatal(err)
+func bench5(w io.Writer, dur time.Duration, rps, peers, clients int, shardCounts []int, walOn bool, opDelay time.Duration, out, wavesOut string) {
+	if len(shardCounts) > 1 {
+		fmt.Fprintln(w, "== ISSUE 10: hub shard scaling (closed-loop mixed workload over real HTTP, one run per shard count) ==")
+	} else {
+		fmt.Fprintln(w, "== ISSUE 7: repair-plane under load (closed-loop mixed workload over real HTTP) ==")
 	}
-	fmt.Fprint(w, harness.FormatLoad(res))
-	fmt.Fprintln(w, "(mirror = client-visible paced puts; repair = delete-cascade carrier sojourn from the obs span ring; adaptive batching + admission control on)")
+	results := make([]*harness.LoadResult, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		res, err := harness.RunLoad(harness.LoadConfig{
+			Peers:       peers,
+			Clients:     clients,
+			TargetRPS:   rps,
+			Duration:    dur,
+			RepairEvery: 20,
+			Shards:      n,
+			WAL:         walOn,
+			OpDelay:     opDelay,
+			BatchPolicy: core.DefaultAdaptiveBatch(),
+			Admission:   core.DefaultAdmission(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		if len(shardCounts) == 1 {
+			fmt.Fprint(w, harness.FormatLoad(res))
+			fmt.Fprintln(w, "(mirror = client-visible paced puts; repair = delete-cascade carrier sojourn from the obs span ring; adaptive batching + admission control on)")
+		}
+	}
+	if len(shardCounts) > 1 {
+		fmt.Fprintf(w, "%-7s %12s %10s %12s %12s %8s\n",
+			"shards", "mirror-rps", "puts", "mirror-p50", "mirror-p99", "errors")
+		for _, res := range results {
+			var mirror harness.LoadClass
+			for _, c := range res.Classes {
+				if c.Name == "mirror" {
+					mirror = c
+				}
+			}
+			fmt.Fprintf(w, "%-7d %12.1f %10d %10.2fms %10.2fms %8d\n",
+				res.Shards, mirror.RPS, mirror.Count, mirror.P50Ms, mirror.P99Ms, res.Errors)
+		}
+		fmt.Fprintln(w, "(claim: the hub put path serializes on one service lock — -opdelay is the modeled backend work held under it — so N shards = N independent locks/stores/logs and unpaced closed-loop throughput rises with shard count)")
+	}
+	last := results[len(results)-1]
 	if wavesOut != "" {
 		// The same document /aire/debug/waves serves — the non-gating CI
 		// artifact, so a CI run's repair cascades can be inspected later.
-		writeJSON(wavesOut, res.Waves)
+		writeJSON(wavesOut, last.Waves)
 	}
 	if out == "" {
 		return
@@ -165,9 +230,28 @@ func bench5(w io.Writer, dur time.Duration, rps, peers int, out, wavesOut string
 		Issue:       7,
 		Description: "Closed-loop mixed load against a mirroring hub over the real HTTP adapter: paced mirror puts (client round-trip latency) plus periodic repair cascades (queue sojourn of delete carriers, sourced from the observability span ring), with the pooled HTTP client, adaptive batch sizing, and sender-side admission control enabled.",
 		GeneratedBy: fmt.Sprintf("go run ./cmd/airebench -table bench5 -dur %s -rps %d -peers %d -out BENCH_5.json", dur, rps, peers),
-		Result:      res,
+		Result:      results[0],
+	}
+	if len(shardCounts) > 1 {
+		doc.Issue = 10
+		doc.Description = "Hub shard-scaling table: the ISSUE 7 closed-loop workload re-run once per hub shard count. Negative -rps runs unpaced (max closed-loop throughput) and -opdelay models blocking backend work under the per-shard service lock, so the table isolates the hub's service-lock serialization: N shards behind the key-hash router mean N independent locks, stores, repair logs, and (with -wal) WALs."
+		doc.GeneratedBy = fmt.Sprintf("go run ./cmd/airebench -table bench5 -dur %s -rps %d -peers %d -clients %d -shards %s -opdelay %s -out BENCH_5.json",
+			dur, rps, peers, clients, shardList(shardCounts), opDelay)
+		if walOn {
+			doc.GeneratedBy += " -wal"
+		}
+		doc.Scaling = results
 	}
 	writeJSON(out, doc)
+}
+
+// shardList re-renders a shard-count slice as the -shards flag value.
+func shardList(counts []int) string {
+	parts := make([]string, len(counts))
+	for i, n := range counts {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
 }
 
 func table3() {

@@ -56,6 +56,7 @@ func main() {
 		topology  = flag.String("topology", "", `"chain" or "fanout" (empty = profile default)`)
 		repairs   = flag.Int("repairs", 0, "attacked puts per run (0 = profile default)")
 		sched     = flag.Bool("sched", false, "run repair delivery on the background pump under the deterministic scheduler (internal/dsched): seeded task interleavings instead of the serial Flush loop")
+		shards    = flag.Int("shards", 0, "shard every faulted service N ways behind a key-hash router (per-shard store/log/pump/WAL); the convergence oracle is shard-count-invariant (0/1 = unsharded)")
 		fsync     = flag.String("fsync", "", `override the WAL fsync policy of WAL-backed profiles (crash, fsynclag): "every", "interval", "none" (empty = profile default; "none" demonstrates tail loss)`)
 		nodedup   = flag.Bool("nodedup", false, "disable the peer-side exactly-once dedup inbox (demonstrates the stale/dupcreate hazards)")
 		vectors   = flag.Bool("vectors", false, "force the anti-entropy version-vector layer ON regardless of profile default")
@@ -98,6 +99,7 @@ func main() {
 	}
 	base.DisableDedup = *nodedup
 	base.ScheduledPump = *sched
+	base.Shards = *shards
 	if *vectors && *novectors {
 		fmt.Fprintln(os.Stderr, "airesim: -vectors and -novectors are mutually exclusive")
 		os.Exit(2)
@@ -161,6 +163,9 @@ func main() {
 	}
 	if *fsync != "" {
 		schedFlag += " -fsync " + *fsync
+	}
+	if *shards > 1 {
+		schedFlag += fmt.Sprintf(" -shards %d", *shards)
 	}
 	if *expectF {
 		// Teeth mode: the sweep exists to prove a hazard fires. All-pass

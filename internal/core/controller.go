@@ -206,6 +206,24 @@ type Config struct {
 	// disabled no new headers are stamped, no new yield points fire, and
 	// existing scheduler digests stay byte-identical.
 	VersionVectors bool
+	// Topology, when non-nil, is the shared key→shard map for every
+	// service in the deployment (shard.go). A controller with a topology
+	// resolves repair carriers bound for a sharded peer to the owning
+	// shard's transport name (peerDest), stamps wire.HdrShard, and — when
+	// it is itself a shard — refuses carriers addressed to a sibling.
+	// Must be set before recovery so WAL replay rebuilds version vectors
+	// under the same per-(peer, shard) keys the live path uses. Default
+	// nil: no shard resolution, no new headers, no new yield points, and
+	// existing scheduler digests stay byte-identical.
+	Topology *ShardTopology
+	// StrictIndexes verifies vdb/repairlog secondary-index coherence at
+	// the start of every repair wave (the carried ROADMAP
+	// coherence-at-repair-start debt): a corrupted or stale index fails
+	// the repair loudly instead of silently walking the wrong slice.
+	// Pure reads under Svc.Mu — no yields, no IDs, no rng — so scheduler
+	// digests are unchanged either way. Default off; the simulation
+	// harness turns it on.
+	StrictIndexes bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -321,6 +339,11 @@ type Controller struct {
 	// goroutines); immutable after NewController.
 	sd sched.Scheduler
 
+	// topo is the resolved shard topology (Cfg.Topology); nil means no
+	// shard resolution anywhere on the delivery path. Immutable after
+	// NewController.
+	topo *ShardTopology
+
 	// met caches the obs handles (core/obs.go); immutable after
 	// NewController. All-nil when Cfg.Obs is nil.
 	met ctrlMetrics
@@ -377,6 +400,7 @@ func NewController(app App, net Caller, cfg Config) *Controller {
 		peers:     make(map[string]*peerState),
 		liveCalls: make(map[string]int),
 		sd:        cfg.Sched,
+		topo:      cfg.Topology,
 	}
 	if c.sd == nil {
 		c.sd = sched.Goroutines()
@@ -428,6 +452,14 @@ func (c *Controller) HandleWire(from string, req wire.Request) wire.Response {
 	var resp wire.Response
 	switch req.Path {
 	case "/aire/repair", "/aire/notify":
+		// A carrier stamped for a sibling shard must never be absorbed
+		// here: its delivery ID would commit into the wrong shard's dedup
+		// inbox and the real destination would never see the repair. Fail
+		// loudly and retryably so a (buggy) misroute surfaces instead of
+		// converging to a wrong world.
+		if want := req.Header[wire.HdrShard]; want != "" && want != c.Svc.Name {
+			return wire.NewResponse(500, "aire: carrier addressed to shard "+want+" delivered to "+c.Svc.Name)
+		}
 		if bad := c.verifyCarrierBody(req); bad != nil {
 			return *bad
 		}
@@ -701,8 +733,11 @@ func (c *Controller) applyNotify(from string, req wire.Request, gate *deliveryGa
 		c.Svc.Mu.Unlock()
 		return wire.NewResponse(404, "aire: unknown response "+payload.RespID)
 	}
-	// The server may only repair responses it itself produced.
-	if rec.Calls[i].Target != server {
+	// The server may only repair responses it itself produced. Call
+	// records name the peer by its unqualified service name, while a
+	// sharded producer notifies under its shard-qualified name — any
+	// shard of the recorded target is the same producing service.
+	if rec.Calls[i].Target != server && rec.Calls[i].Target != ShardBaseName(server) {
 		c.Svc.Mu.Unlock()
 		return wire.NewResponse(403, "aire: response "+payload.RespID+" was not produced by "+server)
 	}
@@ -813,6 +848,10 @@ func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate
 		// Historical ordering: repair entry, then standalone q-set entries,
 		// with the gate left for the caller to commit afterwards.
 		c.Svc.Mu.Lock()
+		if err := c.checkIndexesLocked(); err != nil {
+			c.Svc.Mu.Unlock()
+			return nil, err
+		}
 		c.walBegin("repair")
 		res, err := c.Engine.Repair(actions)
 		c.walCommit()
@@ -825,6 +864,12 @@ func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate
 		return res, nil
 	}
 	c.Svc.Mu.Lock()
+	if err := c.checkIndexesLocked(); err != nil {
+		// The gate (if any) stays active: the caller's rollback-on-error
+		// answers the sender retryably, exactly as if the repair never ran.
+		c.Svc.Mu.Unlock()
+		return nil, err
+	}
 	c.walBegin("repair")
 	res, err := c.Engine.Repair(actions)
 	if err != nil {
@@ -857,6 +902,28 @@ func (c *Controller) applyActionsGated(actions []warp.Action, gate *deliveryGate
 	c.walSettle()
 	c.finishRepair(actions, res, true, tc)
 	return res, nil
+}
+
+// checkIndexesLocked is the repair-wave-start coherence guard: when
+// Config.StrictIndexes is set it cross-checks the store's and the repair
+// log's secondary indexes against their primary state and refuses to start
+// the wave on any divergence. The indexes drive which records a repair
+// visits (the inverted-dependency walk) and which call a replace_response
+// lands on (respIdx); running a wave over a drifted index repairs the wrong
+// slice silently, so a loud pre-wave failure is strictly better. Pure
+// reads — no yields, no IDs, no rng, no WAL traffic — so runs with the
+// guard on and off execute identical schedules. Caller holds Svc.Mu.
+func (c *Controller) checkIndexesLocked() error {
+	if !c.Cfg.StrictIndexes {
+		return nil
+	}
+	if err := c.Svc.Store.VerifyIndexes(); err != nil {
+		return fmt.Errorf("aire: %s: store index incoherent at repair-wave start: %w", c.Svc.Name, err)
+	}
+	if err := c.Svc.Log.VerifyIndexes(); err != nil {
+		return fmt.Errorf("aire: %s: repair-log index incoherent at repair-wave start: %w", c.Svc.Name, err)
+	}
+	return nil
 }
 
 // finishRepair does a completed local repair's unlocked bookkeeping:
@@ -952,6 +1019,17 @@ func (c *Controller) enqueueIncoming(action warp.Action, gate *deliveryGate, tc 
 // outcome for creates — or roll back if the batch fails, so the senders'
 // redeliveries are re-applied rather than falsely acknowledged.
 func (c *Controller) ProcessIncoming() (*warp.Result, error) {
+	if c.Cfg.StrictIndexes {
+		// Check before draining the inbox: on failure the accepted batch
+		// stays pending (and WAL-persisted), so nothing is silently lost
+		// behind the loud error.
+		c.Svc.Mu.Lock()
+		err := c.checkIndexesLocked()
+		c.Svc.Mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
 	c.inmu.Lock()
 	queued := c.inbox
 	c.inbox = nil

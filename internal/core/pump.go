@@ -216,7 +216,7 @@ func (c *Controller) peerBacklogs() map[string][2]int {
 		if !p.queued || p.Held || p.inflight {
 			continue
 		}
-		k := peerKey(p.Msg)
+		k := c.peerDest(p.Msg)
 		v := m[k]
 		v[0]++
 		m[k] = v
@@ -279,7 +279,7 @@ func (c *Controller) claimBatches(limit int, perPeer map[string]int, admit bool)
 		if !p.queued || p.Held || p.inflight {
 			continue
 		}
-		peer := peerKey(p.Msg)
+		peer := c.peerDest(p.Msg)
 		if skipPeer[peer] {
 			continue
 		}
@@ -357,7 +357,7 @@ func (c *Controller) claimBatches(limit int, perPeer map[string]int, admit bool)
 // named peer.
 func (c *Controller) peerHasQueuedLocked(peer string) bool {
 	for _, q := range c.queue {
-		if q.queued && peerKey(q.Msg) == peer {
+		if q.queued && c.peerDest(q.Msg) == peer {
 			return true
 		}
 	}

@@ -77,7 +77,7 @@ func (c *Controller) enqueueJoin(msgs []warp.OutMsg, join bool, tc traceCtx) {
 		}
 		c.queue = append(c.queue, p)
 		c.qlive++
-		c.vvIssueLocked(peerKey(m), p.DeliveryID)
+		c.vvIssueLocked(c.peerDest(m), p.DeliveryID)
 		c.walEmitQSetJoinLocked(p, join)
 		c.spanEnqueueLocked(p)
 		c.emit(EvMsgQueued, p.MsgID, "%s -> %s (req=%s resp=%s)", m.Kind, m.Target, m.RemoteReqID, m.RespID)
@@ -95,7 +95,7 @@ func (c *Controller) spanEnqueueLocked(p *PendingMsg) {
 	now := c.now().UnixNano()
 	c.met.ring.Record(obs.Span{
 		Wave: p.TraceID, Hop: p.TraceHop, Service: c.Svc.Name,
-		Kind: obs.SpanEnqueue, Subject: p.DeliveryID, Peer: peerKey(p.Msg),
+		Kind: obs.SpanEnqueue, Subject: p.DeliveryID, Peer: c.peerDest(p.Msg),
 		StartNS: now, EndNS: now,
 	})
 }
@@ -201,11 +201,11 @@ func (c *Controller) Drop(msgID string) error {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			p.queued = false
 			c.queueShrunkLocked()
-			c.vvResolveLocked(peerKey(p.Msg), p.DeliveryID)
+			c.vvResolveLocked(c.peerDest(p.Msg), p.DeliveryID)
 			c.walEmitQDelLocked(p.MsgID)
 			// Dropping a peer's last message leaves no delivery pass to
 			// clean up its backoff bookkeeping — do it here.
-			if peer := peerKey(p.Msg); !c.peerHasQueuedLocked(peer) {
+			if peer := c.peerDest(p.Msg); !c.peerHasQueuedLocked(peer) {
 				if ps := c.peers[peer]; ps != nil && !ps.inflight {
 					delete(c.peers, peer)
 				}
@@ -265,7 +265,7 @@ func (c *Controller) ImportQueue(msgs []PendingMsg) {
 		}
 		c.queue = append(c.queue, &p)
 		c.qlive++
-		c.vvIssueLocked(peerKey(p.Msg), p.DeliveryID)
+		c.vvIssueLocked(c.peerDest(p.Msg), p.DeliveryID)
 	}
 	c.wakePump()
 }
@@ -357,7 +357,7 @@ func (c *Controller) stampDelivery(req wire.Request, p *PendingMsg) {
 	// reconcile-per-message advances the acked prefix between deliveries of
 	// one batch, so stamping at send time keeps the announcement as fresh
 	// as possible and minimizes spurious gap NACKs.
-	if acked, frontier, reoffer, ok := c.vvAnnouncement(peerKey(p.Msg)); ok {
+	if acked, frontier, reoffer, ok := c.vvAnnouncement(c.peerDest(p.Msg)); ok {
 		req.Header[wire.HdrAckedSeq] = strconv.FormatUint(acked, 10)
 		req.Header[wire.HdrFrontierSeq] = strconv.FormatUint(frontier, 10)
 		if reoffer {
@@ -401,7 +401,23 @@ func (c *Controller) deliverRepairCall(p *PendingMsg) deliverStatus {
 	}
 	c.stampDelivery(req, p)
 
-	resp, err := c.Net.Call(c.Svc.Name, m.Target, req)
+	dest := m.Target
+	if c.topo != nil {
+		// Resolve the owning shard of a sharded peer and address the
+		// carrier to it directly (the shard is registered under its own
+		// qualified name). The destination is also stamped on the wire so
+		// a router can dispatch without re-deriving it and a shard can
+		// refuse a misrouted carrier. The resolution window is a named
+		// schedule point so seeded runs cover interleavings between
+		// claim and send; gated on the topology, so unsharded
+		// deployments keep byte-identical digests.
+		dest = c.peerDest(p.Msg)
+		if dest != m.Target {
+			req.Header[wire.HdrShard] = dest
+		}
+		c.sd.YieldNamed("shard-gate")
+	}
+	resp, err := c.Net.Call(c.Svc.Name, dest, req)
 	if err != nil {
 		p.LastErr = err.Error()
 		return deliverRetry

@@ -455,7 +455,7 @@ func (c *Controller) walQueueSet(o qSetOp) {
 	c.qlive++
 	// Sender vectors mirror the queue; replaying the queue replays them
 	// (vvIssueLocked is idempotent against checkpoint-overlap re-inserts).
-	c.vvIssueLocked(peerKey(p.Msg), p.DeliveryID)
+	c.vvIssueLocked(c.peerDest(p.Msg), p.DeliveryID)
 }
 
 // walQueueRemove deletes a replayed queue entry by message ID.
@@ -467,7 +467,7 @@ func (c *Controller) walQueueRemove(msgID string) {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			p.queued = false
 			c.queueShrunkLocked()
-			c.vvResolveLocked(peerKey(p.Msg), p.DeliveryID)
+			c.vvResolveLocked(c.peerDest(p.Msg), p.DeliveryID)
 			return
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,7 +13,9 @@ import (
 
 	"aire/internal/core"
 	"aire/internal/obs"
+	"aire/internal/persist"
 	"aire/internal/transport"
+	"aire/internal/wal"
 	"aire/internal/wire"
 )
 
@@ -38,7 +42,26 @@ type LoadConfig struct {
 	// requests are in flight, and pacing degrades once they saturate.
 	Clients int
 	// TargetRPS is the aggregate paced arrival rate for mirror traffic.
+	// Negative means unpaced: clients issue requests back-to-back for the
+	// whole duration, measuring the topology's maximum closed-loop
+	// throughput (the mode the shard-scaling table uses — a paced run
+	// that never saturates would show every shard count at the target).
 	TargetRPS int
+	// Shards splits the hub into N shard services behind the key-hash
+	// router (core.ShardedController), each with its own store, repair
+	// log, pump, and HTTP listener — the deployment shape of the sharded
+	// service. 0 or 1 = the single-controller hub.
+	Shards int
+	// WAL attaches a write-ahead log (own directory, own writer — one per
+	// shard when sharded) to the hub, so the bench exercises the durable
+	// commit path: per-shard logs have no cross-shard ordering.
+	WAL bool
+	// OpDelay models blocking backend work (a database round trip) inside
+	// the hub's put handler, spent while the per-shard service lock is
+	// held. The shard-scaling table sets it so what the table measures is
+	// per-service lock serialization — the thing sharding removes — rather
+	// than the host's core count.
+	OpDelay time.Duration
 	// Duration is how long the paced phase runs.
 	Duration time.Duration
 	// RepairEvery issues a repair cascade after every n-th put (0 = never).
@@ -57,8 +80,11 @@ func (cfg LoadConfig) withDefaults() LoadConfig {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 8
 	}
-	if cfg.TargetRPS <= 0 {
+	if cfg.TargetRPS == 0 {
 		cfg.TargetRPS = 300
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	if cfg.Duration <= 0 {
 		cfg.Duration = 5 * time.Second
@@ -70,6 +96,14 @@ func (cfg LoadConfig) withDefaults() LoadConfig {
 		cfg.Sample = 100 * time.Millisecond
 	}
 	return cfg
+}
+
+// loadHub is the slice of the controller API the bench drives on the hub;
+// both core.Controller and core.ShardedController satisfy it, so the run
+// loop is identical sharded or not.
+type loadHub interface {
+	QueueLen() int
+	WaitQueueEmpty(timeout time.Duration) bool
 }
 
 // LoadClass summarizes one traffic class of a bench5 run.
@@ -93,6 +127,9 @@ type DepthSample struct {
 type LoadResult struct {
 	Peers       int           `json:"peers"`
 	Clients     int           `json:"clients"`
+	Shards      int           `json:"shards"`
+	WAL         bool          `json:"wal,omitempty"`
+	OpDelayMs   float64       `json:"op_delay_ms,omitempty"`
 	TargetRPS   int           `json:"target_rps"`
 	DurationSec float64       `json:"duration_sec"`
 	RepairEvery int           `json:"repair_every"`
@@ -176,12 +213,63 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	for i := 0; i < cfg.Peers; i++ {
 		peers = append(peers, fmt.Sprintf("peer%d", i))
 	}
-	hub := core.NewController(&KVApp{ServiceName: "hub", Mirrors: peers}, caller, ccfg)
-	ctrls := []*core.Controller{hub}
+	// The hub: either one controller, or cfg.Shards shard controllers
+	// behind the key-hash router. Each shard is a full service — own
+	// store, log, pump, listener — and the router is what the clients'
+	// "hub" base URL points at.
+	var (
+		hub       loadHub
+		router    *core.ShardedController
+		ctrls     []*core.Controller
+		hubShards []*core.Controller
+	)
+	if cfg.Shards > 1 {
+		topo := core.NewShardTopology()
+		topo.SetShards("hub", cfg.Shards)
+		ccfg.Topology = topo
+		for i := 0; i < cfg.Shards; i++ {
+			s := core.NewController(&KVApp{ServiceName: topo.ShardName("hub", i), Mirrors: peers, PutDelay: cfg.OpDelay}, caller, ccfg)
+			hubShards = append(hubShards, s)
+			ctrls = append(ctrls, s)
+		}
+		router = core.NewShardedController("hub", topo, hubShards)
+		hub = router
+	} else {
+		c := core.NewController(&KVApp{ServiceName: "hub", Mirrors: peers, PutDelay: cfg.OpDelay}, caller, ccfg)
+		hub = c
+		ctrls = append(ctrls, c)
+	}
 	pcfg := core.DefaultConfig()
 	pcfg.Obs = reg
 	for _, p := range peers {
 		ctrls = append(ctrls, core.NewController(&KVApp{ServiceName: p}, caller, pcfg))
+	}
+	if cfg.WAL {
+		// One WAL per hub controller (so one per shard when sharded),
+		// recovered the way a real startup would — in parallel, each log
+		// independent.
+		walDir, err := os.MkdirTemp("", "airebench-wal-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(walDir)
+		walCtrls := hubShards
+		if len(walCtrls) == 0 {
+			walCtrls = ctrls[:1]
+		}
+		dirs := make([]string, len(walCtrls))
+		for i := range walCtrls {
+			dirs[i] = filepath.Join(walDir, fmt.Sprintf("shard%d", i))
+		}
+		writers, err := persist.RecoverShards(walCtrls, dirs, wal.Options{Policy: wal.FsyncEveryCommit})
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			for _, w := range writers {
+				w.Close()
+			}
+		}()
 	}
 	var servers []*httptest.Server
 	defer func() {
@@ -193,6 +281,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		srv := httptest.NewServer(transport.NewHTTPHandler(c))
 		servers = append(servers, srv)
 		caller.BaseURLs[c.Svc.Name] = srv.URL
+	}
+	if router != nil {
+		// The router gets its own listener under the base name: clients
+		// talk to "hub", the router routes each request to the owning
+		// shard in-process.
+		srv := httptest.NewServer(transport.NewHTTPHandler(router))
+		servers = append(servers, srv)
+		caller.BaseURLs["hub"] = srv.URL
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -210,6 +306,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	res := &LoadResult{
 		Peers: cfg.Peers, Clients: cfg.Clients, TargetRPS: cfg.TargetRPS,
+		Shards: cfg.Shards, WAL: cfg.WAL, OpDelayMs: float64(cfg.OpDelay) / float64(time.Millisecond),
 		RepairEvery: cfg.RepairEvery,
 	}
 
@@ -279,19 +376,32 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		}()
 	}
 
-	interval := time.Second / time.Duration(cfg.TargetRPS)
-	pace := time.NewTicker(interval)
 	deadline := time.After(cfg.Duration)
-pacing:
-	for {
-		select {
-		case <-deadline:
-			break pacing
-		case <-pace.C:
-			ops <- struct{}{}
+	if cfg.TargetRPS < 0 {
+		// Unpaced: keep every client saturated until the deadline; the
+		// achieved rate is the topology's maximum closed-loop throughput.
+	unpaced:
+		for {
+			select {
+			case <-deadline:
+				break unpaced
+			case ops <- struct{}{}:
+			}
 		}
+	} else {
+		interval := time.Second / time.Duration(cfg.TargetRPS)
+		pace := time.NewTicker(interval)
+	pacing:
+		for {
+			select {
+			case <-deadline:
+				break pacing
+			case <-pace.C:
+				ops <- struct{}{}
+			}
+		}
+		pace.Stop()
 	}
-	pace.Stop()
 	close(ops)
 	wg.Wait()
 	paced := time.Since(start)

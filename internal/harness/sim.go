@@ -47,6 +47,15 @@ type SimConfig struct {
 	Seed int64
 	// Services is how many Aire services to stand up (≥ 2).
 	Services int
+	// Shards partitions every attacked-world service into N shard
+	// controllers — each with its own store, repair log, dedup inbox,
+	// pump, and (under WAL) its own log and recovery — behind a
+	// core.ShardedController router registered under the base name.
+	// 0 or 1 is the unsharded legacy path, byte-identical to the
+	// pre-shard harness (same digests, same schedules). The golden world
+	// always runs unsharded: the oracle then states that converged state
+	// is shard-count-invariant.
+	Shards int
 	// Topology is "chain" (s0 → s1 → … , each put forwarded downstream) or
 	// "fanout" (s0 mirrors every put to all other services).
 	Topology string
@@ -229,6 +238,13 @@ type SimResult struct {
 	// compaction tests assert on. Deterministic per seed, but kept out of
 	// StateDigest so pre-vector digests stay byte-identical.
 	InboxHighWater int
+	// OracleDigest fingerprints ONLY the converged per-service state (the
+	// union of shard states under a sharded run), excluding the fault and
+	// task schedules. A passing run's OracleDigest is therefore
+	// shard-count-invariant — the TestShardInvariantDigest property —
+	// while StateDigest stays the full run identity (schedule included),
+	// which legitimately differs across shard counts.
+	OracleDigest uint64
 	// StateDigest fingerprints the converged state plus the fault schedule
 	// (and, under ScheduledPump, the task schedule).
 	StateDigest uint64
@@ -371,6 +387,17 @@ type simWorld struct {
 	ctrls map[string]*core.Controller
 	order []string
 
+	// Sharding (SimConfig.Shards > 1; attacked world only). order keeps
+	// the base service names; cnames lists every controller (shard) name
+	// in deterministic order — equal to order when unsharded, so every
+	// loop below that drives controllers iterates cnames. routers maps
+	// each base name to its ShardedController, registered on the bus
+	// under the base name so live traffic routes by key.
+	shards  int
+	topo    *core.ShardTopology
+	cnames  []string
+	routers map[string]*core.ShardedController
+
 	// Observability (SimConfig.Obs; attacked world only). The registry is
 	// shared by every controller incarnation, so spans recorded before a
 	// crash and after its recovery land in one ring.
@@ -425,7 +452,7 @@ func (w *simWorld) enableWAL(cfg SimConfig) error {
 	w.walDirs = map[string]string{}
 	w.walWriters = map[string]*wal.Writer{}
 	w.walCrashes = map[string]int{}
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		dir := filepath.Join(base, name)
 		w.walDirs[name] = dir
 		wr, err := persist.Recover(w.ctrls[name], dir, w.walOpts)
@@ -449,10 +476,12 @@ func (w *simWorld) closeWAL() {
 
 func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 	w := &simWorld{
-		bus:   transport.NewBus(),
-		clock: simnet.NewClock(simClockStart),
-		apps:  map[string]*simApp{},
-		ctrls: map[string]*core.Controller{},
+		bus:     transport.NewBus(),
+		clock:   simnet.NewClock(simClockStart),
+		apps:    map[string]*simApp{},
+		ctrls:   map[string]*core.Controller{},
+		routers: map[string]*core.ShardedController{},
+		shards:  1,
 	}
 	if faulted {
 		// Any deterministic derivation works; keep the fault stream
@@ -480,6 +509,19 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 			w.batchEvery = 2
 		}
 	}
+	if faulted && cfg.Shards > 1 {
+		w.shards = cfg.Shards
+		w.topo = core.NewShardTopology()
+		for i := 0; i < cfg.Services; i++ {
+			w.topo.SetShards(fmt.Sprintf("s%d", i), cfg.Shards)
+		}
+		ccfg.Topology = w.topo
+	}
+	if faulted {
+		// Every attacked run verifies vdb/repairlog index coherence at
+		// repair-wave start (pure reads under the lock — digest-neutral).
+		ccfg.StrictIndexes = true
+	}
 	if faulted && cfg.ScheduledPump {
 		// A third seed stream drives the task schedule; the pump paces on
 		// the virtual clock, one pulse step per interval.
@@ -505,11 +547,57 @@ func buildSimWorld(cfg SimConfig, faulted bool) *simWorld {
 		} else if i+1 < len(w.order) { // chain
 			peers = []string{w.order[i+1]}
 		}
-		app := &simApp{name: name, peers: peers}
-		w.apps[name] = app
-		w.addController(name)
+		// Peers are base names: a forwarded write reaches the peer's
+		// router, which routes it by key; the repair carriers it later
+		// spawns resolve the owning shard themselves (peerDest).
+		for s := 0; s < w.shards; s++ {
+			cname := w.shardName(name, s)
+			w.apps[cname] = &simApp{name: cname, peers: peers}
+			w.cnames = append(w.cnames, cname)
+			w.addController(cname)
+		}
+		if w.shards > 1 {
+			shardCtrls := make([]*core.Controller, w.shards)
+			for s := 0; s < w.shards; s++ {
+				shardCtrls[s] = w.ctrls[w.shardName(name, s)]
+			}
+			r := core.NewShardedController(name, w.topo, shardCtrls)
+			w.bus.Register(name, r)
+			w.routers[name] = r
+		}
 	}
 	return w
+}
+
+// shardName is the controller name of base's i-th shard ("s0#1"; the base
+// name itself when the world is unsharded).
+func (w *simWorld) shardName(base string, i int) string {
+	if w.topo == nil {
+		return base
+	}
+	return w.topo.ShardName(base, i)
+}
+
+// shardNames lists base's controller names in shard order.
+func (w *simWorld) shardNames(base string) []string {
+	if w.shards <= 1 {
+		return []string{base}
+	}
+	names := make([]string, w.shards)
+	for i := range names {
+		names[i] = w.topo.ShardName(base, i)
+	}
+	return names
+}
+
+// applyLocal issues repair actions at the named service's front door: the
+// router when sharded (each action dispatched to the shard that owns the
+// request ID or anchor it names), the controller itself when not.
+func (w *simWorld) applyLocal(base string, a warp.Action) (*warp.Result, error) {
+	if r := w.routers[base]; r != nil {
+		return r.ApplyLocal(a)
+	}
+	return w.ctrls[base].ApplyLocal(a)
 }
 
 // addController stands up (or replaces, after a crash) the controller for
@@ -585,51 +673,89 @@ func (w *simWorld) killService(name string) {
 // latest checkpoint plus WAL replay. Under ScheduledPump the pump is torn
 // down first and restarted on the rebuilt controller, so the crash point
 // sits between delivery passes.
-func (w *simWorld) crashRestart(name string) error {
+// crashRestart takes a base service name: a crash fells the whole host,
+// so under sharding every shard of the service goes down and comes back
+// together. Teardown and bookkeeping are serial (they touch the bus, the
+// scheduler, and the world's maps); only the disk recovery itself runs in
+// parallel across shards (persist.RecoverShards — pure replay, no
+// scheduler involvement), which is exactly the startup-parallelism claim
+// the shard layer makes.
+func (w *simWorld) crashRestart(base string) error {
+	names := w.shardNames(base)
 	if w.sched != nil {
-		if w.killCrashes {
-			w.killService(name)
-		} else {
-			w.stopPump(name)
+		for _, name := range names {
+			if w.killCrashes {
+				w.killService(name)
+			} else {
+				w.stopPump(name)
+			}
 		}
 	}
 	if w.walWriters != nil {
-		if err := w.ctrls[name].WALError(); err != nil {
-			return fmt.Errorf("sim: %s had a wal append error before its crash: %w", name, err)
-		}
-		old := w.ctrls[name].DetachWAL()
-		if w.walPowerLoss {
-			if _, err := old.CrashLose(); err != nil {
-				return fmt.Errorf("sim: power-loss crash %s: %w", name, err)
+		fresh := make([]*core.Controller, len(names))
+		dirs := make([]string, len(names))
+		for i, name := range names {
+			if err := w.ctrls[name].WALError(); err != nil {
+				return fmt.Errorf("sim: %s had a wal append error before its crash: %w", name, err)
 			}
-		} else if err := old.Close(); err != nil {
-			return fmt.Errorf("sim: crash %s: %w", name, err)
+			old := w.ctrls[name].DetachWAL()
+			if w.walPowerLoss {
+				if _, err := old.CrashLose(); err != nil {
+					return fmt.Errorf("sim: power-loss crash %s: %w", name, err)
+				}
+			} else if err := old.Close(); err != nil {
+				return fmt.Errorf("sim: crash %s: %w", name, err)
+			}
+			fresh[i] = w.addController(name)
+			dirs[i] = w.walDirs[name]
 		}
-		fresh := w.addController(name)
-		wr, err := persist.Recover(fresh, w.walDirs[name], w.walOpts)
-		if err != nil {
-			return fmt.Errorf("sim: wal recovery %s: %w", name, err)
+		var writers []*wal.Writer
+		if len(names) > 1 {
+			ws, err := persist.RecoverShards(fresh, dirs, w.walOpts)
+			if err != nil {
+				return fmt.Errorf("sim: wal recovery %s: %w", base, err)
+			}
+			writers = ws
+		} else {
+			wr, err := persist.Recover(fresh[0], dirs[0], w.walOpts)
+			if err != nil {
+				return fmt.Errorf("sim: wal recovery %s: %w", names[0], err)
+			}
+			writers = []*wal.Writer{wr}
 		}
-		w.walWriters[name] = wr
-		w.walCrashes[name]++
-		// Every other crash of a service, the recovered incarnation
-		// compacts: checkpoint, truncate replayed segments, delete the
-		// superseded checkpoint — so its NEXT crash recovers from
-		// snapshot + tail rather than pure replay.
-		if w.walCrashes[name]%2 == 0 {
-			if _, err := persist.CheckpointAndTruncate(fresh, wr, w.walDirs[name]); err != nil {
-				return fmt.Errorf("sim: checkpoint %s: %w", name, err)
+		for i, name := range names {
+			w.walWriters[name] = writers[i]
+			w.walCrashes[name]++
+			// Every other crash of a service, the recovered incarnation
+			// compacts: checkpoint, truncate replayed segments, delete the
+			// superseded checkpoint — so its NEXT crash recovers from
+			// snapshot + tail rather than pure replay.
+			if w.walCrashes[name]%2 == 0 {
+				if _, err := persist.CheckpointAndTruncate(fresh[i], writers[i], w.walDirs[name]); err != nil {
+					return fmt.Errorf("sim: checkpoint %s: %w", name, err)
+				}
 			}
 		}
 	} else {
-		snap := persist.Capture(w.ctrls[name])
-		fresh := w.addController(name)
-		if err := persist.Apply(fresh, snap); err != nil {
-			return fmt.Errorf("sim: restore %s: %w", name, err)
+		for _, name := range names {
+			snap := persist.Capture(w.ctrls[name])
+			fresh := w.addController(name)
+			if err := persist.Apply(fresh, snap); err != nil {
+				return fmt.Errorf("sim: restore %s: %w", name, err)
+			}
+		}
+	}
+	if r := w.routers[base]; r != nil {
+		for i, name := range names {
+			r.SetShard(i, w.ctrls[name])
 		}
 	}
 	if w.sched != nil {
-		return w.startPump(name)
+		for _, name := range names {
+			if err := w.startPump(name); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -666,7 +792,7 @@ func (w *simWorld) execOp(op simOp) (string, error) {
 // happened.
 func (w *simWorld) pulse() int {
 	progress := 0
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		d, _ := w.ctrls[name].Flush()
 		progress += d
 	}
@@ -687,7 +813,7 @@ func (w *simWorld) pulse() int {
 // remembered and surfaced as an oracle failure — a batch that cannot
 // apply is lost repair even if the in-memory state happens to converge.
 func (w *simWorld) sweepBatches() {
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		if w.ctrls[name].InboxLen() == 0 {
 			continue
 		}
@@ -701,7 +827,7 @@ func (w *simWorld) sweepBatches() {
 // across all services.
 func (w *simWorld) inboxPending() int {
 	n := 0
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		n += w.ctrls[name].InboxLen()
 	}
 	return n
@@ -709,7 +835,7 @@ func (w *simWorld) inboxPending() int {
 
 func (w *simWorld) queued() int {
 	n := 0
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		n += w.ctrls[name].QueueLen()
 	}
 	return n
@@ -717,7 +843,7 @@ func (w *simWorld) queued() int {
 
 func (w *simWorld) heldMessages() []string {
 	var held []string
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		for _, p := range w.ctrls[name].Pending() {
 			if p.Held {
 				held = append(held, fmt.Sprintf("%s: %s (%s to %s): %s", name, p.MsgID, p.Msg.Kind, p.Msg.Target, p.LastErr))
@@ -725,6 +851,25 @@ func (w *simWorld) heldMessages() []string {
 		}
 	}
 	return held
+}
+
+// mergedKVState is the union of base's shard states — the whole service's
+// kv contents as a client sees them through the router. A key stored on
+// two shards is a shard-map violation and fails loudly.
+func (w *simWorld) mergedKVState(base string) (map[string]string, error) {
+	if w.shards <= 1 {
+		return kvState(w.ctrls[base]), nil
+	}
+	out := map[string]string{}
+	for _, name := range w.shardNames(base) {
+		for k, v := range kvState(w.ctrls[name]) {
+			if prev, dup := out[k]; dup {
+				return nil, fmt.Errorf("%s: key %s present on two shards (%q and %q)", base, k, prev, v)
+			}
+			out[k] = v
+		}
+	}
+	return out, nil
 }
 
 // kvState flattens one service's live kv contents.
@@ -913,16 +1058,15 @@ func (w *simWorld) applyEvent(ev simEvent, ops []simOp, creates []simCreate, res
 		if id == "" {
 			return fmt.Errorf("sim: repair target op %d has no request ID", rep.opIdx)
 		}
-		head := w.ctrls[w.order[0]]
 		if rep.cancel {
-			if _, err := head.ApplyLocal(warp.Action{Kind: warp.CancelReq, ReqID: id}); err != nil {
+			if _, err := w.applyLocal(w.order[0], warp.Action{Kind: warp.CancelReq, ReqID: id}); err != nil {
 				return fmt.Errorf("sim: cancel %s: %w", id, err)
 			}
 			cancelled[rep.opIdx] = true
 		} else {
 			newReq := wire.NewRequest("POST", "/put").
 				WithForm("key", ops[rep.opIdx].key, "val", rep.newVal)
-			if _, err := head.ApplyLocal(warp.Action{Kind: warp.ReplaceReq, ReqID: id, NewReq: newReq}); err != nil {
+			if _, err := w.applyLocal(w.order[0], warp.Action{Kind: warp.ReplaceReq, ReqID: id, NewReq: newReq}); err != nil {
 				return fmt.Errorf("sim: replace %s: %w", id, err)
 			}
 			replaced[rep.opIdx] = rep.newVal
@@ -934,12 +1078,13 @@ func (w *simWorld) applyEvent(ev simEvent, ops []simOp, creates []simCreate, res
 		if anchorID == "" {
 			return fmt.Errorf("sim: create anchor op %d has no request ID", cr.anchor)
 		}
-		head := w.ctrls[w.order[0]]
 		newReq := wire.NewRequest("POST", "/add").WithForm("key", cr.key, "delta", cr.delta)
 		// before_id anchors the created request after an existing put;
 		// with no after bound it lands at the end of the head's current
-		// timeline, which is exactly where the golden world runs it.
-		if _, err := head.ApplyLocal(warp.Action{Kind: warp.CreateReq, NewReq: newReq, BeforeID: anchorID}); err != nil {
+		// timeline, which is exactly where the golden world runs it. Under
+		// sharding the anchor's ID names its owning shard, so the create
+		// lands on — and cascades from — the shard that executed the put.
+		if _, err := w.applyLocal(w.order[0], warp.Action{Kind: warp.CreateReq, NewReq: newReq, BeforeID: anchorID}); err != nil {
 			return fmt.Errorf("sim: create %s: %w", cr.key, err)
 		}
 		res.CreateCount++
@@ -967,7 +1112,7 @@ func (w *simWorld) applyEvent(ev simEvent, ops []simOp, creates []simCreate, res
 // delivery-only signal for the quiesce-widening regression test.
 func (w *simWorld) progressTally(narrow bool) int64 {
 	var n int64
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		st := w.ctrls[name].Stats()
 		n += st.MsgsDelivered + st.MsgsFailed
 		if !narrow {
@@ -985,7 +1130,7 @@ func (w *simWorld) progressTally(narrow bool) int64 {
 // delivery passes. Quiesce alternates scheduler drains with virtual-clock
 // advances, then shuts every pump down; the run leaks no task.
 func (w *simWorld) runScheduled(cfg SimConfig, events []simEvent, ops []simOp, creates []simCreate, res *SimResult, ids map[int]string, cancelled map[int]bool, replaced map[int]string) error {
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		if err := w.startPump(name); err != nil {
 			return err
 		}
@@ -1122,7 +1267,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 	// A WAL append failure is a silent-durability-loss hazard: surface it as
 	// an oracle failure even if the in-memory state happens to converge.
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		if err := w.ctrls[name].WALError(); err != nil {
 			res.Failures = append(res.Failures, fmt.Sprintf("%s: wal append error: %v", name, err))
 		}
@@ -1130,7 +1275,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if w.batchErr != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("batch apply error: %v", w.batchErr))
 	}
-	for _, name := range w.order {
+	for _, name := range w.cnames {
 		if hw := w.ctrls[name].InboxHighWater(); hw > res.InboxHighWater {
 			res.InboxHighWater = hw
 		}
@@ -1170,12 +1315,22 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		}
 	}
 
-	// The oracle: every service converged to the golden state.
+	// The oracle: every service converged to the golden state. Under
+	// sharding "the service's state" is the union of its shards' states —
+	// a key present on two shards is itself an oracle failure (the shard
+	// map was not respected), surfaced before the value comparison.
 	digest := fnv.New64a()
+	oracle := fnv.New64a()
 	for _, name := range w.order {
-		got, want := kvState(w.ctrls[name]), kvState(g.ctrls[name])
+		got, mergeErr := w.mergedKVState(name)
+		if mergeErr != nil {
+			res.Failures = append(res.Failures, mergeErr.Error())
+			continue
+		}
+		want := kvState(g.ctrls[name])
 		for _, line := range stateLines(name, got) {
 			fmt.Fprintln(digest, line)
+			fmt.Fprintln(oracle, line)
 		}
 		if len(got) != len(want) {
 			res.Failures = append(res.Failures, fmt.Sprintf("%s diverged: got %v, want %v", name, got, want))
@@ -1188,6 +1343,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			}
 		}
 	}
+	res.OracleDigest = oracle.Sum64()
 
 	res.FaultCounts = w.sim.Counts()
 	res.Trace = w.sim.Trace()

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"aire/internal/core"
@@ -257,4 +258,41 @@ func StartCheckpointer(ctx context.Context, c *core.Controller, w *wal.Writer, d
 		cancel()
 		<-done
 	}
+}
+
+// RecoverShards recovers a sharded service's shard controllers in
+// parallel: each shard has its own checkpoint+WAL directory and its own
+// log, with no cross-shard ordering, so recovery is embarrassingly
+// parallel — startup cost is the slowest shard, not the sum. Recovery
+// never touches a scheduler (pure replay into each controller), so the
+// parallelism is safe even under deterministic scheduling: the dsched
+// world is not running yet. dirs[i] is shard i's directory; on any
+// shard's failure every already-opened writer is closed and the first
+// error (by shard index) is returned.
+func RecoverShards(shards []*core.Controller, dirs []string, opts wal.Options) ([]*wal.Writer, error) {
+	if len(shards) != len(dirs) {
+		return nil, fmt.Errorf("persist: %d shards, %d directories", len(shards), len(dirs))
+	}
+	writers := make([]*wal.Writer, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			writers[i], errs[i] = Recover(shards[i], dirs[i], opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, w := range writers {
+				if w != nil {
+					w.Close()
+				}
+			}
+			return nil, fmt.Errorf("persist: recover shard %d: %w", i, err)
+		}
+	}
+	return writers, nil
 }

@@ -93,6 +93,14 @@ const (
 	HdrNackSeq     = "Aire-Nack-Seq"
 	HdrReoffer     = "Aire-Reoffer"
 	HdrBodySum     = "Aire-Body-Sum"
+	// HdrShard names the destination shard of a repair-plane carrier when
+	// the receiving service is horizontally sharded (core.ShardTopology).
+	// The sender resolves the shard from the deterministic key→shard map
+	// (or from the shard-qualified request ID the carrier already names)
+	// and stamps it so a router can dispatch without re-deriving the key,
+	// and a shard can refuse a carrier addressed to a sibling. Routing
+	// metadata only: it never influences repair semantics or dedup.
+	HdrShard = "Aire-Shard"
 )
 
 // Request is an API operation sent to a service.
@@ -214,6 +222,7 @@ var AireHeaders = []string{
 	HdrDeliveryID, HdrGeneration, HdrOrigin,
 	HdrTraceID, HdrTraceHop,
 	HdrAckedSeq, HdrFrontierSeq, HdrNackSeq, HdrReoffer, HdrBodySum,
+	HdrShard,
 }
 
 var aireHeaderSet = func() map[string]bool {
